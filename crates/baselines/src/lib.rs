@@ -1,0 +1,24 @@
+//! # drgpum-baselines: the state-of-the-art tools of the paper's Table 5
+//!
+//! Lite reimplementations of the two comparators the paper evaluates
+//! against (Sec. 7.8):
+//!
+//! * [`ValueExpertLite`] — a value-aware profiler in the spirit of
+//!   ValueExpert (ASPLOS 2022): detects value-level redundancies and lets a
+//!   user infer *unused allocations*, but none of DrGPUM's other
+//!   value-agnostic patterns;
+//! * [`MemcheckLite`] — an allocation checker in the spirit of NVIDIA
+//!   Compute Sanitizer's `memcheck`: detects *memory leaks* (host-side
+//!   `cudaMalloc` only) but no memory inefficiencies.
+//!
+//! Both register with the same Sanitizer-style instrumentation API the
+//! DrGPUM collector uses, so the Table 5 comparison runs all three tools
+//! over identical event streams.
+
+#![warn(missing_docs)]
+
+pub mod memcheck;
+pub mod value_expert;
+
+pub use memcheck::{LeakRecord, MemcheckLite};
+pub use value_expert::{ValueExpertLite, ValueFinding};

@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks for the pattern detectors and their data
+//! structures — the profiler-side costs behind Figure 6's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drgpum_core::accessmap::{AccessBitmap, FreqMap, RangeSet};
+use drgpum_core::depgraph::{DependencyGraph, VertexAccess};
+use drgpum_core::object::ObjectId;
+use drgpum_core::options::Thresholds;
+use drgpum_core::patterns::{
+    object_level, redundant, AccessVia, ApiRef, ObjectAccess, ObjectView, TraceView,
+};
+use gpu_sim::StreamId;
+use std::hint::black_box;
+
+/// Builds a synthetic trace of `n_objects` objects, each with a handful of
+/// accesses spread over a `4 * n_objects`-API trace.
+fn synthetic_trace(n_objects: usize) -> TraceView {
+    let n_apis = n_objects * 4;
+    let mut tv = TraceView::synthetic(n_apis);
+    for i in 0..n_objects {
+        let base = i * 4;
+        let mk = |idx: usize| ObjectAccess {
+            api: ApiRef {
+                idx,
+                ts: idx as u64,
+                name: format!("API({idx})"),
+            },
+            read: true,
+            write: idx.is_multiple_of(2),
+            via: AccessVia::Kernel,
+        };
+        tv.objects.push(ObjectView {
+            id: ObjectId(i as u64),
+            label: format!("obj{i}"),
+            size: 1024 + (i as u64 % 7) * 64,
+            alloc: Some(ApiRef {
+                idx: base,
+                ts: base as u64,
+                name: format!("API({base})"),
+            }),
+            alloc_anchor: base,
+            free: None,
+            free_anchor: None,
+            accesses: vec![mk(base + 1), mk(base + 2), mk(base + 3)],
+            analyzable: true,
+        });
+    }
+    tv
+}
+
+fn bench_object_level(c: &mut Criterion) {
+    let mut group = c.benchmark_group("object_level_detectors");
+    for n in [100usize, 1000] {
+        let tv = synthetic_trace(n);
+        let thresholds = Thresholds::default();
+        group.bench_with_input(BenchmarkId::new("detect_all", n), &tv, |b, tv| {
+            b.iter(|| black_box(object_level::detect_all(tv, &thresholds)));
+        });
+        group.bench_with_input(BenchmarkId::new("redundant_one_pass", n), &tv, |b, tv| {
+            b.iter(|| black_box(redundant::detect_redundant_allocations(tv, 10.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_depgraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependency_graph");
+    for n in [1000usize, 10_000] {
+        let vertices: Vec<VertexAccess> = (0..n)
+            .map(|i| VertexAccess {
+                stream: StreamId((i % 4) as u32),
+                reads: vec![ObjectId((i % 50) as u64)],
+                writes: vec![ObjectId(((i + 1) % 50) as u64)],
+                frees: vec![],
+                after: vec![],
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("build_and_sort", n), &vertices, |b, v| {
+            b.iter(|| black_box(DependencyGraph::build(v)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_access_maps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access_maps");
+    group.bench_function("bitmap_set_4k_ranges_in_1m", |b| {
+        b.iter(|| {
+            let mut bm = AccessBitmap::new(1 << 20);
+            for i in 0..4096u64 {
+                bm.set_range(i * 256, i * 256 + 128);
+            }
+            black_box(bm.count_set())
+        });
+    });
+    group.bench_function("bitmap_fragmentation_1m", |b| {
+        let mut bm = AccessBitmap::new(1 << 20);
+        for i in 0..2048u64 {
+            bm.set_range(i * 512, i * 512 + 256);
+        }
+        b.iter(|| black_box(drgpum_core::metrics::fragmentation_pct(&bm)));
+    });
+    group.bench_function("rangeset_insert_4k", |b| {
+        b.iter(|| {
+            let mut rs = RangeSet::new();
+            for i in 0..4096u64 {
+                let s = (i * 37) % 100_000;
+                rs.insert(s, s + 64);
+            }
+            black_box(rs.covered())
+        });
+    });
+    group.bench_function("freqmap_record_64k", |b| {
+        b.iter(|| {
+            let mut fm = FreqMap::new(1 << 16, 4);
+            for i in 0..65_536u64 {
+                fm.record((i * 4) % (1 << 16), 4);
+            }
+            black_box(fm.coefficient_of_variation_pct())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_object_level, bench_depgraph, bench_access_maps);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Ablation: sensitivity of the detectors to the paper's user-tunable
+//! thresholds (Sec. 3 defines every `X` as user-tunable; Sec. 6 states the
+//! defaults used in the evaluation).
+//!
+//! One recording per workload is taken once; the offline analyzer then
+//! replays it under threshold sweeps — no program re-runs (the
+//! `trace_io` path). Reported: number of findings per pattern as each knob
+//! moves through its range.
+//!
+//! Run with `cargo run -p drgpum-bench --bin ablation_thresholds`.
+
+use drgpum_core::{trace_io, PatternKind, Profiler, ProfilerOptions, Thresholds};
+use drgpum_workloads::common::Variant;
+use drgpum_workloads::registry::RunConfig;
+use gpu_sim::DeviceContext;
+
+fn record(name: &str) -> trace_io::SavedTrace {
+    let spec = drgpum_workloads::by_name(name).expect("registered");
+    let mut ctx = DeviceContext::new_default();
+    let mut options = ProfilerOptions::intra_object();
+    if let Some(elem) = spec.elem_size_hint {
+        options.elem_size = elem;
+    }
+    let profiler = Profiler::attach(&mut ctx, options);
+    (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default()).expect("runs");
+    let collector = profiler.collector();
+    let collector = collector.lock();
+    trace_io::save(&collector, ctx.call_stack().table(), "rtx3090")
+}
+
+fn count(trace: &trace_io::SavedTrace, t: &Thresholds, kind: PatternKind) -> usize {
+    trace
+        .reanalyze(t)
+        .findings
+        .iter()
+        .filter(|f| f.kind() == kind)
+        .count()
+}
+
+fn main() {
+    println!("Ablation: threshold sensitivity (offline replay of one recording)\n");
+
+    // Temporary idleness gap X on Darknet (many idle buffers).
+    let darknet = record("Darknet");
+    println!("Darknet, temporary-idleness minimum gap X (paper default 2):");
+    let mut prev = usize::MAX;
+    for x in [1u64, 2, 4, 8, 16, 32] {
+        let t = Thresholds {
+            idleness_min_apis: x,
+            ..Thresholds::default()
+        };
+        let n = count(&darknet, &t, PatternKind::TemporaryIdleness);
+        println!("  X = {x:>2}: {n} TI findings");
+        assert!(n <= prev, "raising the gap must not add findings");
+        prev = n;
+    }
+
+    // Redundant-allocation size window on 3MM (many equal-size matrices).
+    let three_mm = record("3MM");
+    println!("\n3MM, redundant-allocation size window (paper default 10%):");
+    prev = 0;
+    for pct in [0.0f64, 10.0, 50.0, 200.0] {
+        let t = Thresholds {
+            redundant_size_pct: pct,
+            ..Thresholds::default()
+        };
+        let n = count(&three_mm, &t, PatternKind::RedundantAllocation);
+        println!("  window = {pct:>5.0}%: {n} RA findings");
+        assert!(n >= prev, "widening the window must not remove findings");
+        prev = n;
+    }
+
+    // Overallocation accessed-% threshold on XSBench (5% touched grid).
+    let xsbench = record("XSBench");
+    println!("\nXSBench, overallocation accessed-%% threshold (paper default 80%):");
+    for pct in [1.0f64, 5.0, 10.0, 80.0] {
+        let t = Thresholds {
+            overalloc_accessed_pct: pct,
+            ..Thresholds::default()
+        };
+        let n = count(&xsbench, &t, PatternKind::Overallocation);
+        let expected = usize::from(pct > 5.0);
+        println!(
+            "  threshold = {pct:>4.0}%: {n} OA findings (index_grid is 5.0% accessed)"
+        );
+        assert_eq!(
+            n, expected,
+            "OA must fire exactly when the threshold exceeds the touched fraction"
+        );
+    }
+
+    // NUAF CoV threshold on BICG (triangular skew ≈ 57%).
+    let bicg = record("BICG");
+    println!("\nBICG, NUAF coefficient-of-variation threshold (paper default 20%):");
+    for pct in [10.0f64, 20.0, 56.0, 90.0] {
+        let t = Thresholds {
+            nuaf_cov_pct: pct,
+            ..Thresholds::default()
+        };
+        let n = count(&bicg, &t, PatternKind::NonUniformAccessFrequency);
+        println!("  threshold = {pct:>4.0}%: {n} NUAF findings");
+    }
+    println!("\nall monotonicity checks passed");
+}

@@ -1,0 +1,60 @@
+//! Regenerates the paper's **Table 1**: patterns of memory inefficiencies
+//! found in popular GPU programs.
+//!
+//! For every workload, the unoptimized variant is profiled with full
+//! intra-object analysis and the detected pattern set is compared against
+//! the paper's row:
+//!
+//! * `✓` — expected by the paper and detected;
+//! * `✗` — expected but NOT detected (a reproduction failure);
+//! * `+` — detected beyond the paper's row (the detectors are sound, so
+//!   these are real inefficiencies of the simulated program; see
+//!   EXPERIMENTS.md for per-workload notes);
+//! * ` ` — neither expected nor detected.
+//!
+//! Run with `cargo run -p drgpum-bench --bin table1`.
+
+use drgpum_bench::profile_default;
+use drgpum_core::PatternKind;
+use drgpum_workloads::common::Variant;
+
+fn main() {
+    let patterns = PatternKind::ALL;
+    println!("Table 1: patterns of memory inefficiencies found in popular GPU programs");
+    println!("(✓ expected+found, ✗ expected+missed, + found beyond the paper's row)\n");
+    print!("{:<18}", "Program");
+    for p in patterns {
+        print!("{:>6}", p.code());
+    }
+    println!();
+    println!("{}", "-".repeat(18 + 6 * patterns.len()));
+
+    let mut missed_total = 0;
+    for spec in drgpum_workloads::all() {
+        let (report, _) = profile_default(&spec, Variant::Unoptimized);
+        let detected = report.patterns_present();
+        print!("{:<18}", spec.name);
+        for p in patterns {
+            let expected = spec.expected_patterns.contains(&p);
+            let found = detected.contains(&p);
+            let mark = match (expected, found) {
+                (true, true) => "✓",
+                (true, false) => {
+                    missed_total += 1;
+                    "✗"
+                }
+                (false, true) => "+",
+                (false, false) => "",
+            };
+            print!("{mark:>6}");
+        }
+        println!();
+    }
+    println!();
+    if missed_total == 0 {
+        println!("all paper-expected patterns detected (0 misses)");
+    } else {
+        println!("{missed_total} paper-expected pattern(s) NOT detected");
+        std::process::exit(1);
+    }
+}

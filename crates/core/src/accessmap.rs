@@ -1,0 +1,499 @@
+//! Intra-object access maps: bitmaps, range sets, and frequency maps
+//! (Sec. 5.2, Sec. 5.5).
+//!
+//! * [`AccessBitmap`] — one bit per byte of a data object, backing the
+//!   *overallocation* detector and the fragmentation metric (Eq. 1);
+//! * [`RangeSet`] — merged half-open intervals, the compact per-GPU-API
+//!   footprint used by the *structured access* detector;
+//! * [`FreqMap`] — per-element access counters, backing the *non-uniform
+//!   access frequency* detector's coefficient-of-variation test.
+
+use std::fmt;
+
+/// A bitmap with one bit per byte of a data object.
+///
+/// # Examples
+///
+/// ```
+/// use drgpum_core::accessmap::AccessBitmap;
+///
+/// let mut bm = AccessBitmap::new(100);
+/// bm.set_range(10, 20);
+/// assert_eq!(bm.count_set(), 10);
+/// assert!(bm.is_set(15));
+/// assert!(!bm.is_set(20));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct AccessBitmap {
+    words: Vec<u64>,
+    len: u64,
+}
+
+impl fmt::Debug for AccessBitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AccessBitmap")
+            .field("len", &self.len)
+            .field("set", &self.count_set())
+            .finish()
+    }
+}
+
+impl AccessBitmap {
+    /// Creates an all-clear bitmap covering `len` bytes.
+    pub fn new(len: u64) -> Self {
+        let words = vec![0u64; (len as usize).div_ceil(64)];
+        AccessBitmap { words, len }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Returns `true` if the bitmap covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks the half-open byte range `[start, end)` as accessed. Ranges are
+    /// clamped to the bitmap length.
+    pub fn set_range(&mut self, start: u64, end: u64) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let (first_word, first_bit) = ((start / 64) as usize, start % 64);
+        let (last_word, last_bit) = (((end - 1) / 64) as usize, (end - 1) % 64);
+        if first_word == last_word {
+            let mask = (u64::MAX << first_bit)
+                & (u64::MAX >> (63 - last_bit));
+            self.words[first_word] |= mask;
+            return;
+        }
+        self.words[first_word] |= u64::MAX << first_bit;
+        for w in &mut self.words[first_word + 1..last_word] {
+            *w = u64::MAX;
+        }
+        self.words[last_word] |= u64::MAX >> (63 - last_bit);
+    }
+
+    /// Returns `true` if byte `i` is marked accessed.
+    pub fn is_set(&self, i: u64) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        self.words[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of accessed bytes.
+    pub fn count_set(&self) -> u64 {
+        let mut total: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        // Bits beyond `len` are never set by `set_range`, but be defensive.
+        let tail_bits = (self.words.len() as u64 * 64).saturating_sub(self.len);
+        debug_assert!(tail_bits < 64 || self.words.is_empty());
+        if tail_bits > 0 && !self.words.is_empty() {
+            let last = *self.words.last().expect("non-empty");
+            let valid = 64 - tail_bits;
+            let invalid_mask = if valid == 0 { u64::MAX } else { u64::MAX << valid };
+            total -= u64::from((last & invalid_mask).count_ones());
+        }
+        total
+    }
+
+    /// Number of unaccessed bytes.
+    pub fn count_clear(&self) -> u64 {
+        self.len - self.count_set()
+    }
+
+    /// Fraction of bytes accessed, in `[0, 1]`. An empty bitmap reports 1.0
+    /// (nothing allocated, nothing wasted).
+    pub fn accessed_fraction(&self) -> f64 {
+        if self.len == 0 {
+            return 1.0;
+        }
+        self.count_set() as f64 / self.len as f64
+    }
+
+    /// Length of the longest run of unaccessed bytes.
+    pub fn largest_clear_run(&self) -> u64 {
+        let mut best = 0u64;
+        let mut cur = 0u64;
+        for i in 0..self.len {
+            if self.is_set(i) {
+                best = best.max(cur);
+                cur = 0;
+            } else {
+                cur += 1;
+            }
+        }
+        best.max(cur)
+    }
+
+    /// The unaccessed byte ranges, merged, as `(start, end)` pairs.
+    pub fn clear_ranges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut run_start: Option<u64> = None;
+        for i in 0..self.len {
+            match (self.is_set(i), run_start) {
+                (false, None) => run_start = Some(i),
+                (true, Some(s)) => {
+                    out.push((s, i));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            out.push((s, self.len));
+        }
+        out
+    }
+
+    /// Clears all bits.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Bytes of host memory this bitmap occupies — the quantity DrGPUM's
+    /// adaptive mode selection sums before each kernel launch (Sec. 5.5).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+}
+
+/// A set of half-open byte intervals, kept merged and sorted.
+///
+/// The per-GPU-API footprint representation for the *structured access*
+/// detector: GramSchmidt's `R_gpu` slices become one interval per kernel
+/// instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeSet {
+    /// Sorted, non-overlapping, non-adjacent `(start, end)` intervals.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Inserts `[start, end)`, merging with existing intervals.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find the insertion window of intervals that touch [start, end).
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut i = 0;
+        let mut remove_from = None;
+        let mut remove_to = 0;
+        while i < self.ranges.len() {
+            let (s, e) = self.ranges[i];
+            if e < new_start {
+                i += 1;
+                continue;
+            }
+            if s > new_end {
+                break;
+            }
+            // Touching or overlapping: absorb.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            if remove_from.is_none() {
+                remove_from = Some(i);
+            }
+            remove_to = i + 1;
+            i += 1;
+        }
+        match remove_from {
+            Some(from) => {
+                self.ranges.drain(from..remove_to);
+                self.ranges.insert(from, (new_start, new_end));
+            }
+            None => {
+                let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
+                self.ranges.insert(pos, (new_start, new_end));
+            }
+        }
+    }
+
+    /// The merged intervals, sorted.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.ranges.iter().map(|(s, e)| e - s).sum()
+    }
+
+    /// Returns `true` if no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Returns `true` if the two sets share at least one byte.
+    pub fn intersects(&self, other: &RangeSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (s1, e1) = self.ranges[i];
+            let (s2, e2) = other.ranges[j];
+            if s1 < e2 && s2 < e1 {
+                return true;
+            }
+            if e1 <= e2 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        false
+    }
+
+    /// The smallest interval containing every covered byte, if any.
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.ranges.first(), self.ranges.last()) {
+            (Some(&(s, _)), Some(&(_, e))) => Some((s, e)),
+            _ => None,
+        }
+    }
+}
+
+impl FromIterator<(u64, u64)> for RangeSet {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let mut set = RangeSet::new();
+        for (s, e) in iter {
+            set.insert(s, e);
+        }
+        set
+    }
+}
+
+/// Per-element access counters for one data object at one GPU API.
+///
+/// Elements are fixed-width slots (`elem_size` bytes); an access of `size`
+/// bytes at `offset` increments every slot it touches, as the paper's
+/// per-element hashmap does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FreqMap {
+    counts: Vec<u32>,
+    elem_size: u32,
+}
+
+impl FreqMap {
+    /// Creates a zeroed frequency map for an object of `object_bytes` bytes
+    /// with `elem_size`-byte elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem_size` is zero.
+    pub fn new(object_bytes: u64, elem_size: u32) -> Self {
+        assert!(elem_size > 0, "element size must be positive");
+        let n = (object_bytes as usize).div_ceil(elem_size as usize);
+        FreqMap {
+            counts: vec![0; n],
+            elem_size,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Element width in bytes.
+    pub fn elem_size(&self) -> u32 {
+        self.elem_size
+    }
+
+    /// Returns `true` if the object has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Records an access of `size` bytes at byte `offset`.
+    pub fn record(&mut self, offset: u64, size: u32) {
+        if self.counts.is_empty() || size == 0 {
+            return;
+        }
+        let first = (offset / u64::from(self.elem_size)) as usize;
+        let last = ((offset + u64::from(size) - 1) / u64::from(self.elem_size)) as usize;
+        for i in first..=last.min(self.counts.len() - 1) {
+            self.counts[i] = self.counts[i].saturating_add(1);
+        }
+    }
+
+    /// Per-element counts.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Resets all counters to zero (done at each GPU API, Sec. 5.2).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+    }
+
+    /// Coefficient of variation (stddev / mean) of the access counts of
+    /// *accessed* elements, as a percentage. Returns 0 when fewer than two
+    /// elements were accessed.
+    pub fn coefficient_of_variation_pct(&self) -> f64 {
+        crate::metrics::coefficient_of_variation_pct(
+            self.counts.iter().filter(|&&c| c > 0).map(|&c| f64::from(c)),
+        )
+    }
+
+    /// Histogram of counts (count value → number of elements), for the GUI.
+    pub fn histogram(&self) -> Vec<(u32, usize)> {
+        let mut map = std::collections::BTreeMap::new();
+        for &c in &self.counts {
+            if c > 0 {
+                *map.entry(c).or_insert(0usize) += 1;
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Host-memory footprint, for the adaptive mode planner.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.counts.len() as u64 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_and_count() {
+        let mut bm = AccessBitmap::new(200);
+        bm.set_range(0, 64);
+        bm.set_range(60, 70);
+        bm.set_range(199, 200);
+        assert_eq!(bm.count_set(), 71);
+        assert_eq!(bm.count_clear(), 129);
+        assert!(bm.is_set(0));
+        assert!(bm.is_set(69));
+        assert!(!bm.is_set(70));
+        assert!(bm.is_set(199));
+        assert!(!bm.is_set(200), "out of range reads as clear");
+    }
+
+    #[test]
+    fn bitmap_clamps_out_of_range() {
+        let mut bm = AccessBitmap::new(10);
+        bm.set_range(5, 1000);
+        assert_eq!(bm.count_set(), 5);
+    }
+
+    #[test]
+    fn bitmap_word_boundary_edges() {
+        let mut bm = AccessBitmap::new(130);
+        bm.set_range(63, 65);
+        assert_eq!(bm.count_set(), 2);
+        assert!(bm.is_set(63) && bm.is_set(64) && !bm.is_set(65));
+        bm.set_range(127, 130);
+        assert_eq!(bm.count_set(), 5);
+    }
+
+    #[test]
+    fn bitmap_largest_clear_run() {
+        let mut bm = AccessBitmap::new(100);
+        assert_eq!(bm.largest_clear_run(), 100);
+        bm.set_range(10, 11);
+        bm.set_range(40, 42);
+        // Runs: [0,10)=10, [11,40)=29, [42,100)=58.
+        assert_eq!(bm.largest_clear_run(), 58);
+        assert_eq!(bm.clear_ranges(), vec![(0, 10), (11, 40), (42, 100)]);
+    }
+
+    #[test]
+    fn bitmap_fully_set_has_no_clear_run() {
+        let mut bm = AccessBitmap::new(64);
+        bm.set_range(0, 64);
+        assert_eq!(bm.largest_clear_run(), 0);
+        assert!(bm.clear_ranges().is_empty());
+        assert_eq!(bm.accessed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn rangeset_merges_overlaps_and_adjacency() {
+        let mut rs = RangeSet::new();
+        rs.insert(10, 20);
+        rs.insert(30, 40);
+        rs.insert(20, 30); // bridges the gap
+        assert_eq!(rs.ranges(), &[(10, 40)]);
+        rs.insert(5, 12);
+        assert_eq!(rs.ranges(), &[(5, 40)]);
+        assert_eq!(rs.covered(), 35);
+    }
+
+    #[test]
+    fn rangeset_keeps_disjoint_ranges_sorted() {
+        let rs: RangeSet = [(50, 60), (10, 20), (30, 40)].into_iter().collect();
+        assert_eq!(rs.ranges(), &[(10, 20), (30, 40), (50, 60)]);
+        assert_eq!(rs.span(), Some((10, 60)));
+    }
+
+    #[test]
+    fn rangeset_intersection() {
+        let a: RangeSet = [(0, 10), (20, 30)].into_iter().collect();
+        let b: RangeSet = [(10, 20)].into_iter().collect();
+        let c: RangeSet = [(25, 26)].into_iter().collect();
+        assert!(!a.intersects(&b), "touching is not overlapping");
+        assert!(a.intersects(&c));
+        assert!(!RangeSet::new().intersects(&a));
+    }
+
+    #[test]
+    fn rangeset_empty_insert_ignored() {
+        let mut rs = RangeSet::new();
+        rs.insert(5, 5);
+        assert!(rs.is_empty());
+        assert_eq!(rs.span(), None);
+    }
+
+    #[test]
+    fn freqmap_records_per_element() {
+        let mut fm = FreqMap::new(16, 4); // 4 elements
+        fm.record(0, 4);
+        fm.record(0, 4);
+        fm.record(4, 8); // touches elements 1 and 2
+        assert_eq!(fm.counts(), &[2, 1, 1, 0]);
+    }
+
+    #[test]
+    fn freqmap_uniform_has_zero_cov() {
+        let mut fm = FreqMap::new(16, 4);
+        for i in 0..4 {
+            fm.record(i * 4, 4);
+        }
+        assert_eq!(fm.coefficient_of_variation_pct(), 0.0);
+    }
+
+    #[test]
+    fn freqmap_skew_has_high_cov() {
+        let mut fm = FreqMap::new(16, 4);
+        for _ in 0..100 {
+            fm.record(0, 4);
+        }
+        fm.record(4, 4);
+        assert!(fm.coefficient_of_variation_pct() > 20.0);
+    }
+
+    #[test]
+    fn freqmap_reset_zeroes() {
+        let mut fm = FreqMap::new(8, 4);
+        fm.record(0, 8);
+        fm.reset();
+        assert_eq!(fm.counts(), &[0, 0]);
+    }
+
+    #[test]
+    fn freqmap_clamps_trailing_partial_element() {
+        let mut fm = FreqMap::new(10, 4); // 3 elements (last covers 2 bytes)
+        fm.record(8, 4);
+        assert_eq!(fm.counts(), &[0, 0, 1]);
+    }
+}

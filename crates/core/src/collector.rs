@@ -1,0 +1,868 @@
+//! The online data collector (Sec. 4, Sec. 5.1, Sec. 5.2, Sec. 5.5).
+//!
+//! The collector registers with the Sanitizer-style instrumentation API and
+//! builds, online:
+//!
+//! * the memory map `M` of data objects ([`crate::object::ObjectRegistry`]);
+//! * the object-level memory access trace: which GPU API accessed which
+//!   object, plus per-API read/write/free sets for the dependency graph;
+//! * intra-object access maps (bitmaps, per-API range sets, frequency maps)
+//!   for the objects touched by fully-patched kernels;
+//! * the memory-usage curve behind peak analysis;
+//! * the adaptive GPU-/CPU-side map-placement decisions of Sec. 5.5.
+//!
+//! All pattern detection itself happens offline in
+//! [`crate::analyzer`], on the data gathered here.
+
+use crate::accessmap::{FreqMap, RangeSet};
+use crate::depgraph::VertexAccess;
+use crate::object::{ObjectId, ObjectRegistry, ObjectSource};
+use crate::options::{AnalysisLevel, ProfilerOptions};
+use crate::patterns::intra::IntraObjectData;
+use crate::patterns::AccessVia;
+use crate::peaks::UsageSample;
+use crate::patterns::unified::UnifiedPageStats;
+use gpu_sim::kernel::KernelCounters;
+use gpu_sim::pool::{PoolEvent, PoolObserver};
+use gpu_sim::sanitizer::{KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks, TouchedObject};
+use gpu_sim::unified::{PageMigration, Side};
+use gpu_sim::{AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, StreamId};
+use std::collections::{HashMap, HashSet};
+
+/// One GPU API in the collector's trace (pattern-relevant kinds only).
+#[derive(Debug, Clone)]
+pub struct GpuApi {
+    /// Display name, e.g. `"KERL(0, 1)"`.
+    pub name: String,
+    /// Detail: kernel name, object label, or byte count.
+    pub detail: String,
+    /// Mnemonic (`ALLOC`/`FREE`/`CPY`/`SET`/`KERL`).
+    pub mnemonic: &'static str,
+    /// Stream of the invocation.
+    pub stream: StreamId,
+    /// Host call path.
+    pub call_path: CallPath,
+    /// Object def/use/free sets for dependency construction.
+    pub vertex: VertexAccess,
+    /// Simulated start/end times (for the GUI timeline).
+    pub start_ns: u64,
+    /// Simulated end time.
+    pub end_ns: u64,
+}
+
+/// One object access observed at one GPU API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawAccess {
+    /// Trace index of the accessing API.
+    pub api_idx: usize,
+    /// The accessed object.
+    pub object: ObjectId,
+    /// The API read the object.
+    pub read: bool,
+    /// The API wrote the object.
+    pub write: bool,
+    /// Kind of API.
+    pub via: AccessVia,
+}
+
+/// Where intra-object access maps were updated for one kernel (Sec. 5.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapSide {
+    /// Maps fit on the device: update there, copy results back post-kernel.
+    Gpu,
+    /// Maps would exhaust device memory: stream records to the host.
+    Cpu,
+}
+
+/// One adaptive placement decision.
+#[derive(Debug, Clone)]
+pub struct ModeDecision {
+    /// Kernel name.
+    pub kernel: String,
+    /// Chosen side.
+    pub side: MapSide,
+    /// Total bytes of access maps at decision time.
+    pub map_bytes: u64,
+    /// Live data bytes at decision time.
+    pub data_bytes: u64,
+}
+
+#[derive(Debug)]
+struct IntraState {
+    data: IntraObjectData,
+    /// Ranges touched by the kernel currently executing.
+    current_ranges: RangeSet,
+    freq: Option<FreqMap>,
+}
+
+impl IntraState {
+    fn new(object: ObjectId, size: u64) -> Self {
+        IntraState {
+            data: IntraObjectData::new(object, size),
+            current_ranges: RangeSet::new(),
+            freq: None,
+        }
+    }
+}
+
+/// The online data collector. Register it with
+/// [`gpu_sim::Sanitizer::register`] (and, for pool workloads, with
+/// [`gpu_sim::pool::CachingPool::register_observer`]); the
+/// [`crate::profiler::Profiler`] facade does both.
+#[derive(Debug)]
+pub struct Collector {
+    opts: ProfilerOptions,
+    registry: ObjectRegistry,
+    gpu_apis: Vec<GpuApi>,
+    accesses: Vec<RawAccess>,
+    usage: Vec<UsageSample>,
+    in_use_bytes: u64,
+    intra: HashMap<ObjectId, IntraState>,
+    /// State of the kernel currently executing.
+    current_mode: PatchMode,
+    current_objects: HashMap<ObjectId, (bool, bool)>,
+    current_touched_intra: HashSet<ObjectId>,
+    mode_decisions: Vec<ModeDecision>,
+    /// Last GPU-API trace index seen per stream (for event edges).
+    last_api_on_stream: HashMap<u32, usize>,
+    /// Event id → the GPU API it was recorded after.
+    event_record_points: HashMap<u32, usize>,
+    /// Stream → pending event-sync predecessors for its next GPU API.
+    pending_sync: HashMap<u32, Vec<usize>>,
+    /// Per-page unified-memory migration statistics (the Sec. 8 extension).
+    unified_pages: HashMap<(ObjectId, u32), UnifiedPageStats>,
+    /// Device memory capacity, for the Sec. 5.5 placement decision.
+    device_capacity: u64,
+}
+
+impl Collector {
+    /// Creates a collector with the given options. `device_capacity` is the
+    /// platform's device memory size, used by the adaptive map-placement
+    /// decision.
+    pub fn new(opts: ProfilerOptions, device_capacity: u64) -> Self {
+        Collector {
+            opts,
+            registry: ObjectRegistry::new(),
+            gpu_apis: Vec::new(),
+            accesses: Vec::new(),
+            usage: Vec::new(),
+            in_use_bytes: 0,
+            intra: HashMap::new(),
+            current_mode: PatchMode::None,
+            current_objects: HashMap::new(),
+            current_touched_intra: HashSet::new(),
+            mode_decisions: Vec::new(),
+            last_api_on_stream: HashMap::new(),
+            event_record_points: HashMap::new(),
+            pending_sync: HashMap::new(),
+            unified_pages: HashMap::new(),
+            device_capacity,
+        }
+    }
+
+    /// The options this collector runs with.
+    pub fn options(&self) -> &ProfilerOptions {
+        &self.opts
+    }
+
+    /// The memory map `M`.
+    pub fn registry(&self) -> &ObjectRegistry {
+        &self.registry
+    }
+
+    /// The GPU-API trace gathered so far.
+    pub fn gpu_apis(&self) -> &[GpuApi] {
+        &self.gpu_apis
+    }
+
+    /// All object accesses gathered so far.
+    pub fn accesses(&self) -> &[RawAccess] {
+        &self.accesses
+    }
+
+    /// The memory-usage curve (bytes in use after each GPU API).
+    pub fn usage_curve(&self) -> &[UsageSample] {
+        &self.usage
+    }
+
+    /// Intra-object data for every monitored object.
+    pub fn intra_data(&self) -> Vec<&IntraObjectData> {
+        let mut v: Vec<&IntraObjectData> = self.intra.values().map(|s| &s.data).collect();
+        v.sort_by_key(|d| d.object);
+        v
+    }
+
+    /// Adaptive map-placement decisions (one per fully-patched kernel).
+    pub fn mode_decisions(&self) -> &[ModeDecision] {
+        &self.mode_decisions
+    }
+
+    /// Per-page unified-memory migration statistics, sorted by object and
+    /// page (the Sec. 8 extension's detector input).
+    pub fn unified_page_stats(&self) -> Vec<UnifiedPageStats> {
+        let mut v: Vec<UnifiedPageStats> = self.unified_pages.values().cloned().collect();
+        v.sort_by_key(|p| (p.object, p.page_index));
+        v
+    }
+
+    fn record_usage(&mut self) {
+        self.usage.push(UsageSample {
+            api_idx: self.gpu_apis.len() - 1,
+            bytes_in_use: self.in_use_bytes,
+        });
+    }
+
+    fn push_api(&mut self, event: &ApiEvent, detail: String, mut vertex: VertexAccess) -> usize {
+        // Attach any event-synchronization predecessors waiting on this
+        // stream (cudaStreamWaitEvent before this API).
+        if let Some(preds) = self.pending_sync.remove(&event.stream.0) {
+            vertex.after = preds;
+        }
+        self.last_api_on_stream
+            .insert(event.stream.0, self.gpu_apis.len());
+        self.gpu_apis.push(GpuApi {
+            name: event.display_name(),
+            detail,
+            mnemonic: event.kind.mnemonic(),
+            stream: event.stream,
+            call_path: event.call_path.clone(),
+            vertex,
+            start_ns: event.start.as_ns(),
+            end_ns: event.end.as_ns(),
+        });
+        self.gpu_apis.len() - 1
+    }
+
+    fn note_access(&mut self, api_idx: usize, object: ObjectId, read: bool, write: bool, via: AccessVia) {
+        self.accesses.push(RawAccess {
+            api_idx,
+            object,
+            read,
+            write,
+            via,
+        });
+        let v = &mut self.gpu_apis[api_idx].vertex;
+        if read {
+            v.reads.push(object);
+        }
+        if write {
+            v.writes.push(object);
+        }
+    }
+
+    /// Whether intra-object maps are maintained for `object`.
+    fn monitors_intra(&self, object: ObjectId) -> bool {
+        if self.opts.analysis != AnalysisLevel::IntraObject {
+            return false;
+        }
+        self.registry
+            .get(object)
+            .map(|o| o.source.is_analyzable())
+            .unwrap_or(false)
+    }
+
+    fn intra_state(&mut self, object: ObjectId) -> Option<&mut IntraState> {
+        if !self.monitors_intra(object) {
+            return None;
+        }
+        let size = self.registry.get(object)?.size();
+        Some(
+            self.intra
+                .entry(object)
+                .or_insert_with(|| IntraState::new(object, size)),
+        )
+    }
+
+    /// Applies a range access (from a memcpy/memset, whose accessed range
+    /// the Sanitizer reports directly — paper footnote 4) to the object's
+    /// intra maps, attributed to GPU API `api_idx`.
+    fn intra_range_access(&mut self, api_idx: usize, object: ObjectId, offset: u64, len: u64) {
+        let elem_size = self.opts.elem_size.max(1);
+        let size = self.registry.get(object).map(|o| o.size()).unwrap_or(0);
+        if let Some(st) = self.intra_state(object) {
+            st.data.bitmap.set_range(offset, offset + len);
+            let mut rs = RangeSet::new();
+            rs.insert(offset, offset + len);
+            st.data.per_api.push((api_idx, rs));
+            let lf = st
+                .data
+                .lifetime_freq
+                .get_or_insert_with(|| FreqMap::new(size, elem_size));
+            // One bulk access counts once per touched element.
+            lf.record(offset, u32::try_from(len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX));
+        }
+    }
+
+    /// Resolves a device range to the innermost containing object.
+    fn resolve_range(&self, start: DevicePtr, _len: u64) -> Option<(ObjectId, u64)> {
+        let id = self.registry.resolve(start)?;
+        let base = self.registry.get(id)?.range.start;
+        Some((id, start.offset_from(base)))
+    }
+
+    /// Finishes the currently-executing kernel: attributes object accesses
+    /// to the kernel's trace entry and finalizes intra-object maps.
+    fn finish_kernel(&mut self, touched: &[TouchedObject]) {
+        let api_idx = self.gpu_apis.len().saturating_sub(1);
+        // Object-level attribution: prefer the per-record set (needed for
+        // pool tensors) when fully patched; otherwise the hit-flag summary.
+        if self.current_mode == PatchMode::Full {
+            let objs: Vec<(ObjectId, (bool, bool))> = {
+                let mut v: Vec<_> = self.current_objects.iter().map(|(k, v)| (*k, *v)).collect();
+                v.sort_by_key(|(id, _)| *id);
+                v
+            };
+            for (obj, (read, write)) in objs {
+                self.note_access(api_idx, obj, read, write, AccessVia::Kernel);
+            }
+        } else {
+            for t in touched {
+                if let Some(obj) = self.registry.resolve(t.base) {
+                    self.note_access(api_idx, obj, t.read, t.written, AccessVia::Kernel);
+                }
+            }
+        }
+        // Intra-object finalization for this kernel.
+        let touched_intra: Vec<ObjectId> = self.current_touched_intra.drain().collect();
+        let mut sorted = touched_intra;
+        sorted.sort();
+        for obj in sorted {
+            if let Some(st) = self.intra.get_mut(&obj) {
+                let ranges = std::mem::take(&mut st.current_ranges);
+                if !ranges.is_empty() {
+                    st.data.per_api.push((api_idx, ranges));
+                }
+                if let Some(freq) = &st.freq {
+                    let cov = freq.coefficient_of_variation_pct();
+                    let better = st
+                        .data
+                        .nuaf_peak
+                        .as_ref()
+                        .map(|(_, best, _)| cov > *best)
+                        .unwrap_or(true);
+                    if better && cov > 0.0 {
+                        st.data.nuaf_peak = Some((api_idx, cov, freq.histogram()));
+                    }
+                }
+                st.freq = None;
+            }
+        }
+        self.current_objects.clear();
+        self.current_mode = PatchMode::None;
+    }
+}
+
+impl SanitizerHooks for Collector {
+    fn on_api(&mut self, event: &ApiEvent) {
+        match &event.kind {
+            ApiKind::Malloc { ptr, size, label } => {
+                let api_idx = self.gpu_apis.len();
+                let obj = self.registry.on_alloc(
+                    label.clone(),
+                    AddrRange::new(*ptr, *size),
+                    ObjectSource::Cuda,
+                    api_idx,
+                    true,
+                    event.call_path.clone(),
+                );
+                self.push_api(
+                    event,
+                    label.clone(),
+                    VertexAccess {
+                        stream: event.stream,
+                        writes: vec![obj],
+                        ..Default::default()
+                    },
+                );
+                self.in_use_bytes += size;
+                self.record_usage();
+            }
+            ApiKind::Free { ptr, size, label } => {
+                let api_idx = self.gpu_apis.len();
+                let freed = self.registry.on_free(*ptr, api_idx);
+                self.push_api(
+                    event,
+                    label.clone(),
+                    VertexAccess {
+                        stream: event.stream,
+                        frees: freed.into_iter().collect(),
+                        ..Default::default()
+                    },
+                );
+                self.in_use_bytes = self.in_use_bytes.saturating_sub(*size);
+                self.record_usage();
+            }
+            ApiKind::MemcpyH2D { dst, size } => {
+                let api_idx = self.push_api(
+                    event,
+                    format!("{size}B H2D"),
+                    VertexAccess {
+                        stream: event.stream,
+                        ..Default::default()
+                    },
+                );
+                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
+                    self.note_access(api_idx, obj, false, true, AccessVia::Memcpy);
+                    self.intra_range_access(api_idx, obj, off, *size);
+                }
+                self.record_usage();
+            }
+            ApiKind::MemcpyD2H { src, size } => {
+                let api_idx = self.push_api(
+                    event,
+                    format!("{size}B D2H"),
+                    VertexAccess {
+                        stream: event.stream,
+                        ..Default::default()
+                    },
+                );
+                if let Some((obj, off)) = self.resolve_range(*src, *size) {
+                    self.note_access(api_idx, obj, true, false, AccessVia::Memcpy);
+                    self.intra_range_access(api_idx, obj, off, *size);
+                }
+                self.record_usage();
+            }
+            ApiKind::MemcpyD2D { dst, src, size } => {
+                let api_idx = self.push_api(
+                    event,
+                    format!("{size}B D2D"),
+                    VertexAccess {
+                        stream: event.stream,
+                        ..Default::default()
+                    },
+                );
+                if let Some((obj, off)) = self.resolve_range(*src, *size) {
+                    self.note_access(api_idx, obj, true, false, AccessVia::Memcpy);
+                    self.intra_range_access(api_idx, obj, off, *size);
+                }
+                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
+                    self.note_access(api_idx, obj, false, true, AccessVia::Memcpy);
+                    self.intra_range_access(api_idx, obj, off, *size);
+                }
+                self.record_usage();
+            }
+            ApiKind::Memset { dst, size, .. } => {
+                let api_idx = self.push_api(
+                    event,
+                    format!("{size}B set"),
+                    VertexAccess {
+                        stream: event.stream,
+                        ..Default::default()
+                    },
+                );
+                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
+                    self.note_access(api_idx, obj, false, true, AccessVia::Memset);
+                    self.intra_range_access(api_idx, obj, off, *size);
+                }
+                self.record_usage();
+            }
+            ApiKind::KernelLaunch { name, .. } => {
+                self.push_api(
+                    event,
+                    name.clone(),
+                    VertexAccess {
+                        stream: event.stream,
+                        ..Default::default()
+                    },
+                );
+                self.record_usage();
+            }
+            // Event APIs are not GPU APIs in the paper's sense, but they
+            // order GPU APIs across streams: record where each event was
+            // recorded, and queue an edge for the waiting stream's next API.
+            ApiKind::EventRecord { event: ev } => {
+                if let Some(&idx) = self.last_api_on_stream.get(&event.stream.0) {
+                    self.event_record_points.insert(ev.0, idx);
+                }
+            }
+            ApiKind::EventWait { event: ev } => {
+                if let Some(&idx) = self.event_record_points.get(&ev.0) {
+                    self.pending_sync
+                        .entry(event.stream.0)
+                        .or_default()
+                        .push(idx);
+                }
+            }
+            // Remaining sync/stream-management APIs carry no pattern
+            // information.
+            _ => {}
+        }
+    }
+
+    fn on_kernel_begin(&mut self, info: &KernelInfo) -> PatchMode {
+        let mut mode = match self.opts.analysis {
+            AnalysisLevel::ObjectLevel => PatchMode::HitFlags,
+            AnalysisLevel::IntraObject => {
+                if self.opts.sampling.samples(&info.name, info.instance) {
+                    PatchMode::Full
+                } else {
+                    PatchMode::HitFlags
+                }
+            }
+        };
+        // Pool tensors are invisible to the hit-flag summary (it reports the
+        // backing slab); attribute per record instead.
+        if self.opts.track_pool_tensors
+            && self
+                .registry
+                .live_objects()
+                .any(|o| o.source == ObjectSource::PoolTensor)
+        {
+            mode = PatchMode::Full;
+        }
+        if mode == PatchMode::Full {
+            // Sec. 5.5: place access maps on the GPU iff maps + live data
+            // fit in device memory; otherwise stream records to the CPU.
+            let map_bytes: u64 = self
+                .intra
+                .values()
+                .map(|s| {
+                    s.data.bitmap.footprint_bytes()
+                        + s.freq.as_ref().map(FreqMap::footprint_bytes).unwrap_or(0)
+                })
+                .sum();
+            let data_bytes = self.in_use_bytes;
+            let side = if map_bytes + data_bytes <= self.device_capacity {
+                MapSide::Gpu
+            } else {
+                MapSide::Cpu
+            };
+            self.mode_decisions.push(ModeDecision {
+                kernel: info.name.clone(),
+                side,
+                map_bytes,
+                data_bytes,
+            });
+        }
+        self.current_mode = mode;
+        self.current_objects.clear();
+        self.current_touched_intra.clear();
+        mode
+    }
+
+    fn on_mem_access_buffer(&mut self, _info: &KernelInfo, records: &[MemAccessRecord]) {
+        if self.current_mode != PatchMode::Full {
+            return;
+        }
+        let elem_size = self.opts.elem_size.max(1);
+        for r in records {
+            let Some((obj, off)) = self.resolve_range(r.addr, u64::from(r.size)) else {
+                continue;
+            };
+            let entry = self.current_objects.entry(obj).or_insert((false, false));
+            match r.kind {
+                AccessKind::Read => entry.0 = true,
+                AccessKind::Write => entry.1 = true,
+            }
+            if self.monitors_intra(obj) {
+                let size = self
+                    .registry
+                    .get(obj)
+                    .map(|o| o.size())
+                    .unwrap_or_default();
+                let st = self
+                    .intra
+                    .entry(obj)
+                    .or_insert_with(|| IntraState::new(obj, size));
+                st.data.bitmap.set_range(off, off + u64::from(r.size));
+                st.current_ranges.insert(off, off + u64::from(r.size));
+                // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
+                // created at the kernel's first touch of the object.
+                let freq = st
+                    .freq
+                    .get_or_insert_with(|| FreqMap::new(size, elem_size));
+                freq.record(off, r.size);
+                st.data
+                    .lifetime_freq
+                    .get_or_insert_with(|| FreqMap::new(size, elem_size))
+                    .record(off, r.size);
+                self.current_touched_intra.insert(obj);
+            }
+        }
+    }
+
+    fn on_kernel_end(
+        &mut self,
+        _info: &KernelInfo,
+        touched: &[TouchedObject],
+        _counters: &KernelCounters,
+    ) {
+        self.finish_kernel(touched);
+    }
+
+    fn on_page_migration(&mut self, migration: &PageMigration) {
+        let Some(object) = self.registry.resolve(migration.region_base) else {
+            return;
+        };
+        let Some(base) = self.registry.get(object).map(|o| o.range.start) else {
+            return;
+        };
+        let stats = self
+            .unified_pages
+            .entry((object, migration.page_index))
+            .or_insert_with(|| UnifiedPageStats::new(object, migration.page_index));
+        stats.migrations += 1;
+        let off = migration.cause_addr.offset_from(base);
+        let end = off + u64::from(migration.cause_size);
+        match migration.to {
+            Side::Host => stats.host_ranges.insert(off, end),
+            Side::Device => stats.device_ranges.insert(off, end),
+        }
+    }
+}
+
+impl PoolObserver for Collector {
+    fn on_pool_event(&mut self, event: &PoolEvent) {
+        if !self.opts.track_pool_tensors {
+            return;
+        }
+        match event {
+            PoolEvent::Alloc {
+                ptr,
+                size,
+                label,
+                call_path,
+            } => {
+                // The enclosing cudaMalloc allocation is a pool slab: its
+                // memory is analyzed through the tensors, not as one object.
+                if let Some(slab) = self.registry.resolve(*ptr) {
+                    if self.registry.get(slab).map(|o| o.source) == Some(ObjectSource::Cuda) {
+                        self.registry.reclassify(slab, ObjectSource::PoolSlab);
+                    }
+                }
+                let anchor = self.gpu_apis.len();
+                self.registry.on_alloc(
+                    label.clone(),
+                    AddrRange::new(*ptr, *size),
+                    ObjectSource::PoolTensor,
+                    anchor,
+                    false,
+                    call_path.clone(),
+                );
+            }
+            PoolEvent::Free { ptr, .. } => {
+                let anchor = self.gpu_apis.len();
+                self.registry.on_pool_free(*ptr, anchor);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceContext, LaunchConfig};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    fn attach(ctx: &mut DeviceContext, opts: ProfilerOptions) -> Arc<Mutex<Collector>> {
+        let c = Arc::new(Mutex::new(Collector::new(
+            opts,
+            ctx.config().device_memory_bytes,
+        )));
+        ctx.sanitizer_mut().register(c.clone());
+        c
+    }
+
+    #[test]
+    fn collects_gpu_apis_and_usage_curve() {
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::object_level());
+        let a = ctx.malloc(1000, "a").unwrap();
+        let b = ctx.malloc(2000, "b").unwrap();
+        ctx.free(a).unwrap();
+        ctx.free(b).unwrap();
+        let col = c.lock();
+        assert_eq!(col.gpu_apis().len(), 4);
+        let usage: Vec<u64> = col.usage_curve().iter().map(|s| s.bytes_in_use).collect();
+        assert_eq!(usage, vec![1000, 3000, 2000, 0]);
+        assert_eq!(col.registry().len(), 2);
+        assert_eq!(col.registry().live_count(), 0);
+    }
+
+    #[test]
+    fn memcpy_and_memset_accesses_are_attributed() {
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::object_level());
+        let a = ctx.malloc(64, "a").unwrap();
+        ctx.memset(a, 0, 64).unwrap();
+        ctx.memcpy_h2d(a, &[1u8; 64]).unwrap();
+        let mut out = [0u8; 64];
+        ctx.memcpy_d2h(&mut out, a).unwrap();
+        let col = c.lock();
+        let acc = col.accesses();
+        assert_eq!(acc.len(), 3);
+        assert!(acc[0].write && !acc[0].read);
+        assert_eq!(acc[0].via, AccessVia::Memset);
+        assert!(acc[1].write && !acc[1].read);
+        assert!(acc[2].read && !acc[2].write);
+    }
+
+    #[test]
+    fn kernel_hit_flags_attribute_object_accesses() {
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::object_level());
+        let a = ctx.malloc(64, "a").unwrap();
+        let b = ctx.malloc(64, "b").unwrap();
+        ctx.memset(a, 1, 64).unwrap();
+        ctx.launch("copy", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < 16 {
+                let v = t.load_f32(a + i * 4);
+                t.store_f32(b + i * 4, v);
+            }
+        })
+        .unwrap();
+        let col = c.lock();
+        let kernel_accesses: Vec<&RawAccess> = col
+            .accesses()
+            .iter()
+            .filter(|x| x.via == AccessVia::Kernel)
+            .collect();
+        assert_eq!(kernel_accesses.len(), 2);
+        let obj_a = col.registry().iter().find(|o| o.label == "a").unwrap().id;
+        let a_acc = kernel_accesses.iter().find(|x| x.object == obj_a).unwrap();
+        assert!(a_acc.read && !a_acc.write);
+    }
+
+    #[test]
+    fn intra_mode_builds_bitmaps() {
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::intra_object());
+        let a = ctx.malloc(1000, "a").unwrap();
+        // Kernel touches only the first 100 bytes (25 f32 elements).
+        ctx.launch("partial", LaunchConfig::cover(25, 32), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < 25 {
+                t.store_f32(a + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        let col = c.lock();
+        let intra = col.intra_data();
+        assert_eq!(intra.len(), 1);
+        assert_eq!(intra[0].bitmap.count_set(), 100);
+        assert_eq!(intra[0].per_api.len(), 1);
+        let (_, ranges) = &intra[0].per_api[0];
+        assert_eq!(ranges.ranges(), &[(0, 100)]);
+    }
+
+    #[test]
+    fn sampling_skips_unsampled_instances() {
+        let mut ctx = DeviceContext::new_default();
+        let opts = ProfilerOptions::intra_object()
+            .with_sampling(crate::options::SamplingPolicy::with_period(2));
+        let c = attach(&mut ctx, opts);
+        let a = ctx.malloc(64, "a").unwrap();
+        for _ in 0..4 {
+            ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    t.store_f32(a + i * 4, 2.0);
+                }
+            })
+            .unwrap();
+        }
+        let col = c.lock();
+        // Instances 0 and 2 are sampled: two per-API entries.
+        assert_eq!(col.intra_data()[0].per_api.len(), 2);
+        // Object-level attribution still sees all four kernels (hit flags).
+        let kernel_accesses = col
+            .accesses()
+            .iter()
+            .filter(|x| x.via == AccessVia::Kernel)
+            .count();
+        assert_eq!(kernel_accesses, 4);
+        assert_eq!(col.mode_decisions().len(), 2);
+    }
+
+    #[test]
+    fn event_sync_orders_independent_streams() {
+        use crate::analyzer::build_trace_view;
+        // Producer on stream 1 and consumer on stream 2 touch *different*
+        // objects; only an event orders them. Without the event-sync edge
+        // the two kernels would share a topological wave.
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::object_level());
+        let s1 = ctx.create_stream();
+        let s2 = ctx.create_stream();
+        let a = ctx.malloc(64, "a").unwrap();
+        let b = ctx.malloc(64, "b").unwrap();
+        ctx.launch("produce", LaunchConfig::cover(4, 4), s1, move |t| {
+            let i = t.global_x();
+            if i < 16 {
+                t.store_f32(a + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        let ev = ctx.create_event();
+        ctx.record_event(ev, s1).unwrap();
+        ctx.wait_event(s2, ev).unwrap();
+        ctx.launch("consume", LaunchConfig::cover(4, 4), s2, move |t| {
+            let i = t.global_x();
+            if i < 16 {
+                t.store_f32(b + i * 4, 2.0);
+            }
+        })
+        .unwrap();
+        let col = c.lock();
+        let tv = build_trace_view(&col);
+        // Trace: ALLOC a (0), ALLOC b (1), KERL produce (2), KERL consume (3).
+        assert!(
+            tv.api_ts[3] > tv.api_ts[2],
+            "the event must order consume after produce: {:?}",
+            tv.api_ts
+        );
+    }
+
+    #[test]
+    fn pool_tensors_become_objects_when_tracked() {
+        use gpu_sim::pool::CachingPool;
+        let mut ctx = DeviceContext::new_default();
+        let c = Arc::new(Mutex::new(Collector::new(
+            ProfilerOptions::intra_object().with_pool_tracking(),
+            ctx.config().device_memory_bytes,
+        )));
+        ctx.sanitizer_mut().register(c.clone());
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        pool.register_observer(c.clone());
+        let t = pool.alloc(&mut ctx, 256, "tensor").unwrap();
+        ctx.launch("use", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |tc| {
+            let i = tc.global_x();
+            if i < 4 {
+                tc.store_f32(t + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        pool.free(t).unwrap();
+        let col = c.lock();
+        let tensor = col
+            .registry()
+            .iter()
+            .find(|o| o.label == "tensor")
+            .expect("tensor registered");
+        assert_eq!(tensor.source, ObjectSource::PoolTensor);
+        assert!(tensor.free_api.is_some());
+        assert!(!tensor.free_is_api);
+        // The kernel access attributed to the tensor, not the slab.
+        let acc = col
+            .accesses()
+            .iter()
+            .find(|a| a.object == tensor.id)
+            .expect("tensor access");
+        assert!(acc.write);
+    }
+
+    #[test]
+    fn untracked_pools_are_ignored() {
+        use gpu_sim::pool::CachingPool;
+        let mut ctx = DeviceContext::new_default();
+        let c = attach(&mut ctx, ProfilerOptions::object_level());
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        pool.register_observer(c.clone());
+        let t = pool.alloc(&mut ctx, 256, "tensor").unwrap();
+        pool.free(t).unwrap();
+        let col = c.lock();
+        assert_eq!(col.registry().len(), 1, "only the slab is an object");
+    }
+}

@@ -1,0 +1,286 @@
+//! Machine-readable report export.
+//!
+//! The GUI consumes Perfetto JSON ([`crate::perfetto`]); CI pipelines and
+//! scripts consume this flat JSON form of the [`Report`]. Field names are
+//! stable; unknown fields may be added in minor releases.
+
+use crate::guidance::OverallocGuidance;
+use crate::patterns::{NuafScope, PatternEvidence};
+use crate::report::{Finding, Report};
+use serde_json::{json, Value};
+
+fn guidance_str(g: OverallocGuidance) -> &'static str {
+    match g {
+        OverallocGuidance::EasyWin => "easy_win",
+        OverallocGuidance::LittleBenefit => "little_benefit",
+        OverallocGuidance::DifficultScattered => "difficult_scattered",
+        OverallocGuidance::NoAction => "no_action",
+    }
+}
+
+fn evidence_json(evidence: &PatternEvidence) -> Value {
+    match evidence {
+        PatternEvidence::EarlyAllocation {
+            intervening,
+            distance,
+            first_access,
+        } => json!({
+            "intervening_apis": intervening,
+            "inefficiency_distance": distance,
+            "first_access": first_access.name,
+        }),
+        PatternEvidence::LateDeallocation {
+            intervening,
+            distance,
+            last_access,
+        } => json!({
+            "intervening_apis": intervening,
+            "inefficiency_distance": distance,
+            "last_access": last_access.name,
+        }),
+        PatternEvidence::RedundantAllocation {
+            reuse_label,
+            size_diff_pct,
+            ..
+        } => json!({
+            "reuse_of": reuse_label,
+            "size_diff_pct": size_diff_pct,
+        }),
+        PatternEvidence::UnusedAllocation => json!({}),
+        PatternEvidence::MemoryLeak => json!({}),
+        PatternEvidence::TemporaryIdleness { spans } => json!({
+            "idle_spans": spans.iter().map(|s| json!({
+                "from": s.from.name,
+                "to": s.to.name,
+                "intervening_apis": s.intervening,
+            })).collect::<Vec<_>>(),
+        }),
+        PatternEvidence::DeadWrite { first, second } => json!({
+            "dead_write": first.name,
+            "overwritten_by": second.name,
+        }),
+        PatternEvidence::Overallocation {
+            accessed_pct,
+            fragmentation_pct,
+            guidance,
+            wasted_bytes,
+        } => json!({
+            "accessed_pct": accessed_pct,
+            "fragmentation_pct": fragmentation_pct,
+            "guidance": guidance_str(*guidance),
+            "wasted_bytes": wasted_bytes,
+        }),
+        PatternEvidence::NonUniformAccessFrequency {
+            cov_pct,
+            at_api,
+            scope,
+            ..
+        } => json!({
+            "cov_pct": cov_pct,
+            "at_api": at_api.name,
+            "scope": match scope {
+                NuafScope::PerApi => "per_api",
+                NuafScope::Lifetime => "lifetime",
+            },
+        }),
+        PatternEvidence::StructuredAccess {
+            kernel,
+            slices,
+            max_slice_bytes,
+        } => json!({
+            "kernel": kernel,
+            "slices": slices,
+            "max_slice_bytes": max_slice_bytes,
+        }),
+        PatternEvidence::PageThrashing {
+            page_index,
+            migrations,
+        } => json!({
+            "page_index": page_index,
+            "migrations": migrations,
+        }),
+        PatternEvidence::PageFalseSharing {
+            page_index,
+            migrations,
+            host_bytes,
+            device_bytes,
+        } => json!({
+            "page_index": page_index,
+            "migrations": migrations,
+            "host_bytes": host_bytes,
+            "device_bytes": device_bytes,
+        }),
+    }
+}
+
+fn finding_json(f: &Finding) -> Value {
+    json!({
+        "pattern": f.kind().name(),
+        "code": f.kind().code(),
+        "object": {
+            "label": f.object.label,
+            "size_bytes": f.object.size,
+            "alloc_path": f.object.alloc_path,
+        },
+        "suggestion": f.suggestion,
+        "wasted_bytes": f.wasted_bytes,
+        "at_peak": f.at_peak,
+        "evidence": evidence_json(&f.evidence),
+    })
+}
+
+/// Serializes a report to stable JSON.
+pub fn report_json(report: &Report) -> Value {
+    json!({
+        "tool": "drgpum",
+        "platform": report.platform,
+        "stats": {
+            "gpu_apis": report.stats.gpu_apis,
+            "objects": report.stats.objects,
+            "peak_bytes": report.stats.peak_bytes,
+            "leaked_objects": report.stats.leaked_objects,
+            "leaked_bytes": report.stats.leaked_bytes,
+        },
+        "peaks": report.peaks.iter().map(|p| json!({
+            "api": p.api_name,
+            "bytes": p.bytes,
+            "objects": p.objects.iter().map(|(l, s)| json!({
+                "label": l, "size_bytes": s,
+            })).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+        "findings": report.findings.iter().map(finding_json).collect::<Vec<_>>(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ProfilerOptions;
+    use crate::profiler::Profiler;
+    use gpu_sim::{DeviceContext, LaunchConfig, StreamId};
+
+    #[test]
+    fn report_json_round_trips_and_carries_findings() {
+        let mut ctx = DeviceContext::new_default();
+        let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+        let big = ctx.malloc(100_000, "big").unwrap();
+        let small = ctx.malloc(64, "small").unwrap();
+        ctx.memset(small, 0, 64).unwrap();
+        ctx.launch("touch", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < 4 {
+                t.store_f32(big + i * 4, 0.0);
+            }
+        })
+        .unwrap();
+        ctx.free(big).unwrap();
+        // `small` leaks.
+        let report = profiler.report(&ctx);
+        let v = report_json(&report);
+        let text = serde_json::to_string(&v).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed["tool"], "drgpum");
+        assert_eq!(parsed["stats"]["leaked_objects"], 1);
+        let findings = parsed["findings"].as_array().unwrap();
+        assert!(!findings.is_empty());
+        let oa = findings
+            .iter()
+            .find(|f| f["code"] == "OA")
+            .expect("overallocation present");
+        assert!(oa["evidence"]["accessed_pct"].as_f64().unwrap() < 1.0);
+        assert_eq!(oa["evidence"]["guidance"], "easy_win");
+        let ml = findings.iter().find(|f| f["code"] == "ML").expect("leak");
+        assert_eq!(ml["object"]["label"], "small");
+    }
+
+    #[test]
+    fn every_pattern_serializes() {
+        // Exercise all evidence arms through a synthetic report.
+        use crate::object::{ObjectId, ObjectSource};
+        use crate::patterns::{ApiRef, IdleSpan};
+        use crate::report::ObjectSummary;
+        let api = |name: &str| ApiRef {
+            idx: 0,
+            ts: 0,
+            name: name.to_owned(),
+        };
+        let object = ObjectSummary {
+            id: ObjectId(0),
+            label: "x".to_owned(),
+            size: 128,
+            source: ObjectSource::Cuda,
+            alloc_path: vec![],
+        };
+        let evidences = vec![
+            PatternEvidence::EarlyAllocation {
+                intervening: 2,
+                distance: 3,
+                first_access: api("KERL(0, 0)"),
+            },
+            PatternEvidence::LateDeallocation {
+                intervening: 1,
+                distance: 1,
+                last_access: api("CPY(0, 0)"),
+            },
+            PatternEvidence::RedundantAllocation {
+                reuse_of: ObjectId(1),
+                reuse_label: "y".to_owned(),
+                size_diff_pct: 0.0,
+            },
+            PatternEvidence::UnusedAllocation,
+            PatternEvidence::MemoryLeak,
+            PatternEvidence::TemporaryIdleness {
+                spans: vec![IdleSpan {
+                    from: api("A"),
+                    to: api("B"),
+                    intervening: 5,
+                }],
+            },
+            PatternEvidence::DeadWrite {
+                first: api("SET(0, 0)"),
+                second: api("CPY(0, 1)"),
+            },
+            PatternEvidence::Overallocation {
+                accessed_pct: 5.0,
+                fragmentation_pct: 1.0,
+                guidance: OverallocGuidance::EasyWin,
+                wasted_bytes: 100,
+            },
+            PatternEvidence::NonUniformAccessFrequency {
+                cov_pct: 58.0,
+                at_api: api("KERL(0, 3)"),
+                histogram: vec![(1, 10)],
+                scope: NuafScope::Lifetime,
+            },
+            PatternEvidence::StructuredAccess {
+                kernel: "k3".to_owned(),
+                slices: 8,
+                max_slice_bytes: 128,
+            },
+        ];
+        let report = Report {
+            platform: "rtx3090".to_owned(),
+            findings: evidences
+                .into_iter()
+                .map(|evidence| Finding {
+                    object: object.clone(),
+                    suggestion: "fix it".to_owned(),
+                    wasted_bytes: 0,
+                    at_peak: false,
+                    evidence,
+                })
+                .collect(),
+            peaks: vec![],
+            stats: Default::default(),
+        };
+        let v = report_json(&report);
+        assert_eq!(v["findings"].as_array().unwrap().len(), 10);
+        let codes: Vec<&str> = v["findings"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|f| f["code"].as_str().unwrap())
+            .collect();
+        assert_eq!(codes, ["EA", "LD", "RA", "UA", "ML", "TI", "DW", "OA", "NUAF", "SA"]);
+    }
+}

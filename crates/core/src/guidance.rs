@@ -1,0 +1,114 @@
+//! Optimization guidance for overallocations — the paper's Table 2.
+//!
+//! Two metrics classify an overallocated object: the percentage of accessed
+//! elements and the fragmentation of the unaccessed memory (Eq. 1). Only
+//! objects *low* on both are worth optimization effort.
+
+use std::fmt;
+
+/// The four quadrants of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverallocGuidance {
+    /// Low accessed %, low fragmentation: easy to optimize with nontrivial
+    /// memory savings.
+    EasyWin,
+    /// High accessed %, low fragmentation: shrinking yields little benefit.
+    LittleBenefit,
+    /// Low accessed %, high fragmentation: waste is scattered; difficult.
+    DifficultScattered,
+    /// High accessed %, high fragmentation: no action.
+    NoAction,
+}
+
+impl OverallocGuidance {
+    /// Classifies per Table 2 against the given thresholds (paper default:
+    /// both 80 %).
+    pub fn classify(
+        accessed_pct: f64,
+        fragmentation_pct: f64,
+        accessed_threshold: f64,
+        frag_threshold: f64,
+    ) -> Self {
+        let low_access = accessed_pct < accessed_threshold;
+        let low_frag = fragmentation_pct < frag_threshold;
+        match (low_access, low_frag) {
+            (true, true) => OverallocGuidance::EasyWin,
+            (false, true) => OverallocGuidance::LittleBenefit,
+            (true, false) => OverallocGuidance::DifficultScattered,
+            (false, false) => OverallocGuidance::NoAction,
+        }
+    }
+
+    /// The guidance sentence, paraphrasing Table 2.
+    pub fn advice(self) -> &'static str {
+        match self {
+            OverallocGuidance::EasyWin => {
+                "easy to optimize: shrinking/freeing unaccessed memory yields \
+                 nontrivial memory savings"
+            }
+            OverallocGuidance::LittleBenefit => {
+                "shrinking/freeing unaccessed memory yields little benefit"
+            }
+            OverallocGuidance::DifficultScattered => {
+                "difficult to optimize: unaccessed elements are scattered all \
+                 over the data object"
+            }
+            OverallocGuidance::NoAction => "no action on memory saving",
+        }
+    }
+
+    /// Whether the paper recommends investigating this object (Sec. 3.2:
+    /// "we investigate a data object iff both percentages are less than
+    /// 80 %").
+    pub fn worth_investigating(self) -> bool {
+        self == OverallocGuidance::EasyWin
+    }
+}
+
+impl fmt::Display for OverallocGuidance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.advice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadrants_match_table2() {
+        let c = |a, f| OverallocGuidance::classify(a, f, 80.0, 80.0);
+        assert_eq!(c(5.0, 5.0), OverallocGuidance::EasyWin);
+        assert_eq!(c(95.0, 5.0), OverallocGuidance::LittleBenefit);
+        assert_eq!(c(5.0, 95.0), OverallocGuidance::DifficultScattered);
+        assert_eq!(c(95.0, 95.0), OverallocGuidance::NoAction);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        // Exactly at the threshold counts as "high".
+        let g = OverallocGuidance::classify(80.0, 0.0, 80.0, 80.0);
+        assert_eq!(g, OverallocGuidance::LittleBenefit);
+    }
+
+    #[test]
+    fn only_easy_wins_worth_investigating() {
+        assert!(OverallocGuidance::EasyWin.worth_investigating());
+        assert!(!OverallocGuidance::DifficultScattered.worth_investigating());
+        assert!(!OverallocGuidance::LittleBenefit.worth_investigating());
+        assert!(!OverallocGuidance::NoAction.worth_investigating());
+    }
+
+    #[test]
+    fn advice_is_nonempty() {
+        for g in [
+            OverallocGuidance::EasyWin,
+            OverallocGuidance::LittleBenefit,
+            OverallocGuidance::DifficultScattered,
+            OverallocGuidance::NoAction,
+        ] {
+            assert!(!g.advice().is_empty());
+            assert!(!g.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Data objects and the memory map `M` (Sec. 5.1).
+//!
+//! DrGPUM maintains a memory map from live address ranges to data objects.
+//! At each allocation the range and the unwound call path are inserted; at
+//! each deallocation the record is retired (never discarded — retired objects
+//! still carry findings). Lookups by address are interval searches, exactly
+//! the binary search the paper offloads to the GPU in Fig. 5.
+
+use gpu_sim::{AddrRange, CallPath, DevicePtr};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identity of a data object across its whole lifetime.
+///
+/// Device addresses are reused after `cudaFree`; object ids are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u64);
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// Where an object's memory came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObjectSource {
+    /// A direct `cudaMalloc` allocation.
+    Cuda,
+    /// The backing slab of a caching pool (excluded from pattern findings;
+    /// its tensors are analyzed instead).
+    PoolSlab,
+    /// A tensor carved out of a caching pool via custom allocator APIs
+    /// (Sec. 5.4).
+    PoolTensor,
+}
+
+impl ObjectSource {
+    /// Whether objects from this source participate in pattern detection.
+    pub fn is_analyzable(self) -> bool {
+        !matches!(self, ObjectSource::PoolSlab)
+    }
+}
+
+/// One data object: an allocation observed by the collector.
+#[derive(Debug, Clone)]
+pub struct DataObject {
+    /// Stable id.
+    pub id: ObjectId,
+    /// Program-supplied label (variable name), e.g. `"q_dx"`.
+    pub label: String,
+    /// Base address and requested size.
+    pub range: AddrRange,
+    /// Provenance of the memory.
+    pub source: ObjectSource,
+    /// Index into the GPU-API trace *after* which the object existed: the
+    /// allocation API's own index for CUDA objects, or the number of GPU
+    /// APIs seen so far for pool tensors (whose allocs are not GPU APIs).
+    pub alloc_api: usize,
+    /// Like `alloc_api`, but for the deallocation; `None` while live — and,
+    /// at the end of a run, `None` means the paper's *memory leak* pattern.
+    pub free_api: Option<usize>,
+    /// Host call path at allocation.
+    pub alloc_path: CallPath,
+    /// Whether the allocation API itself is a GPU API in the trace (true for
+    /// `cudaMalloc`, false for pool tensors).
+    pub alloc_is_api: bool,
+    /// Whether the deallocation is a GPU API (`cudaFree`) rather than a
+    /// pool-level free anchored between GPU APIs.
+    pub free_is_api: bool,
+}
+
+impl DataObject {
+    /// Requested size in bytes.
+    pub fn size(&self) -> u64 {
+        self.range.len
+    }
+
+    /// Returns `true` if the object was never deallocated.
+    pub fn leaked(&self) -> bool {
+        self.free_api.is_none()
+    }
+}
+
+/// The memory map `M`: all data objects ever observed, with interval lookup
+/// over the currently-live ones.
+///
+/// # Examples
+///
+/// ```
+/// use drgpum_core::object::{ObjectRegistry, ObjectSource};
+/// use gpu_sim::{AddrRange, CallPath, DevicePtr};
+///
+/// let mut reg = ObjectRegistry::new();
+/// let id = reg.on_alloc(
+///     "weights",
+///     AddrRange::new(DevicePtr::new(0x1000), 64),
+///     ObjectSource::Cuda,
+///     0,
+///     true,
+///     CallPath::empty(),
+/// );
+/// assert_eq!(reg.resolve(DevicePtr::new(0x1020)), Some(id));
+/// reg.on_free(DevicePtr::new(0x1000), 5);
+/// assert_eq!(reg.resolve(DevicePtr::new(0x1020)), None);
+/// assert!(reg.get(id).unwrap().free_api.is_some());
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectRegistry {
+    objects: Vec<DataObject>,
+    /// Live interval index: base address → object id.
+    live: BTreeMap<u64, ObjectId>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ObjectRegistry::default()
+    }
+
+    /// Records an allocation and returns the new object's id.
+    pub fn on_alloc(
+        &mut self,
+        label: impl Into<String>,
+        range: AddrRange,
+        source: ObjectSource,
+        alloc_api: usize,
+        alloc_is_api: bool,
+        alloc_path: CallPath,
+    ) -> ObjectId {
+        let id = ObjectId(self.objects.len() as u64);
+        self.objects.push(DataObject {
+            id,
+            label: label.into(),
+            range,
+            source,
+            alloc_api,
+            free_api: None,
+            alloc_path,
+            alloc_is_api,
+            free_is_api: true,
+        });
+        self.live.insert(range.start.addr(), id);
+        id
+    }
+
+    /// Records a deallocation of the object based at `base`.
+    ///
+    /// Returns the retired object's id, or `None` if no live object starts
+    /// at `base` (e.g. a pool-internal pointer).
+    pub fn on_free(&mut self, base: DevicePtr, free_api: usize) -> Option<ObjectId> {
+        self.on_free_with(base, free_api, true)
+    }
+
+    /// Records a pool-level deallocation anchored *before* GPU API
+    /// `anchor`; the free itself is not a GPU API (Sec. 5.4).
+    pub fn on_pool_free(&mut self, base: DevicePtr, anchor: usize) -> Option<ObjectId> {
+        self.on_free_with(base, anchor, false)
+    }
+
+    fn on_free_with(&mut self, base: DevicePtr, free_api: usize, is_api: bool) -> Option<ObjectId> {
+        let id = self.live.remove(&base.addr())?;
+        let obj = &mut self.objects[id.0 as usize];
+        obj.free_api = Some(free_api);
+        obj.free_is_api = is_api;
+        Some(id)
+    }
+
+    /// Interval lookup: the live object containing `addr`, innermost wins.
+    ///
+    /// When a pool tensor and its backing slab both cover `addr`, the tensor
+    /// (whose base is ≥ the slab's base, and which is registered later) is
+    /// preferred so that accesses attribute to tensors, not slabs.
+    pub fn resolve(&self, addr: DevicePtr) -> Option<ObjectId> {
+        // Walk candidate bases at or below `addr`, nearest first. The first
+        // candidate containing `addr` is the innermost allocation because
+        // inner objects (pool tensors) start at higher-or-equal bases than
+        // their enclosing slab.
+        for (_, &id) in self.live.range(..=addr.addr()).rev() {
+            let obj = &self.objects[id.0 as usize];
+            if obj.range.contains(addr) {
+                return Some(id);
+            }
+            // Bases strictly below a non-containing object can still contain
+            // `addr` (the enclosing slab), so keep scanning a few steps.
+            // Ranges never partially overlap, so once we pass an object whose
+            // *end* is at or below `addr`'s containing slab start we could
+            // stop; in practice nesting depth is ≤ 2, so the scan is short.
+            if obj.range.end().addr() <= addr.addr() && obj.source != ObjectSource::PoolTensor {
+                // A non-tensor object entirely below addr: only an enclosing
+                // slab could still match, keep going.
+                continue;
+            }
+        }
+        None
+    }
+
+    /// The object record for `id`.
+    pub fn get(&self, id: ObjectId) -> Option<&DataObject> {
+        self.objects.get(id.0 as usize)
+    }
+
+    /// Reclassifies an object's provenance. Used when the profiler learns
+    /// that a `cudaMalloc` allocation is actually a pool's backing slab
+    /// (the first pool tensor carved inside it reveals this, Sec. 5.4).
+    pub fn reclassify(&mut self, id: ObjectId, source: ObjectSource) {
+        if let Some(obj) = self.objects.get_mut(id.0 as usize) {
+            obj.source = source;
+        }
+    }
+
+    /// Iterates over all objects ever observed, in allocation order.
+    pub fn iter(&self) -> impl Iterator<Item = &DataObject> {
+        self.objects.iter()
+    }
+
+    /// Number of objects ever observed.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if no objects were observed.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Number of currently-live objects.
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Iterates over currently-live objects in address order.
+    pub fn live_objects(&self) -> impl Iterator<Item = &DataObject> + '_ {
+        self.live.values().map(|id| &self.objects[id.0 as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn range(base: u64, len: u64) -> AddrRange {
+        AddrRange::new(DevicePtr::new(base), len)
+    }
+
+    fn alloc(reg: &mut ObjectRegistry, label: &str, base: u64, len: u64, api: usize) -> ObjectId {
+        reg.on_alloc(label, range(base, len), ObjectSource::Cuda, api, true, CallPath::empty())
+    }
+
+    #[test]
+    fn ids_survive_address_reuse() {
+        let mut reg = ObjectRegistry::new();
+        let a = alloc(&mut reg, "a", 0x1000, 64, 0);
+        reg.on_free(DevicePtr::new(0x1000), 1);
+        let b = alloc(&mut reg, "b", 0x1000, 64, 2);
+        assert_ne!(a, b);
+        assert_eq!(reg.resolve(DevicePtr::new(0x1000)), Some(b));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.get(a).unwrap().leaked());
+    }
+
+    #[test]
+    fn resolve_prefers_inner_pool_tensor() {
+        let mut reg = ObjectRegistry::new();
+        let slab = reg.on_alloc(
+            "slab",
+            range(0x1000, 0x1000),
+            ObjectSource::PoolSlab,
+            0,
+            true,
+            CallPath::empty(),
+        );
+        let tensor = reg.on_alloc(
+            "t",
+            range(0x1200, 0x100),
+            ObjectSource::PoolTensor,
+            1,
+            false,
+            CallPath::empty(),
+        );
+        assert_eq!(reg.resolve(DevicePtr::new(0x1250)), Some(tensor));
+        assert_eq!(reg.resolve(DevicePtr::new(0x1100)), Some(slab));
+        // After the tensor is freed, the slab reclaims the range.
+        reg.on_free(DevicePtr::new(0x1200), 2);
+        assert_eq!(reg.resolve(DevicePtr::new(0x1250)), Some(slab));
+    }
+
+    #[test]
+    fn resolve_misses_outside_any_object() {
+        let mut reg = ObjectRegistry::new();
+        alloc(&mut reg, "a", 0x1000, 64, 0);
+        assert_eq!(reg.resolve(DevicePtr::new(0xFFF)), None);
+        assert_eq!(reg.resolve(DevicePtr::new(0x1040)), None);
+    }
+
+    #[test]
+    fn free_of_unknown_base_is_none() {
+        let mut reg = ObjectRegistry::new();
+        alloc(&mut reg, "a", 0x1000, 64, 0);
+        assert_eq!(reg.on_free(DevicePtr::new(0x1008), 1), None);
+        assert_eq!(reg.live_count(), 1);
+    }
+
+    #[test]
+    fn leaked_objects_detected() {
+        let mut reg = ObjectRegistry::new();
+        let a = alloc(&mut reg, "a", 0x1000, 64, 0);
+        let b = alloc(&mut reg, "b", 0x2000, 64, 1);
+        reg.on_free(DevicePtr::new(0x1000), 2);
+        assert!(!reg.get(a).unwrap().leaked());
+        assert!(reg.get(b).unwrap().leaked());
+    }
+
+    #[test]
+    fn pool_slab_not_analyzable() {
+        assert!(!ObjectSource::PoolSlab.is_analyzable());
+        assert!(ObjectSource::Cuda.is_analyzable());
+        assert!(ObjectSource::PoolTensor.is_analyzable());
+    }
+}

@@ -1,0 +1,146 @@
+//! Unified-memory (CPU-GPU interaction) pattern detectors — the paper's
+//! future-work extension (Sec. 8): page thrashing and page-level false
+//! sharing in unified memory.
+//!
+//! The collector accumulates per-page migration statistics from the
+//! simulator's [`gpu_sim::PageMigration`] events; these detectors classify
+//! pages that bounce between host and device:
+//!
+//! * **page thrashing** — the page migrated at least
+//!   [`crate::options::Thresholds::thrash_min_migrations`] times;
+//! * **page-level false sharing** — a thrashing page where the byte ranges
+//!   the host touches and the byte ranges the device touches are *disjoint*:
+//!   the two processors never share data, only the page. The fix is to
+//!   split or pad the allocation at page boundaries.
+
+use super::{PatternEvidence, PatternFinding};
+use crate::accessmap::RangeSet;
+use crate::object::ObjectId;
+use crate::options::Thresholds;
+
+/// Per-page migration statistics for one managed allocation's page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnifiedPageStats {
+    /// The managed data object.
+    pub object: ObjectId,
+    /// Page index within the object.
+    pub page_index: u32,
+    /// Total host↔device migrations of this page.
+    pub migrations: u64,
+    /// Byte ranges within the object the *host* accesses touched.
+    pub host_ranges: RangeSet,
+    /// Byte ranges within the object the *device* accesses touched.
+    pub device_ranges: RangeSet,
+}
+
+impl UnifiedPageStats {
+    /// Creates an empty record.
+    pub fn new(object: ObjectId, page_index: u32) -> Self {
+        UnifiedPageStats {
+            object,
+            page_index,
+            migrations: 0,
+            host_ranges: RangeSet::new(),
+            device_ranges: RangeSet::new(),
+        }
+    }
+}
+
+/// Classifies every thrashing page.
+pub fn detect_all(pages: &[UnifiedPageStats], thresholds: &Thresholds) -> Vec<PatternFinding> {
+    let mut findings = Vec::new();
+    for p in pages {
+        if p.migrations < thresholds.thrash_min_migrations {
+            continue;
+        }
+        let false_sharing = !p.host_ranges.is_empty()
+            && !p.device_ranges.is_empty()
+            && !p.host_ranges.intersects(&p.device_ranges);
+        let evidence = if false_sharing {
+            PatternEvidence::PageFalseSharing {
+                page_index: p.page_index,
+                migrations: p.migrations,
+                host_bytes: p.host_ranges.covered(),
+                device_bytes: p.device_ranges.covered(),
+            }
+        } else {
+            PatternEvidence::PageThrashing {
+                page_index: p.page_index,
+                migrations: p.migrations,
+            }
+        };
+        findings.push(PatternFinding {
+            object: p.object,
+            evidence,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::PatternKind;
+
+    fn stats(migrations: u64, host: &[(u64, u64)], device: &[(u64, u64)]) -> UnifiedPageStats {
+        UnifiedPageStats {
+            object: ObjectId(0),
+            page_index: 0,
+            migrations,
+            host_ranges: host.iter().copied().collect(),
+            device_ranges: device.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn quiet_pages_are_silent() {
+        let p = stats(2, &[(0, 8)], &[(8, 16)]);
+        assert!(detect_all(&[p], &Thresholds::default()).is_empty());
+    }
+
+    #[test]
+    fn overlapping_touches_are_plain_thrashing() {
+        let p = stats(10, &[(0, 64)], &[(32, 128)]);
+        let f = detect_all(&[p], &Thresholds::default());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind(), PatternKind::PageThrashing);
+    }
+
+    #[test]
+    fn disjoint_touches_are_false_sharing() {
+        // CPU updates the first half of the page, GPU reads the second —
+        // the classic false-sharing layout.
+        let p = stats(10, &[(0, 2048)], &[(2048, 4096)]);
+        let f = detect_all(&[p], &Thresholds::default());
+        assert_eq!(f.len(), 1);
+        match &f[0].evidence {
+            PatternEvidence::PageFalseSharing {
+                migrations,
+                host_bytes,
+                device_bytes,
+                ..
+            } => {
+                assert_eq!(*migrations, 10);
+                assert_eq!(*host_bytes, 2048);
+                assert_eq!(*device_bytes, 2048);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn one_sided_traffic_is_thrashing_not_false_sharing() {
+        // Only the device ever touches the page (e.g. repeated kernel use
+        // after one host init): disjointness needs both sides.
+        let p = stats(10, &[], &[(0, 128)]);
+        let f = detect_all(&[p], &Thresholds::default());
+        assert_eq!(f[0].kind(), PatternKind::PageThrashing);
+    }
+
+    #[test]
+    fn extension_patterns_are_not_paper_patterns() {
+        assert!(!PatternKind::PageThrashing.is_paper_pattern());
+        assert!(!PatternKind::PageFalseSharing.is_paper_pattern());
+        assert!(PatternKind::DeadWrite.is_paper_pattern());
+    }
+}

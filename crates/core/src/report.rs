@@ -1,0 +1,447 @@
+//! The profiler's output: findings with call paths, metrics, optimization
+//! suggestions, and memory-peak context.
+//!
+//! DrGPUM's GUI (Sec. 4, Fig. 7) presents, per GPU API and data object:
+//! call paths, inefficiency patterns, inefficiency distances, and
+//! optimization suggestions, with data objects involved in the top memory
+//! peaks highlighted. This module is the structured form of that output; the
+//! text renderer produces a terminal-friendly equivalent and
+//! [`crate::perfetto`] the GUI feed.
+
+use crate::object::{ObjectId, ObjectSource};
+use crate::patterns::{PatternEvidence, PatternFinding, PatternKind};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// A data object as it appears in the report, with resolved call path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectSummary {
+    /// Stable id.
+    pub id: ObjectId,
+    /// Program label (variable name).
+    pub label: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Provenance.
+    pub source: ObjectSource,
+    /// Resolved allocation call path, innermost frame first.
+    pub alloc_path: Vec<String>,
+}
+
+impl ObjectSummary {
+    /// The innermost allocation frame, if a call path was captured.
+    pub fn alloc_site(&self) -> Option<&str> {
+        self.alloc_path.first().map(String::as_str)
+    }
+}
+
+/// One reported inefficiency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// The affected object.
+    pub object: ObjectSummary,
+    /// The pattern and its evidence.
+    pub evidence: PatternEvidence,
+    /// Actionable suggestion, in the paper's voice.
+    pub suggestion: String,
+    /// Estimated wasted bytes (prioritization key).
+    pub wasted_bytes: u64,
+    /// Whether the object is live at one of the top memory peaks.
+    pub at_peak: bool,
+}
+
+impl Finding {
+    /// The pattern kind.
+    pub fn kind(&self) -> PatternKind {
+        self.evidence.kind()
+    }
+
+    /// Ranking key: peak involvement first, then wasted bytes.
+    pub fn priority(&self) -> (bool, u64) {
+        (self.at_peak, self.wasted_bytes)
+    }
+}
+
+/// One memory peak in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PeakSummary {
+    /// Display name of the GPU API at the peak.
+    pub api_name: String,
+    /// Trace index of that API.
+    pub api_idx: usize,
+    /// Peak bytes.
+    pub bytes: u64,
+    /// Objects live at the peak: `(label, size)`, largest first.
+    pub objects: Vec<(String, u64)>,
+}
+
+/// Aggregate run statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReportStats {
+    /// GPU API invocations observed.
+    pub gpu_apis: u64,
+    /// Data objects observed.
+    pub objects: u64,
+    /// Peak device memory in use.
+    pub peak_bytes: u64,
+    /// Objects never freed.
+    pub leaked_objects: u64,
+    /// Total bytes never freed.
+    pub leaked_bytes: u64,
+}
+
+/// The complete profiling report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Report {
+    /// Platform name the run executed on.
+    pub platform: String,
+    /// Findings, highest priority first.
+    pub findings: Vec<Finding>,
+    /// Top memory peaks (paper default: 2).
+    pub peaks: Vec<PeakSummary>,
+    /// Aggregate statistics.
+    pub stats: ReportStats,
+}
+
+impl Report {
+    /// The set of distinct patterns found — one program's row of Table 1.
+    pub fn patterns_present(&self) -> BTreeSet<PatternKind> {
+        self.findings.iter().map(Finding::kind).collect()
+    }
+
+    /// Returns `true` if any finding has the given pattern.
+    pub fn has_pattern(&self, kind: PatternKind) -> bool {
+        self.findings.iter().any(|f| f.kind() == kind)
+    }
+
+    /// Findings on the object with the given label.
+    pub fn findings_for(&self, label: &str) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.object.label == label)
+            .collect()
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "DrGPUM report — platform {}", self.platform);
+        let _ = writeln!(
+            out,
+            "  {} GPU APIs, {} data objects, peak memory {} bytes",
+            self.stats.gpu_apis, self.stats.objects, self.stats.peak_bytes
+        );
+        if self.stats.leaked_objects > 0 {
+            let _ = writeln!(
+                out,
+                "  {} leaked objects ({} bytes)",
+                self.stats.leaked_objects, self.stats.leaked_bytes
+            );
+        }
+        for (i, peak) in self.peaks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  peak #{}: {} bytes at {}",
+                i + 1,
+                peak.bytes,
+                peak.api_name
+            );
+            for (label, size) in peak.objects.iter().take(5) {
+                let _ = writeln!(out, "    - {label} ({size} bytes)");
+            }
+        }
+        let _ = writeln!(out, "findings ({}):", self.findings.len());
+        for f in &self.findings {
+            let peak_mark = if f.at_peak { " [at peak]" } else { "" };
+            let _ = writeln!(
+                out,
+                "  [{}] {} ({} bytes){}",
+                f.kind().code(),
+                f.object.label,
+                f.object.size,
+                peak_mark
+            );
+            let _ = writeln!(out, "      pattern: {}", f.kind());
+            let _ = writeln!(out, "      suggestion: {}", f.suggestion);
+            if let Some(site) = f.object.alloc_site() {
+                let _ = writeln!(out, "      allocated at: {site}");
+            }
+            match &f.evidence {
+                PatternEvidence::EarlyAllocation {
+                    intervening,
+                    distance,
+                    first_access,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "      {intervening} GPU APIs before first touch {} \
+                         (inefficiency distance {distance})",
+                        first_access.name
+                    );
+                }
+                PatternEvidence::LateDeallocation {
+                    intervening,
+                    distance,
+                    last_access,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "      {intervening} GPU APIs after last touch {} \
+                         (inefficiency distance {distance})",
+                        last_access.name
+                    );
+                }
+                PatternEvidence::Overallocation {
+                    accessed_pct,
+                    fragmentation_pct,
+                    guidance,
+                    wasted_bytes,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "      {accessed_pct:.3}% accessed, {fragmentation_pct:.3}% \
+                         fragmentation, {wasted_bytes} wasted bytes — {guidance}"
+                    );
+                }
+                PatternEvidence::NonUniformAccessFrequency { cov_pct, at_api, .. } => {
+                    let _ = writeln!(
+                        out,
+                        "      access-frequency variance {cov_pct:.1}% at {}",
+                        at_api.name
+                    );
+                }
+                PatternEvidence::TemporaryIdleness { spans } => {
+                    for s in spans.iter().take(3) {
+                        let _ = writeln!(
+                            out,
+                            "      idle for {} GPU APIs between {} and {}",
+                            s.intervening, s.from.name, s.to.name
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Builds the optimization suggestion for one finding, in the paper's voice.
+pub fn suggestion_for(finding: &PatternFinding, object_label: &str) -> String {
+    match &finding.evidence {
+        PatternEvidence::EarlyAllocation { first_access, .. } => format!(
+            "defer the allocation of {object_label} until just before {}",
+            first_access.name
+        ),
+        PatternEvidence::LateDeallocation { last_access, .. } => format!(
+            "free {object_label} immediately after its last-touch GPU API {}",
+            last_access.name
+        ),
+        PatternEvidence::RedundantAllocation { reuse_label, .. } => format!(
+            "reuse the memory of {reuse_label} instead of allocating {object_label}"
+        ),
+        PatternEvidence::UnusedAllocation => format!(
+            "{object_label} is never accessed by GPU APIs; remove or \
+             conditionally bypass its allocation"
+        ),
+        PatternEvidence::MemoryLeak => format!(
+            "{object_label} is never deallocated; pair its allocation with a free"
+        ),
+        PatternEvidence::TemporaryIdleness { spans } => {
+            let longest = spans
+                .iter()
+                .max_by_key(|s| s.intervening)
+                .expect("TI evidence has at least one span");
+            format!(
+                "free or offload {object_label} to the CPU just before {} and \
+                 bring it back just before {}",
+                longest.from.name, longest.to.name
+            )
+        }
+        PatternEvidence::DeadWrite { first, second } => format!(
+            "the write to {object_label} at {} is overwritten by {} without \
+             an intervening read; remove the first write",
+            first.name, second.name
+        ),
+        PatternEvidence::Overallocation { guidance, .. } => format!(
+            "shrink the allocation of {object_label} to the accessed portion \
+             ({})",
+            guidance.advice()
+        ),
+        PatternEvidence::NonUniformAccessFrequency { cov_pct, .. } => format!(
+            "place the hottest slices of {object_label} in shared memory \
+             (access-frequency variance {cov_pct:.0}%)"
+        ),
+        PatternEvidence::PageThrashing {
+            page_index,
+            migrations,
+        } => format!(
+            "page {page_index} of {object_label} migrated {migrations} times \
+             between host and device; batch same-side accesses or prefetch \
+             with cudaMemPrefetchAsync"
+        ),
+        PatternEvidence::PageFalseSharing {
+            page_index,
+            migrations,
+            host_bytes,
+            device_bytes,
+        } => format!(
+            "page {page_index} of {object_label} thrashes ({migrations} \
+             migrations) although the host ({host_bytes} B) and device \
+             ({device_bytes} B) touch disjoint bytes — split or pad \
+             {object_label} at page boundaries to end the false sharing"
+        ),
+        PatternEvidence::StructuredAccess {
+            kernel,
+            slices,
+            max_slice_bytes,
+        } => format!(
+            "{object_label} is accessed as {slices} disjoint slices by the \
+             instances of kernel {kernel}; allocate one {max_slice_bytes}-byte \
+             slice and reuse it across instances"
+        ),
+    }
+}
+
+/// Estimated wasted bytes for prioritization.
+pub fn wasted_bytes_estimate(finding: &PatternFinding, object_size: u64) -> u64 {
+    match &finding.evidence {
+        PatternEvidence::Overallocation { wasted_bytes, .. } => *wasted_bytes,
+        PatternEvidence::UnusedAllocation
+        | PatternEvidence::MemoryLeak
+        | PatternEvidence::EarlyAllocation { .. }
+        | PatternEvidence::LateDeallocation { .. }
+        | PatternEvidence::TemporaryIdleness { .. }
+        | PatternEvidence::RedundantAllocation { .. } => object_size,
+        PatternEvidence::StructuredAccess { max_slice_bytes, .. } => {
+            object_size.saturating_sub(*max_slice_bytes)
+        }
+        // Dead writes, NUAF, and page traffic waste time, not bytes.
+        PatternEvidence::DeadWrite { .. }
+        | PatternEvidence::NonUniformAccessFrequency { .. }
+        | PatternEvidence::PageThrashing { .. }
+        | PatternEvidence::PageFalseSharing { .. } => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::ApiRef;
+
+    fn summary(label: &str) -> ObjectSummary {
+        ObjectSummary {
+            id: ObjectId(0),
+            label: label.to_owned(),
+            size: 1024,
+            source: ObjectSource::Cuda,
+            alloc_path: vec!["alloc_buffers @ app.rs:10".to_owned()],
+        }
+    }
+
+    fn api(name: &str) -> ApiRef {
+        ApiRef {
+            idx: 0,
+            ts: 0,
+            name: name.to_owned(),
+        }
+    }
+
+    #[test]
+    fn suggestions_name_the_apis() {
+        let f = PatternFinding {
+            object: ObjectId(0),
+            evidence: PatternEvidence::EarlyAllocation {
+                intervening: 3,
+                distance: 3,
+                first_access: api("KERL(0, 1)"),
+            },
+        };
+        let s = suggestion_for(&f, "d_data_out1");
+        assert!(s.contains("d_data_out1"));
+        assert!(s.contains("KERL(0, 1)"));
+    }
+
+    #[test]
+    fn wasted_bytes_by_pattern() {
+        let ua = PatternFinding {
+            object: ObjectId(0),
+            evidence: PatternEvidence::UnusedAllocation,
+        };
+        assert_eq!(wasted_bytes_estimate(&ua, 500), 500);
+        let dw = PatternFinding {
+            object: ObjectId(0),
+            evidence: PatternEvidence::DeadWrite {
+                first: api("CPY(0, 0)"),
+                second: api("CPY(0, 1)"),
+            },
+        };
+        assert_eq!(wasted_bytes_estimate(&dw, 500), 0);
+    }
+
+    #[test]
+    fn report_queries() {
+        let report = Report {
+            platform: "rtx3090".to_owned(),
+            findings: vec![Finding {
+                object: summary("q_dx"),
+                evidence: PatternEvidence::MemoryLeak,
+                suggestion: "pair with a free".to_owned(),
+                wasted_bytes: 1024,
+                at_peak: true,
+            }],
+            peaks: vec![],
+            stats: ReportStats::default(),
+        };
+        assert!(report.has_pattern(PatternKind::MemoryLeak));
+        assert!(!report.has_pattern(PatternKind::DeadWrite));
+        assert_eq!(report.findings_for("q_dx").len(), 1);
+        assert_eq!(report.patterns_present().len(), 1);
+    }
+
+    #[test]
+    fn render_text_mentions_pattern_and_suggestion() {
+        let report = Report {
+            platform: "a100".to_owned(),
+            findings: vec![Finding {
+                object: summary("backup"),
+                evidence: PatternEvidence::UnusedAllocation,
+                suggestion: "remove it".to_owned(),
+                wasted_bytes: 1024,
+                at_peak: false,
+            }],
+            peaks: vec![PeakSummary {
+                api_name: "ALLOC(0, 3)".to_owned(),
+                api_idx: 3,
+                bytes: 4096,
+                objects: vec![("backup".to_owned(), 1024)],
+            }],
+            stats: ReportStats {
+                gpu_apis: 10,
+                objects: 4,
+                peak_bytes: 4096,
+                leaked_objects: 0,
+                leaked_bytes: 0,
+            },
+        };
+        let text = report.render_text();
+        assert!(text.contains("[UA] backup"));
+        assert!(text.contains("remove it"));
+        assert!(text.contains("peak #1: 4096 bytes"));
+        assert!(text.contains("allocated at: alloc_buffers"));
+    }
+
+    #[test]
+    fn priority_orders_peak_first() {
+        let mk = |at_peak, wasted| Finding {
+            object: summary("x"),
+            evidence: PatternEvidence::UnusedAllocation,
+            suggestion: String::new(),
+            wasted_bytes: wasted,
+            at_peak,
+        };
+        let small_at_peak = mk(true, 10);
+        let big_off_peak = mk(false, 1000);
+        assert!(small_at_peak.priority() > big_off_peak.priority());
+    }
+}

@@ -1,0 +1,533 @@
+//! Saving and re-analyzing traces offline.
+//!
+//! DrGPUM's workflow splits online collection from offline analysis
+//! (Fig. 1). This module makes that split durable: [`save`] serializes
+//! everything the offline analyzer consumes — the GPU-API trace with object
+//! def/use sets, object metadata with resolved call paths, the usage curve,
+//! and the intra-object access maps — and [`SavedTrace::reanalyze`] re-runs
+//! the detectors on the saved data, possibly with *different thresholds*,
+//! without re-running the program. That is how a user tunes the paper's
+//! user-tunable `X` parameters (Sec. 3) interactively over one recording.
+
+use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
+use crate::analyzer::{self, ObjectMeta};
+use crate::collector::Collector;
+use crate::depgraph::{DependencyGraph, VertexAccess};
+use crate::object::{ObjectId, ObjectSource};
+use crate::options::Thresholds;
+use crate::patterns::intra::IntraObjectData;
+use crate::patterns::unified::UnifiedPageStats;
+use crate::patterns::{ApiRef, ObjectAccess, ObjectView, TraceView};
+use crate::peaks::UsageSample;
+use crate::report::Report;
+use gpu_sim::{FrameTable, StreamId};
+use serde::{Deserialize, Serialize};
+
+/// Serialization format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedApi {
+    name: String,
+    detail: String,
+    mnemonic: String,
+    stream: u32,
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    frees: Vec<u64>,
+    #[serde(default)]
+    after: Vec<usize>,
+    start_ns: u64,
+    end_ns: u64,
+    call_path: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedAccess {
+    api_idx: usize,
+    object: u64,
+    read: bool,
+    write: bool,
+    via: String,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedObject {
+    id: u64,
+    label: String,
+    size: u64,
+    source: String,
+    alloc_api: usize,
+    alloc_is_api: bool,
+    free_api: Option<usize>,
+    free_is_api: bool,
+    alloc_path: Vec<String>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedIntra {
+    object: u64,
+    size: u64,
+    /// Accessed byte ranges (the bitmap, run-length encoded).
+    accessed_ranges: Vec<(u64, u64)>,
+    per_api: Vec<(usize, Vec<(u64, u64)>)>,
+    nuaf_peak: Option<crate::patterns::intra::NuafObservation>,
+    lifetime_elem_size: Option<u32>,
+    /// Sparse nonzero lifetime counts `(element index, count)`.
+    lifetime_counts: Vec<(u64, u32)>,
+}
+
+/// A complete, self-contained recording of one profiled run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavedTrace {
+    /// Format version ([`FORMAT_VERSION`]).
+    pub version: u32,
+    /// Platform name of the recorded run.
+    pub platform: String,
+    apis: Vec<SavedApi>,
+    accesses: Vec<SavedAccess>,
+    objects: Vec<SavedObject>,
+    usage: Vec<(usize, u64)>,
+    intra: Vec<SavedIntra>,
+    #[serde(default)]
+    unified: Vec<SavedUnifiedPage>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SavedUnifiedPage {
+    object: u64,
+    page_index: u32,
+    migrations: u64,
+    host_ranges: Vec<(u64, u64)>,
+    device_ranges: Vec<(u64, u64)>,
+}
+
+fn via_str(via: crate::patterns::AccessVia) -> &'static str {
+    match via {
+        crate::patterns::AccessVia::Memcpy => "memcpy",
+        crate::patterns::AccessVia::Memset => "memset",
+        crate::patterns::AccessVia::Kernel => "kernel",
+    }
+}
+
+fn via_parse(s: &str) -> crate::patterns::AccessVia {
+    match s {
+        "memcpy" => crate::patterns::AccessVia::Memcpy,
+        "memset" => crate::patterns::AccessVia::Memset,
+        _ => crate::patterns::AccessVia::Kernel,
+    }
+}
+
+fn source_str(s: ObjectSource) -> &'static str {
+    match s {
+        ObjectSource::Cuda => "cuda",
+        ObjectSource::PoolSlab => "pool_slab",
+        ObjectSource::PoolTensor => "pool_tensor",
+    }
+}
+
+fn source_parse(s: &str) -> ObjectSource {
+    match s {
+        "pool_slab" => ObjectSource::PoolSlab,
+        "pool_tensor" => ObjectSource::PoolTensor,
+        _ => ObjectSource::Cuda,
+    }
+}
+
+/// Serializes a collector's recording.
+pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> SavedTrace {
+    let resolve = |path: &gpu_sim::CallPath| -> Vec<String> {
+        path.frames()
+            .iter()
+            .rev()
+            .map(|id| {
+                frames
+                    .resolve(*id)
+                    .map(|l| l.to_string())
+                    .unwrap_or_else(|| format!("<unknown frame {}>", id.0))
+            })
+            .collect()
+    };
+    let apis = collector
+        .gpu_apis()
+        .iter()
+        .map(|a| SavedApi {
+            name: a.name.clone(),
+            detail: a.detail.clone(),
+            mnemonic: a.mnemonic.to_owned(),
+            stream: a.stream.0,
+            reads: a.vertex.reads.iter().map(|o| o.0).collect(),
+            writes: a.vertex.writes.iter().map(|o| o.0).collect(),
+            frees: a.vertex.frees.iter().map(|o| o.0).collect(),
+            after: a.vertex.after.clone(),
+            start_ns: a.start_ns,
+            end_ns: a.end_ns,
+            call_path: resolve(&a.call_path),
+        })
+        .collect();
+    let accesses = collector
+        .accesses()
+        .iter()
+        .map(|a| SavedAccess {
+            api_idx: a.api_idx,
+            object: a.object.0,
+            read: a.read,
+            write: a.write,
+            via: via_str(a.via).to_owned(),
+        })
+        .collect();
+    let objects = collector
+        .registry()
+        .iter()
+        .map(|o| SavedObject {
+            id: o.id.0,
+            label: o.label.clone(),
+            size: o.size(),
+            source: source_str(o.source).to_owned(),
+            alloc_api: o.alloc_api,
+            alloc_is_api: o.alloc_is_api,
+            free_api: o.free_api,
+            free_is_api: o.free_is_api,
+            alloc_path: resolve(&o.alloc_path),
+        })
+        .collect();
+    let usage = collector
+        .usage_curve()
+        .iter()
+        .map(|s| (s.api_idx, s.bytes_in_use))
+        .collect();
+    let intra = collector
+        .intra_data()
+        .iter()
+        .map(|d| {
+            // Run-length encode the bitmap as its accessed ranges.
+            let mut accessed_ranges = Vec::new();
+            let mut run: Option<u64> = None;
+            for i in 0..=d.bitmap.len() {
+                let set = i < d.bitmap.len() && d.bitmap.is_set(i);
+                match (set, run) {
+                    (true, None) => run = Some(i),
+                    (false, Some(s)) => {
+                        accessed_ranges.push((s, i));
+                        run = None;
+                    }
+                    _ => {}
+                }
+            }
+            SavedIntra {
+                object: d.object.0,
+                size: d.bitmap.len(),
+                accessed_ranges,
+                per_api: d
+                    .per_api
+                    .iter()
+                    .map(|(idx, rs)| (*idx, rs.ranges().to_vec()))
+                    .collect(),
+                nuaf_peak: d.nuaf_peak.clone(),
+                lifetime_elem_size: d.lifetime_freq.as_ref().map(FreqMap::elem_size),
+                lifetime_counts: d
+                    .lifetime_freq
+                    .as_ref()
+                    .map(|f| {
+                        f.counts()
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c > 0)
+                            .map(|(i, &c)| (i as u64, c))
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }
+        })
+        .collect();
+    let unified = collector
+        .unified_page_stats()
+        .iter()
+        .map(|p| SavedUnifiedPage {
+            object: p.object.0,
+            page_index: p.page_index,
+            migrations: p.migrations,
+            host_ranges: p.host_ranges.ranges().to_vec(),
+            device_ranges: p.device_ranges.ranges().to_vec(),
+        })
+        .collect();
+    SavedTrace {
+        version: FORMAT_VERSION,
+        platform: platform.to_owned(),
+        apis,
+        accesses,
+        objects,
+        usage,
+        intra,
+        unified,
+    }
+}
+
+impl SavedTrace {
+    /// Number of GPU APIs in the recording.
+    pub fn api_count(&self) -> usize {
+        self.apis.len()
+    }
+
+    /// Number of data objects in the recording.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Rebuilds the trace view (with fresh topological timestamps) from
+    /// the recording.
+    fn rebuild(&self) -> (TraceView, Vec<IntraObjectData>, Vec<UsageSample>, Vec<ObjectMeta>) {
+        let vertices: Vec<VertexAccess> = self
+            .apis
+            .iter()
+            .map(|a| VertexAccess {
+                stream: StreamId(a.stream),
+                reads: a.reads.iter().map(|&o| ObjectId(o)).collect(),
+                writes: a.writes.iter().map(|&o| ObjectId(o)).collect(),
+                frees: a.frees.iter().map(|&o| ObjectId(o)).collect(),
+                after: a.after.clone(),
+            })
+            .collect();
+        let graph = DependencyGraph::build(&vertices);
+        let api_ts = graph.timestamps().to_vec();
+        let api_names: Vec<String> = self.apis.iter().map(|a| a.name.clone()).collect();
+        let api_kernels: Vec<Option<String>> = self
+            .apis
+            .iter()
+            .map(|a| (a.mnemonic == "KERL").then(|| a.detail.clone()))
+            .collect();
+        let api_is_dealloc: Vec<bool> = self.apis.iter().map(|a| a.mnemonic == "FREE").collect();
+
+        let mut per_object: std::collections::HashMap<u64, Vec<ObjectAccess>> =
+            std::collections::HashMap::new();
+        for acc in &self.accesses {
+            per_object.entry(acc.object).or_default().push(ObjectAccess {
+                api: ApiRef {
+                    idx: acc.api_idx,
+                    ts: api_ts[acc.api_idx],
+                    name: api_names[acc.api_idx].clone(),
+                },
+                read: acc.read,
+                write: acc.write,
+                via: via_parse(&acc.via),
+            });
+        }
+        let objects: Vec<ObjectView> = self
+            .objects
+            .iter()
+            .map(|o| {
+                let mut accesses = per_object.remove(&o.id).unwrap_or_default();
+                accesses.sort_by_key(|a| (a.api.ts, a.api.idx));
+                let mk_ref = |idx: usize| ApiRef {
+                    idx,
+                    ts: api_ts[idx],
+                    name: api_names[idx].clone(),
+                };
+                let source = source_parse(&o.source);
+                ObjectView {
+                    id: ObjectId(o.id),
+                    label: o.label.clone(),
+                    size: o.size,
+                    alloc: o.alloc_is_api.then(|| mk_ref(o.alloc_api)),
+                    alloc_anchor: o.alloc_api,
+                    free: match (o.free_api, o.free_is_api) {
+                        (Some(idx), true) => Some(mk_ref(idx)),
+                        _ => None,
+                    },
+                    free_anchor: match (o.free_api, o.free_is_api) {
+                        (Some(idx), false) => Some(idx),
+                        _ => None,
+                    },
+                    accesses,
+                    analyzable: source.is_analyzable(),
+                }
+            })
+            .collect();
+        let trace = TraceView {
+            api_ts,
+            api_names,
+            api_kernels,
+            api_is_dealloc,
+            objects,
+        };
+
+        let intra: Vec<IntraObjectData> = self
+            .intra
+            .iter()
+            .map(|s| {
+                let mut bitmap = AccessBitmap::new(s.size);
+                for &(a, b) in &s.accessed_ranges {
+                    bitmap.set_range(a, b);
+                }
+                let per_api = s
+                    .per_api
+                    .iter()
+                    .map(|(idx, ranges)| {
+                        let rs: RangeSet = ranges.iter().copied().collect();
+                        (*idx, rs)
+                    })
+                    .collect();
+                let lifetime_freq = s.lifetime_elem_size.map(|elem| {
+                    let mut f = FreqMap::new(s.size, elem);
+                    for &(i, c) in &s.lifetime_counts {
+                        for _ in 0..c {
+                            f.record(i * u64::from(elem), 1);
+                        }
+                    }
+                    f
+                });
+                IntraObjectData {
+                    object: ObjectId(s.object),
+                    bitmap,
+                    per_api,
+                    nuaf_peak: s.nuaf_peak.clone(),
+                    lifetime_freq,
+                }
+            })
+            .collect();
+
+        let usage: Vec<UsageSample> = self
+            .usage
+            .iter()
+            .map(|&(api_idx, bytes_in_use)| UsageSample {
+                api_idx,
+                bytes_in_use,
+            })
+            .collect();
+
+        let metas: Vec<ObjectMeta> = self
+            .objects
+            .iter()
+            .map(|o| ObjectMeta {
+                id: ObjectId(o.id),
+                label: o.label.clone(),
+                size: o.size,
+                source: source_parse(&o.source),
+                alloc_path: o.alloc_path.clone(),
+                alloc_api: o.alloc_api,
+                free_api: o.free_api,
+            })
+            .collect();
+
+        (trace, intra, usage, metas)
+    }
+
+    /// Re-runs the full offline analysis on the recording, with arbitrary
+    /// thresholds — no program re-run needed.
+    pub fn reanalyze(&self, thresholds: &Thresholds) -> Report {
+        let (trace, intra, usage, metas) = self.rebuild();
+        let unified: Vec<UnifiedPageStats> = self
+            .unified
+            .iter()
+            .map(|p| UnifiedPageStats {
+                object: ObjectId(p.object),
+                page_index: p.page_index,
+                migrations: p.migrations,
+                host_ranges: p.host_ranges.iter().copied().collect(),
+                device_ranges: p.device_ranges.iter().copied().collect(),
+            })
+            .collect();
+        analyzer::assemble_report(&trace, &intra, &usage, &metas, &unified, thresholds, &self.platform)
+    }
+
+    /// Serializes to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error (never expected for valid traces).
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserializes from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse error on malformed input or a future format version.
+    pub fn from_json(text: &str) -> serde_json::Result<Self> {
+        let t: SavedTrace = serde_json::from_str(text)?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::ProfilerOptions;
+    use crate::profiler::Profiler;
+    use gpu_sim::{DeviceContext, LaunchConfig, StreamId};
+
+    fn record() -> (SavedTrace, Report) {
+        let mut ctx = DeviceContext::new_default();
+        let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+        let early = ctx.malloc(4096, "early").unwrap();
+        let other = ctx.malloc(4096, "other").unwrap();
+        ctx.memset(other, 0, 4096).unwrap();
+        ctx.memset(other, 1, 4096).unwrap();
+        ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < 16 {
+                t.store_f32(early + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        ctx.free(other).unwrap();
+        // `early` leaks.
+        let live_report = profiler.report(&ctx);
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        let saved = save(&collector, ctx.call_stack().table(), "rtx3090");
+        (saved, live_report)
+    }
+
+    #[test]
+    fn reanalysis_reproduces_the_live_report() {
+        let (saved, live) = record();
+        let replayed = saved.reanalyze(&Thresholds::default());
+        assert_eq!(live.stats, replayed.stats);
+        assert_eq!(live.patterns_present(), replayed.patterns_present());
+        assert_eq!(live.findings.len(), replayed.findings.len());
+        for (a, b) in live.findings.iter().zip(&replayed.findings) {
+            assert_eq!(a.kind(), b.kind());
+            assert_eq!(a.object.label, b.object.label);
+            assert_eq!(a.suggestion, b.suggestion);
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let (saved, _) = record();
+        let text = saved.to_json().unwrap();
+        let back = SavedTrace::from_json(&text).unwrap();
+        assert_eq!(back.api_count(), saved.api_count());
+        assert_eq!(back.object_count(), saved.object_count());
+        let a = saved.reanalyze(&Thresholds::default());
+        let b = back.reanalyze(&Thresholds::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn thresholds_can_be_retuned_offline() {
+        let (saved, _) = record();
+        // Default idleness threshold (2) sees the `early` object idle
+        // between its kernel write and… nothing; instead tune the
+        // early-allocation-adjacent knob: the overallocation threshold.
+        let strict = saved.reanalyze(&Thresholds::default());
+        let lax = Thresholds {
+            overalloc_accessed_pct: 0.0, // nothing is overallocated now
+            ..Thresholds::default()
+        };
+        let relaxed = saved.reanalyze(&lax);
+        use crate::patterns::PatternKind;
+        assert!(strict.has_pattern(PatternKind::Overallocation));
+        assert!(!relaxed.has_pattern(PatternKind::Overallocation));
+    }
+
+    #[test]
+    fn version_is_stamped() {
+        let (saved, _) = record();
+        assert_eq!(saved.version, FORMAT_VERSION);
+        let text = saved.to_json().unwrap();
+        assert!(text.contains("\"version\":1"));
+    }
+}

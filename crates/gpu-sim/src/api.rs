@@ -1,0 +1,1139 @@
+//! The device context: a CUDA-like runtime API over the simulated GPU.
+//!
+//! [`DeviceContext`] exposes the GPU APIs the DrGPUM paper reasons about —
+//! memory allocation, deallocation, copy, and set, plus kernel launches
+//! (Sec. 3, footnote 1) — together with streams, events, host call-path
+//! tracking, and the Sanitizer-style instrumentation registry.
+
+use crate::callstack::{CallPath, CallStack, SourceLoc};
+use crate::config::PlatformConfig;
+use crate::error::{Result, SimError};
+use crate::kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
+use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
+use crate::sanitizer::{AccessSink, KernelInfo, PatchMode, Sanitizer};
+use crate::stream::{EventId, SimTime, StreamId, StreamSet};
+use crate::unified::{Side, UnifiedManager};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind (and operands) of one GPU API invocation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ApiKind {
+    /// `cudaMalloc`: a new device allocation.
+    Malloc {
+        /// Base pointer of the allocation.
+        ptr: DevicePtr,
+        /// Requested size in bytes.
+        size: u64,
+        /// Human-readable object label supplied by the program.
+        label: String,
+    },
+    /// `cudaFree`.
+    Free {
+        /// Base pointer being freed.
+        ptr: DevicePtr,
+        /// Size of the freed allocation.
+        size: u64,
+        /// Label given at allocation time.
+        label: String,
+    },
+    /// Host-to-device `cudaMemcpy`.
+    MemcpyH2D {
+        /// Destination device range start.
+        dst: DevicePtr,
+        /// Bytes copied.
+        size: u64,
+    },
+    /// Device-to-host `cudaMemcpy`.
+    MemcpyD2H {
+        /// Source device range start.
+        src: DevicePtr,
+        /// Bytes copied.
+        size: u64,
+    },
+    /// Device-to-device `cudaMemcpy`.
+    MemcpyD2D {
+        /// Destination device range start.
+        dst: DevicePtr,
+        /// Source device range start.
+        src: DevicePtr,
+        /// Bytes copied.
+        size: u64,
+    },
+    /// `cudaMemset`.
+    Memset {
+        /// Destination device range start.
+        dst: DevicePtr,
+        /// Bytes set.
+        size: u64,
+        /// Fill value.
+        value: u8,
+    },
+    /// A kernel launch.
+    KernelLaunch {
+        /// Kernel name.
+        name: String,
+        /// Grid extent.
+        grid: Dim3,
+        /// Block extent.
+        block: Dim3,
+    },
+    /// `cudaStreamCreate`.
+    StreamCreate {
+        /// The created stream.
+        stream: StreamId,
+    },
+    /// `cudaEventRecord`.
+    EventRecord {
+        /// The recorded event.
+        event: EventId,
+    },
+    /// `cudaStreamWaitEvent`.
+    EventWait {
+        /// The awaited event.
+        event: EventId,
+    },
+    /// `cudaStreamSynchronize`.
+    StreamSync,
+    /// `cudaDeviceSynchronize`.
+    DeviceSync,
+}
+
+impl ApiKind {
+    /// Returns `true` for the five kinds the paper counts as "GPU APIs" for
+    /// pattern analysis: allocation, deallocation, copy, set, kernel launch.
+    pub fn is_gpu_api(&self) -> bool {
+        matches!(
+            self,
+            ApiKind::Malloc { .. }
+                | ApiKind::Free { .. }
+                | ApiKind::MemcpyH2D { .. }
+                | ApiKind::MemcpyD2H { .. }
+                | ApiKind::MemcpyD2D { .. }
+                | ApiKind::Memset { .. }
+                | ApiKind::KernelLaunch { .. }
+        )
+    }
+
+    /// Short mnemonic used in traces and the GUI (`ALLOC`, `FREE`, `CPY`,
+    /// `SET`, `KERL`, matching the paper's Figure 7 vocabulary).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            ApiKind::Malloc { .. } => "ALLOC",
+            ApiKind::Free { .. } => "FREE",
+            ApiKind::MemcpyH2D { .. } | ApiKind::MemcpyD2H { .. } | ApiKind::MemcpyD2D { .. } => {
+                "CPY"
+            }
+            ApiKind::Memset { .. } => "SET",
+            ApiKind::KernelLaunch { .. } => "KERL",
+            ApiKind::StreamCreate { .. } => "STREAM",
+            ApiKind::EventRecord { .. } => "EVREC",
+            ApiKind::EventWait { .. } => "EVWAIT",
+            ApiKind::StreamSync => "SSYNC",
+            ApiKind::DeviceSync => "DSYNC",
+        }
+    }
+}
+
+/// One GPU API invocation, as observed by the instrumentation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApiEvent {
+    /// Global invocation sequence number (host order).
+    pub seq: u64,
+    /// Stream the API was dispatched on.
+    pub stream: StreamId,
+    /// Ordinal of this API within its stream — the `j` of the paper's
+    /// `ALLOC(i, j)` naming.
+    pub ordinal_in_stream: u64,
+    /// The kind and operands.
+    pub kind: ApiKind,
+    /// Host call path at the invocation.
+    pub call_path: CallPath,
+    /// Simulated start time.
+    pub start: SimTime,
+    /// Simulated end time.
+    pub end: SimTime,
+}
+
+impl ApiEvent {
+    /// `MNEMONIC(stream, ordinal)` — the paper's Figure 7 naming.
+    pub fn display_name(&self) -> String {
+        format!(
+            "{}({}, {})",
+            self.kind.mnemonic(),
+            self.stream.0,
+            self.ordinal_in_stream
+        )
+    }
+}
+
+/// Aggregate context statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextStats {
+    /// Number of GPU API invocations (pattern-relevant kinds only).
+    pub gpu_api_calls: u64,
+    /// Number of kernel launches.
+    pub kernel_launches: u64,
+    /// Total memory-access records observed by instrumentation.
+    pub instrumented_accesses: u64,
+}
+
+/// A simulated GPU device context — the top-level entry point of `gpu-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceContext, LaunchConfig};
+///
+/// # fn main() -> Result<(), gpu_sim::SimError> {
+/// let mut ctx = DeviceContext::new_default();
+/// let buf = ctx.malloc(4 * 16, "numbers")?;
+/// ctx.h2d_f32(buf, &[1.0; 16])?;
+/// ctx.launch("double", LaunchConfig::cover(16, 16), gpu_sim::StreamId::DEFAULT,
+///     |t| {
+///         let i = t.global_x();
+///         if i < 16 {
+///             let p = buf + i * 4;
+///             let v = t.load_f32(p);
+///             t.store_f32(p, v * 2.0);
+///         }
+///     })?;
+/// let mut out = [0.0f32; 16];
+/// ctx.d2h_f32(&mut out, buf)?;
+/// assert_eq!(out[7], 2.0);
+/// ctx.free(buf)?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct DeviceContext {
+    config: PlatformConfig,
+    mem: PagedStore,
+    alloc: DeviceAllocator,
+    streams: StreamSet,
+    sanitizer: Sanitizer,
+    call_stack: CallStack,
+    unified: UnifiedManager,
+    log: Vec<ApiEvent>,
+    seq: u64,
+    kernel_instances: HashMap<String, u64>,
+    labels: HashMap<DevicePtr, String>,
+    stats: ContextStats,
+}
+
+impl fmt::Debug for DeviceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeviceContext")
+            .field("platform", &self.config.name)
+            .field("api_calls", &self.seq)
+            .field("in_use_bytes", &self.alloc.stats().in_use_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DeviceContext {
+    /// Creates a context for the given platform.
+    pub fn new(config: PlatformConfig) -> Self {
+        let alloc = DeviceAllocator::new(config.device_memory_bytes);
+        DeviceContext {
+            config,
+            mem: PagedStore::new(),
+            alloc,
+            streams: StreamSet::new(),
+            sanitizer: Sanitizer::new(),
+            call_stack: CallStack::new(),
+            unified: UnifiedManager::new(),
+            log: Vec::new(),
+            seq: 0,
+            kernel_instances: HashMap::new(),
+            labels: HashMap::new(),
+            stats: ContextStats::default(),
+        }
+    }
+
+    /// Creates a context for the default platform ([`PlatformConfig::rtx3090`]).
+    pub fn new_default() -> Self {
+        DeviceContext::new(PlatformConfig::default())
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The device allocator (live allocations, peak statistics).
+    pub fn allocator(&self) -> &DeviceAllocator {
+        &self.alloc
+    }
+
+    /// Read access to raw device memory (for host-side validation in tests).
+    pub fn memory(&self) -> &PagedStore {
+        &self.mem
+    }
+
+    /// The Sanitizer registry, for registering profiling tools.
+    pub fn sanitizer_mut(&mut self) -> &mut Sanitizer {
+        &mut self.sanitizer
+    }
+
+    /// Read access to the Sanitizer registry.
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// The host call stack (push/pop frames around GPU calls).
+    pub fn call_stack(&self) -> &CallStack {
+        &self.call_stack
+    }
+
+    /// Current simulated host time.
+    pub fn now(&self) -> SimTime {
+        self.streams.host_now()
+    }
+
+    /// The full API log, in host invocation order.
+    pub fn api_log(&self) -> &[ApiEvent] {
+        &self.log
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> ContextStats {
+        self.stats
+    }
+
+    /// Pushes a host call-stack frame; pair with [`DeviceContext::pop_frame`].
+    pub fn push_frame(&mut self, loc: SourceLoc) {
+        self.call_stack.push(loc);
+    }
+
+    /// Pops the innermost host call-stack frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pop without a matching push.
+    pub fn pop_frame(&mut self) {
+        self.call_stack.pop();
+    }
+
+    /// Runs `f` inside a host call-stack frame — the ergonomic way for
+    /// simulated programs to build realistic call paths.
+    pub fn with_frame<R>(&mut self, loc: SourceLoc, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_frame(loc);
+        let r = f(self);
+        self.pop_frame();
+        r
+    }
+
+    fn emit(&mut self, stream: StreamId, ordinal: u64, kind: ApiKind, start: SimTime, end: SimTime) {
+        if kind.is_gpu_api() {
+            self.stats.gpu_api_calls += 1;
+        }
+        let event = ApiEvent {
+            seq: self.seq,
+            stream,
+            ordinal_in_stream: ordinal,
+            kind,
+            call_path: self.call_stack.capture(),
+            start,
+            end,
+        };
+        self.seq += 1;
+        self.sanitizer.dispatch_api(&event);
+        self.log.push(event);
+    }
+
+    // ----------------------------------------------------------------- memory
+
+    /// Allocates `size` bytes of device memory (`cudaMalloc`).
+    ///
+    /// The `label` names the data object in reports (real DrGPUM recovers
+    /// names from call paths; the simulator lets programs pass them
+    /// directly while *also* recording the call path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] or [`SimError::ZeroSizedAllocation`].
+    pub fn malloc(&mut self, size: u64, label: impl Into<String>) -> Result<DevicePtr> {
+        let info = self.alloc.malloc(size)?;
+        let label = label.into();
+        self.labels.insert(info.ptr, label.clone());
+        let dur = self.config.malloc_overhead_ns;
+        let (start, end, ordinal) = self.streams.enqueue_sync(StreamId::DEFAULT, dur)?;
+        self.emit(
+            StreamId::DEFAULT,
+            ordinal,
+            ApiKind::Malloc {
+                ptr: info.ptr,
+                size,
+                label,
+            },
+            start,
+            end,
+        );
+        Ok(info.ptr)
+    }
+
+    /// Frees a device allocation (`cudaFree`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFree`] if `ptr` is not a live allocation
+    /// base.
+    pub fn free(&mut self, ptr: DevicePtr) -> Result<()> {
+        let info = self.alloc.free(ptr)?;
+        self.unified.unregister(ptr);
+        self.mem.discard(info.ptr, info.size);
+        let label = self.labels.remove(&ptr).unwrap_or_default();
+        let dur = self.config.free_overhead_ns;
+        let (start, end, ordinal) = self.streams.enqueue_sync(StreamId::DEFAULT, dur)?;
+        self.emit(
+            StreamId::DEFAULT,
+            ordinal,
+            ApiKind::Free {
+                ptr,
+                size: info.size,
+                label,
+            },
+            start,
+            end,
+        );
+        Ok(())
+    }
+
+    /// The label given to a live allocation, if any.
+    pub fn label_of(&self, ptr: DevicePtr) -> Option<&str> {
+        self.labels.get(&ptr).map(String::as_str)
+    }
+
+    /// The unified-memory residency tracker (for tests and tools).
+    pub fn unified(&self) -> &UnifiedManager {
+        &self.unified
+    }
+
+    /// Allocates `size` bytes of *managed* (unified) memory
+    /// (`cudaMallocManaged`): addressable from both host and device, with
+    /// per-page residency and migration-on-access (the paper's future-work
+    /// substrate, Sec. 8). Pages start host-resident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] or [`SimError::ZeroSizedAllocation`].
+    pub fn malloc_managed(&mut self, size: u64, label: impl Into<String>) -> Result<DevicePtr> {
+        let ptr = self.malloc(size, label)?;
+        self.unified.register(ptr, size);
+        Ok(ptr)
+    }
+
+    fn host_touch(&mut self, addr: DevicePtr, size: u64) -> Result<()> {
+        self.check_device_range(addr, size)?;
+        if !self.unified.is_managed(addr) {
+            return Err(SimError::OutOfBounds { addr, size });
+        }
+        // Host accesses block until the pages fault back.
+        let migrations = self.unified.ensure_resident(addr, size, Side::Host);
+        for m in &migrations {
+            self.sanitizer.dispatch_page_migration(m);
+        }
+        let cost = migrations.len() as u64 * self.config.page_migration_ns;
+        self.streams
+            .advance_host((cost as f64 * self.config.cpu_factor) as u64);
+        Ok(())
+    }
+
+    /// Host-side write of an `f32` slice into managed memory (a plain CPU
+    /// store to unified memory — *not* a GPU API; triggers page migration
+    /// for device-resident pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range is not inside a live
+    /// managed allocation.
+    pub fn managed_write_f32s(&mut self, dst: DevicePtr, values: &[f32]) -> Result<()> {
+        self.host_touch(dst, values.len() as u64 * 4)?;
+        for (i, v) in values.iter().enumerate() {
+            self.mem.write_f32(dst + i as u64 * 4, *v);
+        }
+        Ok(())
+    }
+
+    /// Host-side read of an `f32` slice from managed memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range is not inside a live
+    /// managed allocation.
+    pub fn managed_read_f32s(&mut self, out: &mut [f32], src: DevicePtr) -> Result<()> {
+        self.host_touch(src, out.len() as u64 * 4)?;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.mem.read_f32(src + i as u64 * 4);
+        }
+        Ok(())
+    }
+
+    /// Host-side scalar write to managed memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for invalid addresses.
+    pub fn managed_write_f32(&mut self, dst: DevicePtr, value: f32) -> Result<()> {
+        self.host_touch(dst, 4)?;
+        self.mem.write_f32(dst, value);
+        Ok(())
+    }
+
+    /// Host-side scalar read from managed memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for invalid addresses.
+    pub fn managed_read_f32(&mut self, src: DevicePtr) -> Result<f32> {
+        self.host_touch(src, 4)?;
+        Ok(self.mem.read_f32(src))
+    }
+
+    fn check_device_range(&self, ptr: DevicePtr, size: u64) -> Result<()> {
+        if size == 0 || self.alloc.is_valid_access(ptr, size) {
+            Ok(())
+        } else {
+            Err(SimError::OutOfBounds { addr: ptr, size })
+        }
+    }
+
+    /// Synchronous host→device copy (`cudaMemcpy` H2D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the destination range is not
+    /// fully inside one live allocation.
+    pub fn memcpy_h2d(&mut self, dst: DevicePtr, data: &[u8]) -> Result<()> {
+        self.memcpy_h2d_on(dst, data, StreamId::DEFAULT)
+    }
+
+    /// Host→device copy on a specific stream (`cudaMemcpyAsync` H2D).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for an invalid destination range or
+    /// [`SimError::UnknownStream`].
+    pub fn memcpy_h2d_on(&mut self, dst: DevicePtr, data: &[u8], stream: StreamId) -> Result<()> {
+        let size = data.len() as u64;
+        self.check_device_range(dst, size)?;
+        self.mem.write_bytes(dst, data);
+        let dur = self.config.transfer_ns(size);
+        let (start, end, ordinal) = if stream == StreamId::DEFAULT {
+            self.streams.enqueue_sync(stream, dur)?
+        } else {
+            self.streams.enqueue(stream, dur)?
+        };
+        self.emit(stream, ordinal, ApiKind::MemcpyH2D { dst, size }, start, end);
+        Ok(())
+    }
+
+    /// Synchronous device→host copy (`cudaMemcpy` D2H).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the source range is invalid.
+    pub fn memcpy_d2h(&mut self, out: &mut [u8], src: DevicePtr) -> Result<()> {
+        self.memcpy_d2h_on(out, src, StreamId::DEFAULT)
+    }
+
+    /// Device→host copy on a specific stream (`cudaMemcpyAsync` D2H).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for an invalid source range or
+    /// [`SimError::UnknownStream`].
+    pub fn memcpy_d2h_on(&mut self, out: &mut [u8], src: DevicePtr, stream: StreamId) -> Result<()> {
+        let size = out.len() as u64;
+        self.check_device_range(src, size)?;
+        self.mem.read_bytes(src, out);
+        let dur = self.config.transfer_ns(size);
+        let (start, end, ordinal) = if stream == StreamId::DEFAULT {
+            self.streams.enqueue_sync(stream, dur)?
+        } else {
+            self.streams.enqueue(stream, dur)?
+        };
+        self.emit(stream, ordinal, ApiKind::MemcpyD2H { src, size }, start, end);
+        Ok(())
+    }
+
+    /// Device→device copy (`cudaMemcpy` D2D) on the default stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if either range is invalid.
+    pub fn memcpy_d2d(&mut self, dst: DevicePtr, src: DevicePtr, size: u64) -> Result<()> {
+        self.memcpy_d2d_on(dst, src, size, StreamId::DEFAULT)
+    }
+
+    /// Device→device copy on a specific stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for invalid ranges or
+    /// [`SimError::UnknownStream`].
+    pub fn memcpy_d2d_on(
+        &mut self,
+        dst: DevicePtr,
+        src: DevicePtr,
+        size: u64,
+        stream: StreamId,
+    ) -> Result<()> {
+        self.check_device_range(src, size)?;
+        self.check_device_range(dst, size)?;
+        self.mem.copy_within(dst, src, size);
+        let dur = self.config.device_stream_ns(size);
+        let (start, end, ordinal) = self.streams.enqueue(stream, dur)?;
+        self.emit(
+            stream,
+            ordinal,
+            ApiKind::MemcpyD2D { dst, src, size },
+            start,
+            end,
+        );
+        Ok(())
+    }
+
+    /// Fills device memory (`cudaMemset`) on the default stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] if the range is invalid.
+    pub fn memset(&mut self, dst: DevicePtr, value: u8, size: u64) -> Result<()> {
+        self.memset_on(dst, value, size, StreamId::DEFAULT)
+    }
+
+    /// Fills device memory on a specific stream (`cudaMemsetAsync`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfBounds`] for an invalid range or
+    /// [`SimError::UnknownStream`].
+    pub fn memset_on(&mut self, dst: DevicePtr, value: u8, size: u64, stream: StreamId) -> Result<()> {
+        self.check_device_range(dst, size)?;
+        self.mem.fill(dst, size, value);
+        let dur = self.config.device_stream_ns(size);
+        let (start, end, ordinal) = self.streams.enqueue(stream, dur)?;
+        self.emit(stream, ordinal, ApiKind::Memset { dst, size, value }, start, end);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------ typed copies
+
+    /// Host→device copy of an `f32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceContext::memcpy_h2d`].
+    pub fn h2d_f32(&mut self, dst: DevicePtr, src: &[f32]) -> Result<()> {
+        let mut bytes = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.memcpy_h2d(dst, &bytes)
+    }
+
+    /// Device→host copy into an `f32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceContext::memcpy_d2h`].
+    pub fn d2h_f32(&mut self, out: &mut [f32], src: DevicePtr) -> Result<()> {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.memcpy_d2h(&mut bytes, src)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = f32::from_le_bytes(chunk.try_into().expect("chunk size"));
+        }
+        Ok(())
+    }
+
+    /// Host→device copy of a `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceContext::memcpy_h2d`].
+    pub fn h2d_u32(&mut self, dst: DevicePtr, src: &[u32]) -> Result<()> {
+        let mut bytes = Vec::with_capacity(src.len() * 4);
+        for v in src {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        self.memcpy_h2d(dst, &bytes)
+    }
+
+    /// Device→host copy into a `u32` slice.
+    ///
+    /// # Errors
+    ///
+    /// See [`DeviceContext::memcpy_d2h`].
+    pub fn d2h_u32(&mut self, out: &mut [u32], src: DevicePtr) -> Result<()> {
+        let mut bytes = vec![0u8; out.len() * 4];
+        self.memcpy_d2h(&mut bytes, src)?;
+        for (i, chunk) in bytes.chunks_exact(4).enumerate() {
+            out[i] = u32::from_le_bytes(chunk.try_into().expect("chunk size"));
+        }
+        Ok(())
+    }
+
+    // ---------------------------------------------------------------- streams
+
+    /// Creates a new stream (`cudaStreamCreate`).
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = self.streams.create_stream();
+        let now = self.streams.host_now();
+        self.emit(id, 0, ApiKind::StreamCreate { stream: id }, now, now);
+        id
+    }
+
+    /// Creates an event (`cudaEventCreate`).
+    pub fn create_event(&mut self) -> EventId {
+        self.streams.create_event()
+    }
+
+    /// Records `event` on `stream` (`cudaEventRecord`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownStream`] or [`SimError::UnknownEvent`].
+    pub fn record_event(&mut self, event: EventId, stream: StreamId) -> Result<()> {
+        let t = self.streams.record_event(event, stream)?;
+        let (start, end, ordinal) = (t, t, u64::MAX);
+        self.emit(stream, ordinal, ApiKind::EventRecord { event }, start, end);
+        Ok(())
+    }
+
+    /// Makes `stream` wait for `event` (`cudaStreamWaitEvent`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownStream`] or [`SimError::UnknownEvent`].
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<()> {
+        self.streams.wait_event(stream, event)?;
+        let now = self.streams.host_now();
+        self.emit(stream, u64::MAX, ApiKind::EventWait { event }, now, now);
+        Ok(())
+    }
+
+    /// Blocks the host until `stream` drains (`cudaStreamSynchronize`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownStream`].
+    pub fn sync_stream(&mut self, stream: StreamId) -> Result<()> {
+        let t = self.streams.sync_stream(stream)?;
+        self.emit(stream, u64::MAX, ApiKind::StreamSync, t, t);
+        Ok(())
+    }
+
+    /// Blocks the host until the device drains (`cudaDeviceSynchronize`).
+    pub fn sync_device(&mut self) -> SimTime {
+        let t = self.streams.sync_device();
+        self.emit(StreamId::DEFAULT, u64::MAX, ApiKind::DeviceSync, t, t);
+        t
+    }
+
+    // ----------------------------------------------------------------- kernels
+
+    /// Launches a kernel: `body` runs once per logical thread.
+    ///
+    /// Returns the aggregate work counters of the execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyLaunch`] for an empty grid/block and
+    /// [`SimError::UnknownStream`] for a bad stream id.
+    ///
+    /// # Panics
+    ///
+    /// Panics (like a device memory fault) if the kernel accesses memory
+    /// outside any live allocation.
+    pub fn launch<F>(
+        &mut self,
+        name: &str,
+        cfg: LaunchConfig,
+        stream: StreamId,
+        body: F,
+    ) -> Result<KernelCounters>
+    where
+        F: Fn(&mut ThreadCtx<'_>),
+    {
+        if cfg.total_threads() == 0 {
+            return Err(SimError::EmptyLaunch {
+                kernel: name.to_owned(),
+            });
+        }
+        // Validate the stream id before doing any work.
+        if (stream.0 as usize) >= self.streams.stream_count() {
+            return Err(SimError::UnknownStream(stream.0));
+        }
+        let instance = {
+            let counter = self.kernel_instances.entry(name.to_owned()).or_insert(0);
+            let i = *counter;
+            *counter += 1;
+            i
+        };
+        let info = KernelInfo {
+            name: name.to_owned(),
+            api_seq: self.seq,
+            stream,
+            grid: cfg.grid,
+            block: cfg.block,
+            instance,
+        };
+        let mode = self.sanitizer.dispatch_kernel_begin(&info);
+        let mut sink = AccessSink::new(mode, self.sanitizer.buffer_capacity());
+        let mut counters = KernelCounters::default();
+        let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
+
+        let grid = cfg.grid;
+        let block = cfg.block;
+        for bz in 0..grid.z {
+            for by in 0..grid.y {
+                for bx in 0..grid.x {
+                    let block_idx = Dim3::xyz(bx, by, bz);
+                    shared.fill(0);
+                    for tz in 0..block.z {
+                        for ty in 0..block.y {
+                            for tx in 0..block.x {
+                                let thread_idx = Dim3::xyz(tx, ty, tz);
+                                let flat_thread = grid.flatten(block_idx) * block.count()
+                                    + block.flatten(thread_idx);
+                                let mut tctx = ThreadCtx {
+                                    mem: &mut self.mem,
+                                    alloc: &self.alloc,
+                                    sink: &mut sink,
+                                    sanitizer: &self.sanitizer,
+                                    info: &info,
+                                    unified: &mut self.unified,
+                                    shared: &mut shared,
+                                    counters: &mut counters,
+                                    block_idx,
+                                    thread_idx,
+                                    grid_dim: grid,
+                                    block_dim: block,
+                                    flat_thread,
+                                    pc_counter: 0,
+                                };
+                                body(&mut tctx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        sink.flush(&self.sanitizer, &info);
+        let records = sink.records_seen;
+        self.stats.instrumented_accesses += records;
+        self.stats.kernel_launches += 1;
+
+        let duration = self.kernel_duration_ns(&cfg, &counters, mode, records);
+        let (start, end, ordinal) = self.streams.enqueue(stream, duration)?;
+        self.emit(
+            stream,
+            ordinal,
+            ApiKind::KernelLaunch {
+                name: name.to_owned(),
+                grid: cfg.grid,
+                block: cfg.block,
+            },
+            start,
+            end,
+        );
+        let touched = sink.take_touched();
+        self.sanitizer.dispatch_kernel_end(&info, &touched, &counters);
+        Ok(counters)
+    }
+
+    /// Simulated kernel duration from the work counters plus the
+    /// instrumentation surcharge for the chosen [`PatchMode`].
+    fn kernel_duration_ns(
+        &self,
+        cfg: &LaunchConfig,
+        counters: &KernelCounters,
+        mode: PatchMode,
+        records: u64,
+    ) -> u64 {
+        let c = &self.config;
+        let parallel = c
+            .effective_parallelism()
+            .min(cfg.total_threads() as f64)
+            .max(1.0);
+        let latency_work = counters.global_accesses() as f64 * c.global_latency_ns
+            + counters.shared_accesses as f64 * c.shared_latency_ns
+            + counters.flops as f64 * c.flop_ns;
+        let migration_ns = counters.page_migrations * c.page_migration_ns;
+        let bandwidth_ns = counters.global_bytes as f64 / c.global_bandwidth_bpns;
+        let compute_ns = (latency_work / parallel).max(bandwidth_ns);
+        let o = self.sanitizer.overhead_model();
+        let instr_ns = match mode {
+            PatchMode::None => 0.0,
+            PatchMode::HitFlags => {
+                records as f64 * o.hitflag_access_ns
+                    + self.alloc.stats().live_allocations as f64 * o.map_copy_ns_per_entry
+            }
+            PatchMode::Full => {
+                records as f64 * o.full_access_ns
+                    + self.alloc.stats().live_allocations as f64 * o.map_copy_ns_per_entry
+                    + (records * o.record_bytes) as f64 / c.interconnect_bandwidth_bpns
+            }
+        };
+        c.launch_overhead_ns + compute_ns as u64 + instr_ns as u64 + migration_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitizer::{MemAccessRecord, SanitizerHooks, TouchedObject};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    #[test]
+    fn malloc_free_emit_events_with_labels() {
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(1024, "weights").unwrap();
+        assert_eq!(ctx.label_of(p), Some("weights"));
+        ctx.free(p).unwrap();
+        let kinds: Vec<&'static str> = ctx.api_log().iter().map(|e| e.kind.mnemonic()).collect();
+        assert_eq!(kinds, ["ALLOC", "FREE"]);
+        match &ctx.api_log()[1].kind {
+            ApiKind::Free { size, label, .. } => {
+                assert_eq!(*size, 1024);
+                assert_eq!(label, "weights");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memcpy_round_trip_preserves_data() {
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(64, "buf").unwrap();
+        ctx.memcpy_h2d(p, &[5u8; 64]).unwrap();
+        let mut out = [0u8; 64];
+        ctx.memcpy_d2h(&mut out, p).unwrap();
+        assert_eq!(out, [5u8; 64]);
+    }
+
+    #[test]
+    fn oob_memcpy_is_rejected() {
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(16, "buf").unwrap();
+        let err = ctx.memcpy_h2d(p, &[0u8; 32]).unwrap_err();
+        assert!(matches!(err, SimError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn kernel_computes_real_results() {
+        let mut ctx = DeviceContext::new_default();
+        let n = 100u64;
+        let p = ctx.malloc(n * 4, "v").unwrap();
+        let host: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        ctx.h2d_f32(p, &host).unwrap();
+        ctx.launch("scale", LaunchConfig::cover(n, 32), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < n {
+                let a = p + i * 4;
+                let v = t.load_f32(a);
+                t.flop(1);
+                t.store_f32(a, v * 3.0);
+            }
+        })
+        .unwrap();
+        let mut out = vec![0.0f32; n as usize];
+        ctx.d2h_f32(&mut out, p).unwrap();
+        assert_eq!(out[10], 30.0);
+        assert_eq!(out[99], 297.0);
+    }
+
+    #[test]
+    fn empty_launch_is_an_error() {
+        let mut ctx = DeviceContext::new_default();
+        let cfg = LaunchConfig::new(Dim3::x(0), Dim3::x(32));
+        assert!(matches!(
+            ctx.launch("nop", cfg, StreamId::DEFAULT, |_| {}).unwrap_err(),
+            SimError::EmptyLaunch { .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-bounds device access")]
+    fn kernel_oob_access_faults() {
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(4, "tiny").unwrap();
+        ctx.launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, |t| {
+            t.store_f32(p + 4, 1.0);
+        })
+        .unwrap();
+    }
+
+    /// A hook that records everything it sees, for asserting on the
+    /// Sanitizer contract.
+    #[derive(Default)]
+    struct Recorder {
+        apis: Vec<String>,
+        records: Vec<MemAccessRecord>,
+        touched: Vec<TouchedObject>,
+        mode: Option<PatchMode>,
+    }
+
+    impl SanitizerHooks for Recorder {
+        fn on_api(&mut self, event: &ApiEvent) {
+            self.apis.push(event.display_name());
+        }
+        fn on_kernel_begin(&mut self, _info: &KernelInfo) -> PatchMode {
+            self.mode.unwrap_or(PatchMode::Full)
+        }
+        fn on_mem_access_buffer(&mut self, _info: &KernelInfo, records: &[MemAccessRecord]) {
+            self.records.extend_from_slice(records);
+        }
+        fn on_kernel_end(
+            &mut self,
+            _info: &KernelInfo,
+            touched: &[TouchedObject],
+            _counters: &KernelCounters,
+        ) {
+            self.touched.extend_from_slice(touched);
+        }
+    }
+
+    #[test]
+    fn sanitizer_sees_api_events_and_access_records() {
+        let recorder = Arc::new(Mutex::new(Recorder::default()));
+        let mut ctx = DeviceContext::new_default();
+        ctx.sanitizer_mut().register(recorder.clone());
+
+        let a = ctx.malloc(64, "a").unwrap();
+        let b = ctx.malloc(64, "b").unwrap();
+        ctx.memset(a, 0, 64).unwrap();
+        ctx.launch("reader", LaunchConfig::cover(4, 4), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < 4 {
+                let v = t.load_f32(a + i * 4);
+                t.store_f32(b + i * 4, v + 1.0);
+            }
+        })
+        .unwrap();
+        ctx.free(a).unwrap();
+
+        let r = recorder.lock();
+        assert_eq!(
+            r.apis,
+            vec![
+                "ALLOC(0, 0)",
+                "ALLOC(0, 1)",
+                "SET(0, 2)",
+                "KERL(0, 3)",
+                "FREE(0, 4)"
+            ]
+        );
+        assert_eq!(r.records.len(), 8, "4 loads + 4 stores");
+        assert_eq!(r.touched.len(), 2);
+        let ta = r.touched.iter().find(|t| t.base == a).unwrap();
+        assert!(ta.read && !ta.written);
+        let tb = r.touched.iter().find(|t| t.base == b).unwrap();
+        assert!(!tb.read && tb.written);
+    }
+
+    #[test]
+    fn hitflags_mode_summarizes_without_records() {
+        let recorder = Arc::new(Mutex::new(Recorder {
+            mode: Some(PatchMode::HitFlags),
+            ..Recorder::default()
+        }));
+        let mut ctx = DeviceContext::new_default();
+        ctx.sanitizer_mut().register(recorder.clone());
+        let a = ctx.malloc(16, "a").unwrap();
+        ctx.launch("w", LaunchConfig::cover(4, 4), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < 4 {
+                t.store_f32(a + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        let r = recorder.lock();
+        assert!(r.records.is_empty(), "no record streaming in hit-flag mode");
+        assert_eq!(r.touched.len(), 1);
+        assert!(r.touched[0].written);
+    }
+
+    #[test]
+    fn instrumentation_increases_simulated_kernel_time() {
+        let run = |mode: Option<PatchMode>| {
+            let mut ctx = DeviceContext::new_default();
+            if let Some(m) = mode {
+                let rec = Arc::new(Mutex::new(Recorder {
+                    mode: Some(m),
+                    ..Recorder::default()
+                }));
+                ctx.sanitizer_mut().register(rec);
+            }
+            let a = ctx.malloc(4096 * 4, "a").unwrap();
+            ctx.launch("k", LaunchConfig::cover(4096, 128), StreamId::DEFAULT, |t| {
+                let i = t.global_x();
+                if i < 4096 {
+                    t.store_f32(a + i * 4, i as f32);
+                }
+            })
+            .unwrap();
+            ctx.sync_device().as_ns()
+        };
+        let native = run(None);
+        let hit = run(Some(PatchMode::HitFlags));
+        let full = run(Some(PatchMode::Full));
+        assert!(native < hit, "hit-flag mode must cost simulated time");
+        assert!(hit < full, "full patching must cost more than hit flags");
+    }
+
+    #[test]
+    fn call_paths_are_captured_per_api() {
+        let mut ctx = DeviceContext::new_default();
+        ctx.with_frame(SourceLoc::new("main", "app.rs", 1), |ctx| {
+            ctx.with_frame(SourceLoc::new("init", "app.rs", 10), |ctx| {
+                ctx.malloc(16, "x").unwrap();
+            });
+        });
+        let path = &ctx.api_log()[0].call_path;
+        assert_eq!(path.depth(), 2);
+        let rendered = ctx.call_stack().table().render(path);
+        assert!(rendered.contains("init"));
+        assert!(rendered.contains("main"));
+    }
+
+    #[test]
+    fn multi_stream_kernels_overlap_in_time() {
+        let mut ctx = DeviceContext::new_default();
+        let s1 = ctx.create_stream();
+        let s2 = ctx.create_stream();
+        let a = ctx.malloc(1024 * 4, "a").unwrap();
+        let b = ctx.malloc(1024 * 4, "b").unwrap();
+        let body_a = move |t: &mut ThreadCtx<'_>| {
+            let i = t.global_x();
+            if i < 1024 {
+                t.store_f32(a + i * 4, 0.0);
+            }
+        };
+        let body_b = move |t: &mut ThreadCtx<'_>| {
+            let i = t.global_x();
+            if i < 1024 {
+                t.store_f32(b + i * 4, 0.0);
+            }
+        };
+        ctx.launch("ka", LaunchConfig::cover(1024, 128), s1, body_a).unwrap();
+        ctx.launch("kb", LaunchConfig::cover(1024, 128), s2, body_b).unwrap();
+        let log = ctx.api_log();
+        let ka = log.iter().find(|e| e.display_name() == "KERL(1, 0)").unwrap();
+        let kb = log.iter().find(|e| e.display_name() == "KERL(2, 0)").unwrap();
+        assert_eq!(ka.start, kb.start, "independent streams start together");
+    }
+
+    #[test]
+    fn stats_count_gpu_apis() {
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(16, "p").unwrap();
+        ctx.memset(p, 0, 16).unwrap();
+        ctx.sync_device();
+        let s = ctx.stats();
+        assert_eq!(s.gpu_api_calls, 2, "sync is not a pattern-relevant GPU API");
+    }
+}

@@ -1,0 +1,258 @@
+//! Host call-path capture: the simulated analogue of libunwind + DWARF.
+//!
+//! DrGPUM unwinds the host call path at every GPU API invocation with
+//! libunwind and later maps frames to source lines via DWARF (Sec. 4/5.1).
+//! In the simulator, host programs push scoped frames carrying
+//! `function @ file:line`; the profiler stores interned frame ids and the
+//! offline analyzer resolves them back to source locations through the
+//! [`FrameTable`] — the same two-phase structure as the real tool.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A source location: function, file, and line.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SourceLoc {
+    /// Function (or method) name.
+    pub function: String,
+    /// Source file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl SourceLoc {
+    /// Creates a source location.
+    pub fn new(function: impl Into<String>, file: impl Into<String>, line: u32) -> Self {
+        SourceLoc {
+            function: function.into(),
+            file: file.into(),
+            line,
+        }
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}:{}", self.function, self.file, self.line)
+    }
+}
+
+/// Interned id of one call-stack frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FrameId(pub u32);
+
+/// An interned call path: outermost frame first.
+///
+/// Cheaply cloneable (`Arc`-backed); captured once per GPU API invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CallPath {
+    frames: Arc<[FrameId]>,
+}
+
+impl CallPath {
+    /// An empty call path (no frames pushed).
+    pub fn empty() -> Self {
+        CallPath::default()
+    }
+
+    /// The frames of this path, outermost first.
+    pub fn frames(&self) -> &[FrameId] {
+        &self.frames
+    }
+
+    /// Number of frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The innermost frame (the direct caller of the GPU API), if any.
+    pub fn leaf(&self) -> Option<FrameId> {
+        self.frames.last().copied()
+    }
+}
+
+/// Intern table mapping [`FrameId`]s to [`SourceLoc`]s.
+///
+/// Stands in for the DWARF debugging sections the paper's offline analyzer
+/// reads: the online collector records compact ids; resolution to
+/// file/line/function happens offline.
+#[derive(Debug, Default)]
+pub struct FrameTable {
+    locs: Vec<SourceLoc>,
+    index: HashMap<SourceLoc, FrameId>,
+}
+
+impl FrameTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        FrameTable::default()
+    }
+
+    /// Interns `loc`, returning a stable id.
+    pub fn intern(&mut self, loc: SourceLoc) -> FrameId {
+        if let Some(&id) = self.index.get(&loc) {
+            return id;
+        }
+        let id = FrameId(u32::try_from(self.locs.len()).expect("frame table overflow"));
+        self.locs.push(loc.clone());
+        self.index.insert(loc, id);
+        id
+    }
+
+    /// Resolves a frame id to its source location.
+    pub fn resolve(&self, id: FrameId) -> Option<&SourceLoc> {
+        self.locs.get(id.0 as usize)
+    }
+
+    /// Number of distinct interned frames.
+    pub fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    /// Returns `true` if no frames have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.locs.is_empty()
+    }
+
+    /// Renders a call path as a multi-line backtrace, innermost frame first.
+    pub fn render(&self, path: &CallPath) -> String {
+        let mut out = String::new();
+        for (depth, id) in path.frames().iter().rev().enumerate() {
+            let loc = self
+                .resolve(*id)
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| format!("<unknown frame {}>", id.0));
+            out.push_str(&format!("  #{depth} {loc}\n"));
+        }
+        out
+    }
+}
+
+/// The live host call stack; produces [`CallPath`] snapshots on demand.
+#[derive(Debug, Default)]
+pub struct CallStack {
+    table: FrameTable,
+    stack: Vec<FrameId>,
+}
+
+impl CallStack {
+    /// Creates an empty call stack.
+    pub fn new() -> Self {
+        CallStack::default()
+    }
+
+    /// Pushes a frame; pair with [`CallStack::pop`].
+    pub fn push(&mut self, loc: SourceLoc) -> FrameId {
+        let id = self.table.intern(loc);
+        self.stack.push(id);
+        id
+    }
+
+    /// Pops the innermost frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stack is empty (unbalanced push/pop indicates a bug in
+    /// the host program).
+    pub fn pop(&mut self) {
+        self.stack.pop().expect("call stack underflow: unbalanced pop");
+    }
+
+    /// Current depth of the stack.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Captures the current path (outermost frame first), like an unwind.
+    pub fn capture(&self) -> CallPath {
+        CallPath {
+            frames: self.stack.clone().into(),
+        }
+    }
+
+    /// Read access to the intern table for offline resolution.
+    pub fn table(&self) -> &FrameTable {
+        &self.table
+    }
+}
+
+/// Captures a [`SourceLoc`] for the current source position.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::source_loc;
+///
+/// let loc = source_loc!("my_function");
+/// assert_eq!(loc.function, "my_function");
+/// assert!(loc.file.ends_with(".rs"));
+/// ```
+#[macro_export]
+macro_rules! source_loc {
+    ($function:expr) => {
+        $crate::callstack::SourceLoc::new($function, file!(), line!())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_deduplicating() {
+        let mut t = FrameTable::new();
+        let a = t.intern(SourceLoc::new("f", "a.rs", 1));
+        let b = t.intern(SourceLoc::new("g", "a.rs", 2));
+        let a2 = t.intern(SourceLoc::new("f", "a.rs", 1));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn capture_snapshots_are_independent() {
+        let mut cs = CallStack::new();
+        cs.push(SourceLoc::new("main", "m.rs", 10));
+        let outer = cs.capture();
+        cs.push(SourceLoc::new("inner", "m.rs", 20));
+        let both = cs.capture();
+        cs.pop();
+        assert_eq!(outer.depth(), 1);
+        assert_eq!(both.depth(), 2);
+        assert_eq!(both.frames()[0], outer.frames()[0]);
+    }
+
+    #[test]
+    fn leaf_is_innermost() {
+        let mut cs = CallStack::new();
+        cs.push(SourceLoc::new("main", "m.rs", 1));
+        let inner = cs.push(SourceLoc::new("kernel_call", "m.rs", 2));
+        assert_eq!(cs.capture().leaf(), Some(inner));
+    }
+
+    #[test]
+    #[should_panic(expected = "call stack underflow")]
+    fn unbalanced_pop_panics() {
+        CallStack::new().pop();
+    }
+
+    #[test]
+    fn render_lists_innermost_first() {
+        let mut cs = CallStack::new();
+        cs.push(SourceLoc::new("main", "m.rs", 1));
+        cs.push(SourceLoc::new("helper", "h.rs", 42));
+        let rendered = cs.table().render(&cs.capture());
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert!(lines[0].contains("helper"));
+        assert!(lines[1].contains("main"));
+    }
+
+    #[test]
+    fn empty_path_renders_empty() {
+        let t = FrameTable::new();
+        assert!(t.render(&CallPath::empty()).is_empty());
+    }
+}

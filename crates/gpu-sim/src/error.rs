@@ -1,0 +1,135 @@
+//! Error types for the simulated GPU runtime.
+
+use crate::mem::DevicePtr;
+use std::fmt;
+
+/// A specialized [`Result`] alias for simulator operations.
+///
+/// [`Result`]: std::result::Result
+pub type Result<T> = std::result::Result<T, SimError>;
+
+/// Errors produced by the simulated GPU runtime.
+///
+/// Mirrors the failure modes of the CUDA driver API that are relevant to
+/// memory profiling: allocation failure, invalid frees, out-of-bounds
+/// accesses, and the use of unknown streams or events.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceContext, SimError};
+///
+/// let mut ctx = DeviceContext::new_default();
+/// let err = ctx.malloc(u64::MAX, "too_big").unwrap_err();
+/// assert!(matches!(err, SimError::OutOfMemory { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The device allocator could not satisfy the request.
+    OutOfMemory {
+        /// Number of bytes requested.
+        requested: u64,
+        /// Largest contiguous free region available.
+        largest_free: u64,
+        /// Total free bytes (may be fragmented).
+        total_free: u64,
+    },
+    /// `free` was called with a pointer that is not the base of a live
+    /// allocation.
+    InvalidFree(DevicePtr),
+    /// The same allocation was freed twice.
+    DoubleFree(DevicePtr),
+    /// A memory operation touched an address range with no live allocation
+    /// backing it.
+    OutOfBounds {
+        /// First byte of the faulting access.
+        addr: DevicePtr,
+        /// Size of the faulting access in bytes.
+        size: u64,
+    },
+    /// A zero-byte allocation was requested.
+    ZeroSizedAllocation,
+    /// An operation referenced a stream id that was never created.
+    UnknownStream(u32),
+    /// An operation referenced an event id that was never created.
+    UnknownEvent(u32),
+    /// A kernel was launched with an empty grid or block.
+    EmptyLaunch {
+        /// Name of the offending kernel.
+        kernel: String,
+    },
+    /// Host/device copy size mismatch.
+    SizeMismatch {
+        /// Expected number of bytes.
+        expected: u64,
+        /// Provided number of bytes.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory {
+                requested,
+                largest_free,
+                total_free,
+            } => write!(
+                f,
+                "out of device memory: requested {requested} bytes, largest free \
+                 region {largest_free} bytes, total free {total_free} bytes"
+            ),
+            SimError::InvalidFree(ptr) => {
+                write!(f, "invalid free of {ptr}: not the base of a live allocation")
+            }
+            SimError::DoubleFree(ptr) => write!(f, "double free of {ptr}"),
+            SimError::OutOfBounds { addr, size } => write!(
+                f,
+                "out-of-bounds device access at {addr} of {size} bytes"
+            ),
+            SimError::ZeroSizedAllocation => write!(f, "zero-sized device allocation"),
+            SimError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
+            SimError::UnknownEvent(id) => write!(f, "unknown event id {id}"),
+            SimError::EmptyLaunch { kernel } => {
+                write!(f, "kernel `{kernel}` launched with an empty grid or block")
+            }
+            SimError::SizeMismatch { expected, actual } => write!(
+                f,
+                "size mismatch: expected {expected} bytes, got {actual} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = SimError::OutOfMemory {
+            requested: 100,
+            largest_free: 10,
+            total_free: 20,
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("out of device memory"));
+        assert!(s.contains("100"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        let e = SimError::ZeroSizedAllocation;
+        assert!(!format!("{e:?}").is_empty());
+    }
+}

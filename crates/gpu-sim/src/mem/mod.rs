@@ -1,0 +1,199 @@
+//! Simulated device memory: address space, sparse paged backing store, and a
+//! CUDA-style device allocator.
+//!
+//! The memory subsystem keeps *real bytes* for every touched 4 KiB page, so
+//! simulated kernels compute real results and value-aware baseline tools can
+//! inspect real data. Pages are materialized lazily: a workload may allocate
+//! gigabytes of address space (as XSBench does) while the host process only
+//! pays for the pages it actually touches — precisely the situation the
+//! paper's *overallocation* pattern describes.
+
+mod allocator;
+mod paged;
+
+pub use allocator::{AllocationInfo, AllocatorStats, DeviceAllocator, ALLOC_ALIGN};
+pub use paged::{PagedStore, PAGE_SIZE};
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Base of the simulated device address space.
+///
+/// Chosen to resemble real CUDA virtual addresses and to make device pointers
+/// visually distinct from host addresses in traces.
+pub const DEVICE_ADDR_BASE: u64 = 0x7f00_0000_0000;
+
+/// A pointer into simulated device memory.
+///
+/// A transparent newtype over the raw 64-bit device address
+/// ([C-NEWTYPE]: it cannot be confused with host pointers or plain sizes).
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::DevicePtr;
+///
+/// let p = DevicePtr::new(0x7f00_0000_1000);
+/// assert_eq!(p.addr(), 0x7f00_0000_1000);
+/// assert_eq!((p + 16).addr() - p.addr(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DevicePtr(u64);
+
+impl DevicePtr {
+    /// A null device pointer.
+    pub const NULL: DevicePtr = DevicePtr(0);
+
+    /// Creates a device pointer from a raw address.
+    pub fn new(addr: u64) -> Self {
+        DevicePtr(addr)
+    }
+
+    /// Returns the raw 64-bit address.
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null pointer.
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Byte offset of `self` within an allocation starting at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self < base`.
+    pub fn offset_from(self, base: DevicePtr) -> u64 {
+        assert!(
+            self.0 >= base.0,
+            "pointer {self} is below allocation base {base}"
+        );
+        self.0 - base.0
+    }
+}
+
+impl fmt::Display for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:012x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for DevicePtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl Add<u64> for DevicePtr {
+    type Output = DevicePtr;
+
+    fn add(self, rhs: u64) -> DevicePtr {
+        DevicePtr(self.0 + rhs)
+    }
+}
+
+impl Sub<u64> for DevicePtr {
+    type Output = DevicePtr;
+
+    fn sub(self, rhs: u64) -> DevicePtr {
+        DevicePtr(self.0 - rhs)
+    }
+}
+
+impl From<DevicePtr> for u64 {
+    fn from(p: DevicePtr) -> u64 {
+        p.0
+    }
+}
+
+/// A half-open device address range `[start, start + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AddrRange {
+    /// First address in the range.
+    pub start: DevicePtr,
+    /// Length of the range in bytes.
+    pub len: u64,
+}
+
+impl AddrRange {
+    /// Creates a range from a base pointer and length.
+    pub fn new(start: DevicePtr, len: u64) -> Self {
+        AddrRange { start, len }
+    }
+
+    /// One-past-the-end address.
+    pub fn end(&self) -> DevicePtr {
+        self.start + self.len
+    }
+
+    /// Returns `true` if `addr` lies inside the range.
+    pub fn contains(&self, addr: DevicePtr) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Returns `true` if the two ranges share at least one byte.
+    pub fn overlaps(&self, other: &AddrRange) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+}
+
+impl fmt::Display for AddrRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_arithmetic() {
+        let p = DevicePtr::new(100);
+        assert_eq!((p + 28).addr(), 128);
+        assert_eq!((p + 28 - 28), p);
+        assert_eq!((p + 28).offset_from(p), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "below allocation base")]
+    fn offset_from_panics_below_base() {
+        DevicePtr::new(10).offset_from(DevicePtr::new(20));
+    }
+
+    #[test]
+    fn null_pointer() {
+        assert!(DevicePtr::NULL.is_null());
+        assert!(!DevicePtr::new(1).is_null());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(DevicePtr::new(0xabc).to_string(), "0x000000000abc");
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = AddrRange::new(DevicePtr::new(100), 50);
+        assert!(r.contains(DevicePtr::new(100)));
+        assert!(r.contains(DevicePtr::new(149)));
+        assert!(!r.contains(DevicePtr::new(150)));
+        assert!(r.overlaps(&AddrRange::new(DevicePtr::new(149), 1)));
+        assert!(!r.overlaps(&AddrRange::new(DevicePtr::new(150), 10)));
+        assert!(!r.overlaps(&AddrRange::new(DevicePtr::new(50), 50)));
+    }
+
+    #[test]
+    fn range_display() {
+        let r = AddrRange::new(DevicePtr::new(0x10), 0x10);
+        assert_eq!(r.to_string(), "[0x000000000010, 0x000000000020)");
+    }
+}

@@ -1,0 +1,342 @@
+//! A caching memory pool in the style of deep-learning frameworks.
+//!
+//! PyTorch and TensorFlow pre-allocate large slabs of device memory and carve
+//! tensors out of them with custom (non-CUDA) allocation APIs (Sec. 5.4).
+//! NVIDIA's Sanitizer API has no visibility into those custom APIs, so
+//! DrGPUM registers a dedicated memory-profiling callback with the framework.
+//! [`CachingPool`] reproduces that situation: pool-level `alloc`/`free`
+//! operations never reach the Sanitizer; tools observe them only through a
+//! registered [`PoolObserver`] — the stand-in for PyTorch's
+//! `ThreadLocalDebugInfo` hook.
+
+use crate::api::DeviceContext;
+use crate::callstack::CallPath;
+use crate::error::{Result, SimError};
+use crate::mem::DevicePtr;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Pool-allocator events delivered to a [`PoolObserver`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PoolEvent {
+    /// A tensor was carved out of the pool.
+    Alloc {
+        /// Base device address of the tensor.
+        ptr: DevicePtr,
+        /// Requested size in bytes.
+        size: u64,
+        /// Tensor label.
+        label: String,
+        /// Host call path at the allocation.
+        call_path: CallPath,
+    },
+    /// A tensor was returned to the pool.
+    Free {
+        /// Base device address of the tensor.
+        ptr: DevicePtr,
+        /// Size of the tensor.
+        size: u64,
+    },
+}
+
+/// Observer of pool-level allocation activity (the Sec. 5.4 interface).
+pub trait PoolObserver {
+    /// Called on every pool allocation and deallocation.
+    fn on_pool_event(&mut self, event: &PoolEvent);
+}
+
+/// A shared observer registration.
+pub type SharedPoolObserver = Arc<Mutex<dyn PoolObserver>>;
+
+/// Aggregate pool statistics, mirroring `torch.cuda.memory_allocated` /
+/// `memory_reserved`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Bytes currently handed out to tensors.
+    pub allocated_bytes: u64,
+    /// Bytes reserved from the device (slab total).
+    pub reserved_bytes: u64,
+    /// High-water mark of `allocated_bytes`.
+    pub peak_allocated_bytes: u64,
+    /// Number of live tensors.
+    pub live_tensors: usize,
+}
+
+/// A first-fit caching allocator carving tensors out of one device slab.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceContext, pool::CachingPool};
+///
+/// # fn main() -> Result<(), gpu_sim::SimError> {
+/// let mut ctx = DeviceContext::new_default();
+/// let mut pool = CachingPool::reserve(&mut ctx, 1 << 20)?;
+/// let t = pool.alloc(&mut ctx, 4096, "activations")?;
+/// assert_eq!(pool.stats().allocated_bytes, 4096);
+/// pool.free(t)?;
+/// assert_eq!(pool.stats().allocated_bytes, 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CachingPool {
+    slab: DevicePtr,
+    slab_size: u64,
+    /// Free regions: start offset → length.
+    free: BTreeMap<u64, u64>,
+    /// Live tensors: start offset → size.
+    live: BTreeMap<u64, u64>,
+    stats: PoolStats,
+    observers: Vec<SharedPoolObserver>,
+}
+
+impl std::fmt::Debug for CachingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingPool")
+            .field("slab", &self.slab)
+            .field("slab_size", &self.slab_size)
+            .field("stats", &self.stats)
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+/// Allocation granularity inside the pool (PyTorch rounds to 512 B blocks).
+pub const POOL_ALIGN: u64 = 512;
+
+impl CachingPool {
+    /// Reserves a `slab_size`-byte slab from the device and builds a pool
+    /// over it. The reservation is one big `cudaMalloc`, which is all the
+    /// Sanitizer ever sees of this pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] if the slab cannot be allocated.
+    pub fn reserve(ctx: &mut DeviceContext, slab_size: u64) -> Result<Self> {
+        let slab = ctx.malloc(slab_size, "memory_pool_slab")?;
+        let mut free = BTreeMap::new();
+        free.insert(0, slab_size);
+        Ok(CachingPool {
+            slab,
+            slab_size,
+            free,
+            live: BTreeMap::new(),
+            stats: PoolStats {
+                reserved_bytes: slab_size,
+                ..PoolStats::default()
+            },
+            observers: Vec::new(),
+        })
+    }
+
+    /// Registers a pool observer (DrGPUM's Sec. 5.4 profiling interface).
+    pub fn register_observer(&mut self, observer: SharedPoolObserver) {
+        self.observers.push(observer);
+    }
+
+    /// Current pool statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Base pointer of the underlying slab.
+    pub fn slab(&self) -> DevicePtr {
+        self.slab
+    }
+
+    fn notify(&self, event: &PoolEvent) {
+        for o in &self.observers {
+            o.lock().on_pool_event(event);
+        }
+    }
+
+    /// Carves `size` bytes out of the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] when the pool is exhausted or too
+    /// fragmented, and [`SimError::ZeroSizedAllocation`] for `size == 0`.
+    pub fn alloc(
+        &mut self,
+        ctx: &mut DeviceContext,
+        size: u64,
+        label: impl Into<String>,
+    ) -> Result<DevicePtr> {
+        if size == 0 {
+            return Err(SimError::ZeroSizedAllocation);
+        }
+        let rounded = size.div_ceil(POOL_ALIGN) * POOL_ALIGN;
+        let slot = self
+            .free
+            .iter()
+            .find(|(_, &len)| len >= rounded)
+            .map(|(&s, &l)| (s, l));
+        let (start, len) = slot.ok_or(SimError::OutOfMemory {
+            requested: size,
+            largest_free: self.free.values().copied().max().unwrap_or(0),
+            total_free: self.free.values().sum(),
+        })?;
+        self.free.remove(&start);
+        if len > rounded {
+            self.free.insert(start + rounded, len - rounded);
+        }
+        self.live.insert(start, size);
+        self.stats.allocated_bytes += size;
+        self.stats.peak_allocated_bytes =
+            self.stats.peak_allocated_bytes.max(self.stats.allocated_bytes);
+        self.stats.live_tensors = self.live.len();
+        let ptr = self.slab + start;
+        self.notify(&PoolEvent::Alloc {
+            ptr,
+            size,
+            label: label.into(),
+            call_path: ctx.call_stack().capture(),
+        });
+        Ok(ptr)
+    }
+
+    /// Returns a tensor to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidFree`] if `ptr` was not handed out by
+    /// [`CachingPool::alloc`].
+    pub fn free(&mut self, ptr: DevicePtr) -> Result<()> {
+        let start = ptr.offset_from(self.slab);
+        let size = self.live.remove(&start).ok_or(SimError::InvalidFree(ptr))?;
+        let rounded = size.div_ceil(POOL_ALIGN) * POOL_ALIGN;
+        self.insert_free(start, rounded);
+        self.stats.allocated_bytes -= size;
+        self.stats.live_tensors = self.live.len();
+        self.notify(&PoolEvent::Free { ptr, size });
+        Ok(())
+    }
+
+    fn insert_free(&mut self, mut start: u64, mut len: u64) {
+        if let Some((&ps, &pl)) = self.free.range(..start).next_back() {
+            if ps + pl == start {
+                self.free.remove(&ps);
+                start = ps;
+                len += pl;
+            }
+        }
+        if let Some((&ns, &nl)) = self.free.range(start + len..).next() {
+            if start + len == ns {
+                self.free.remove(&ns);
+                len += nl;
+            }
+        }
+        self.free.insert(start, len);
+    }
+
+    /// Releases the slab back to the device. Call at teardown; leaking the
+    /// pool object itself constitutes the paper's *memory leak* pattern at
+    /// the CUDA level.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the slab was already released.
+    pub fn release(self, ctx: &mut DeviceContext) -> Result<()> {
+        ctx.free(self.slab)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        allocs: usize,
+        frees: usize,
+        last_label: String,
+    }
+
+    impl PoolObserver for Counter {
+        fn on_pool_event(&mut self, event: &PoolEvent) {
+            match event {
+                PoolEvent::Alloc { label, .. } => {
+                    self.allocs += 1;
+                    self.last_label = label.clone();
+                }
+                PoolEvent::Free { .. } => self.frees += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn pool_allocs_are_invisible_to_the_sanitizer() {
+        let mut ctx = DeviceContext::new_default();
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        let api_calls_before = ctx.api_log().len();
+        let t = pool.alloc(&mut ctx, 1024, "t").unwrap();
+        pool.free(t).unwrap();
+        assert_eq!(
+            ctx.api_log().len(),
+            api_calls_before,
+            "pool traffic must not produce GPU API events"
+        );
+    }
+
+    #[test]
+    fn observer_sees_pool_traffic() {
+        let mut ctx = DeviceContext::new_default();
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        let counter = Arc::new(Mutex::new(Counter {
+            allocs: 0,
+            frees: 0,
+            last_label: String::new(),
+        }));
+        pool.register_observer(counter.clone());
+        let a = pool.alloc(&mut ctx, 100, "grad").unwrap();
+        let b = pool.alloc(&mut ctx, 200, "act").unwrap();
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        let c = counter.lock();
+        assert_eq!((c.allocs, c.frees), (2, 2));
+        assert_eq!(c.last_label, "act");
+    }
+
+    #[test]
+    fn pool_reuses_freed_blocks() {
+        let mut ctx = DeviceContext::new_default();
+        let mut pool = CachingPool::reserve(&mut ctx, 4 * POOL_ALIGN).unwrap();
+        let a = pool.alloc(&mut ctx, POOL_ALIGN, "a").unwrap();
+        let _b = pool.alloc(&mut ctx, POOL_ALIGN, "b").unwrap();
+        pool.free(a).unwrap();
+        let c = pool.alloc(&mut ctx, POOL_ALIGN, "c").unwrap();
+        assert_eq!(c, a, "first-fit reuse of the freed block");
+    }
+
+    #[test]
+    fn pool_exhaustion_is_oom() {
+        let mut ctx = DeviceContext::new_default();
+        let mut pool = CachingPool::reserve(&mut ctx, 2 * POOL_ALIGN).unwrap();
+        let _a = pool.alloc(&mut ctx, 2 * POOL_ALIGN, "a").unwrap();
+        assert!(matches!(
+            pool.alloc(&mut ctx, 1, "b").unwrap_err(),
+            SimError::OutOfMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn peak_allocated_tracks_high_water() {
+        let mut ctx = DeviceContext::new_default();
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        let a = pool.alloc(&mut ctx, 1000, "a").unwrap();
+        let b = pool.alloc(&mut ctx, 2000, "b").unwrap();
+        pool.free(a).unwrap();
+        pool.free(b).unwrap();
+        assert_eq!(pool.stats().peak_allocated_bytes, 3000);
+        assert_eq!(pool.stats().allocated_bytes, 0);
+    }
+
+    #[test]
+    fn release_frees_the_slab() {
+        let mut ctx = DeviceContext::new_default();
+        let pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        let slab = pool.slab();
+        pool.release(&mut ctx).unwrap();
+        assert!(ctx.allocator().get(slab).is_none());
+    }
+}

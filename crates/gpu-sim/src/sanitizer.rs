@@ -1,0 +1,376 @@
+//! Sanitizer-style instrumentation API: the simulated analogue of NVIDIA's
+//! Sanitizer API (callback interception + SASS memory-instruction patching).
+//!
+//! Tools register [`SanitizerHooks`] with a device context. The context then
+//! delivers:
+//!
+//! * [`SanitizerHooks::on_api`] — after every GPU API invocation, with the
+//!   full [`ApiEvent`] (kind, stream, call path, timing);
+//! * [`SanitizerHooks::on_kernel_begin`] — before each kernel, letting the
+//!   tool choose a [`PatchMode`] (no patching, object hit-flags as in the
+//!   paper's Fig. 5, or full per-instruction records);
+//! * [`SanitizerHooks::on_mem_access_buffer`] — buffered memory-access
+//!   records streamed out of a fully-patched kernel, mirroring the real
+//!   Sanitizer's device→host record buffers;
+//! * [`SanitizerHooks::on_kernel_end`] — after the kernel, with the set of
+//!   data objects it touched (the GPU-side hit-flag summary) and aggregate
+//!   work counters.
+
+use crate::api::ApiEvent;
+use crate::kernel::{Dim3, KernelCounters};
+use crate::mem::{DeviceAllocator, DevicePtr};
+use crate::stream::StreamId;
+use crate::unified::PageMigration;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Whether a memory instruction read or wrote global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A global-memory load.
+    Read,
+    /// A global-memory store.
+    Write,
+}
+
+/// One instrumented memory instruction execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccessRecord {
+    /// First byte touched.
+    pub addr: DevicePtr,
+    /// Access width in bytes.
+    pub size: u32,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Flattened global thread id of the executing thread.
+    pub flat_thread: u64,
+    /// Pseudo program counter: the ordinal of this memory instruction within
+    /// its thread's execution (stable across threads on convergent paths).
+    pub pc: u32,
+}
+
+/// Identity and geometry of a launched kernel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelInfo {
+    /// Kernel name.
+    pub name: String,
+    /// Global API sequence number of the launch.
+    pub api_seq: u64,
+    /// Stream the kernel was launched on.
+    pub stream: StreamId,
+    /// Grid extent.
+    pub grid: Dim3,
+    /// Block extent.
+    pub block: Dim3,
+    /// The how-many-th launch of a kernel with this name (0-based), used for
+    /// kernel sampling.
+    pub instance: u64,
+}
+
+/// Degree of instrumentation applied to one kernel launch.
+///
+/// Ordered by cost: `None < HitFlags < Full`. When several tools are
+/// registered the most demanding request wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatchMode {
+    /// Do not observe memory instructions at all.
+    None,
+    /// Only mark which data objects the kernel touches (binary search over
+    /// the memory map per access + a hit flag; the paper's Fig. 5 design).
+    HitFlags,
+    /// Stream every memory-access record to the tool (intra-object mode).
+    Full,
+}
+
+/// Read/write summary for one data object touched by a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TouchedObject {
+    /// Base address of the allocation.
+    pub base: DevicePtr,
+    /// The kernel executed at least one load from the object.
+    pub read: bool,
+    /// The kernel executed at least one store to the object.
+    pub written: bool,
+}
+
+/// Callbacks a profiling tool registers with the simulated Sanitizer API.
+///
+/// All methods have empty default bodies so tools override only what they
+/// need.
+pub trait SanitizerHooks {
+    /// Called after every GPU API invocation completes.
+    fn on_api(&mut self, _event: &ApiEvent) {}
+
+    /// Called before a kernel executes; returns the desired [`PatchMode`].
+    fn on_kernel_begin(&mut self, _info: &KernelInfo) -> PatchMode {
+        PatchMode::None
+    }
+
+    /// Delivers a buffer of memory-access records from a fully-patched
+    /// kernel. May be called multiple times per kernel as the device-side
+    /// buffer fills.
+    fn on_mem_access_buffer(&mut self, _info: &KernelInfo, _records: &[MemAccessRecord]) {}
+
+    /// Called after a kernel finishes, with the hit-flag summary of touched
+    /// objects (present in `HitFlags` and `Full` modes) and work counters.
+    fn on_kernel_end(
+        &mut self,
+        _info: &KernelInfo,
+        _touched: &[TouchedObject],
+        _counters: &KernelCounters,
+    ) {
+    }
+
+    /// Called on every unified-memory page migration (the raw signal for
+    /// page-thrashing and page-level false-sharing analysis — the paper's
+    /// future-work extension, Sec. 8).
+    fn on_page_migration(&mut self, _migration: &PageMigration) {}
+}
+
+/// A shared, lockable hook registration.
+pub type SharedHooks = Arc<Mutex<dyn SanitizerHooks>>;
+
+/// Instrumentation cost model: simulated-time surcharges for patched kernels.
+///
+/// These constants drive the *simulated* overhead of profiling; the paper's
+/// Figure 6 wall-clock overheads are measured separately by the benchmark
+/// harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Extra ns per access in [`PatchMode::Full`].
+    pub full_access_ns: f64,
+    /// Extra ns per access in [`PatchMode::HitFlags`] (binary search + flag).
+    pub hitflag_access_ns: f64,
+    /// Bytes per record used to cost device→host record-buffer flushes.
+    pub record_bytes: u64,
+    /// ns per live allocation to copy the memory map to the device at each
+    /// patched kernel launch (Fig. 5).
+    pub map_copy_ns_per_entry: f64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            full_access_ns: 12.0,
+            hitflag_access_ns: 1.5,
+            record_bytes: 24,
+            map_copy_ns_per_entry: 2.0,
+        }
+    }
+}
+
+/// The Sanitizer registry owned by a device context.
+pub struct Sanitizer {
+    hooks: Vec<SharedHooks>,
+    /// Capacity (in records) of the simulated device-side record buffer.
+    buffer_capacity: usize,
+    overhead: OverheadModel,
+}
+
+impl std::fmt::Debug for Sanitizer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sanitizer")
+            .field("hooks", &self.hooks.len())
+            .field("buffer_capacity", &self.buffer_capacity)
+            .field("overhead", &self.overhead)
+            .finish()
+    }
+}
+
+impl Default for Sanitizer {
+    fn default() -> Self {
+        Sanitizer {
+            hooks: Vec::new(),
+            buffer_capacity: 16 * 1024,
+            overhead: OverheadModel::default(),
+        }
+    }
+}
+
+impl Sanitizer {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Sanitizer::default()
+    }
+
+    /// Registers a tool; returns nothing — keep your own `Arc` clone to read
+    /// results back after the run.
+    pub fn register(&mut self, hooks: SharedHooks) {
+        self.hooks.push(hooks);
+    }
+
+    /// Removes all registered tools.
+    pub fn clear(&mut self) {
+        self.hooks.clear();
+    }
+
+    /// Number of registered tools.
+    pub fn hook_count(&self) -> usize {
+        self.hooks.len()
+    }
+
+    /// Sets the simulated device-side record-buffer capacity.
+    pub fn set_buffer_capacity(&mut self, records: usize) {
+        self.buffer_capacity = records.max(1);
+    }
+
+    /// The current record-buffer capacity.
+    pub fn buffer_capacity(&self) -> usize {
+        self.buffer_capacity
+    }
+
+    /// The instrumentation cost model.
+    pub fn overhead_model(&self) -> OverheadModel {
+        self.overhead
+    }
+
+    /// Replaces the instrumentation cost model.
+    pub fn set_overhead_model(&mut self, model: OverheadModel) {
+        self.overhead = model;
+    }
+
+    /// Dispatches an API event to every tool.
+    pub(crate) fn dispatch_api(&self, event: &ApiEvent) {
+        for h in &self.hooks {
+            h.lock().on_api(event);
+        }
+    }
+
+    /// Asks every tool for a patch mode; the most demanding wins.
+    pub(crate) fn dispatch_kernel_begin(&self, info: &KernelInfo) -> PatchMode {
+        self.hooks
+            .iter()
+            .map(|h| h.lock().on_kernel_begin(info))
+            .max()
+            .unwrap_or(PatchMode::None)
+    }
+
+    pub(crate) fn dispatch_kernel_end(
+        &self,
+        info: &KernelInfo,
+        touched: &[TouchedObject],
+        counters: &KernelCounters,
+    ) {
+        for h in &self.hooks {
+            h.lock().on_kernel_end(info, touched, counters);
+        }
+    }
+
+    pub(crate) fn dispatch_buffer(&self, info: &KernelInfo, records: &[MemAccessRecord]) {
+        for h in &self.hooks {
+            h.lock().on_mem_access_buffer(info, records);
+        }
+    }
+
+    pub(crate) fn dispatch_page_migration(&self, migration: &PageMigration) {
+        for h in &self.hooks {
+            h.lock().on_page_migration(migration);
+        }
+    }
+}
+
+/// Collects memory-access observations during one kernel execution and
+/// streams them to the registered tools.
+///
+/// Created internally by [`crate::DeviceContext::launch`]; kernels interact
+/// with it only indirectly through [`crate::ThreadCtx`].
+pub struct AccessSink {
+    mode: PatchMode,
+    buffer: Vec<MemAccessRecord>,
+    capacity: usize,
+    /// Touched-object hit flags keyed by allocation base.
+    touched: BTreeMap<DevicePtr, TouchedObject>,
+    /// Number of buffer flushes performed (for the cost model).
+    pub(crate) flushes: u64,
+    /// Number of records observed (for the cost model).
+    pub(crate) records_seen: u64,
+}
+
+impl std::fmt::Debug for AccessSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AccessSink")
+            .field("mode", &self.mode)
+            .field("buffered", &self.buffer.len())
+            .field("touched_objects", &self.touched.len())
+            .field("records_seen", &self.records_seen)
+            .finish()
+    }
+}
+
+impl AccessSink {
+    pub(crate) fn new(mode: PatchMode, capacity: usize) -> Self {
+        AccessSink {
+            mode,
+            buffer: Vec::with_capacity(if mode == PatchMode::Full { capacity } else { 0 }),
+            capacity,
+            touched: BTreeMap::new(),
+            flushes: 0,
+            records_seen: 0,
+        }
+    }
+
+    /// The patch mode this sink operates in.
+    pub fn mode(&self) -> PatchMode {
+        self.mode
+    }
+
+    pub(crate) fn take_touched(self) -> Vec<TouchedObject> {
+        self.touched.into_values().collect()
+    }
+
+    /// Resolves and stores one access. The containing object is looked up in
+    /// the live-allocation map (the Fig. 5 binary search) and its hit flag is
+    /// updated; in [`PatchMode::Full`] the record is also buffered and
+    /// streamed to the tools when the device-side buffer fills.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn note_access(
+        &mut self,
+        alloc: &DeviceAllocator,
+        sanitizer: &Sanitizer,
+        info: &KernelInfo,
+        addr: DevicePtr,
+        size: u32,
+        kind: AccessKind,
+        flat_thread: u64,
+        pc: u32,
+    ) {
+        if self.mode == PatchMode::None {
+            return;
+        }
+        self.records_seen += 1;
+        if let Some(obj) = alloc.find_containing(addr) {
+            let entry = self.touched.entry(obj.ptr).or_insert(TouchedObject {
+                base: obj.ptr,
+                read: false,
+                written: false,
+            });
+            match kind {
+                AccessKind::Read => entry.read = true,
+                AccessKind::Write => entry.written = true,
+            }
+        }
+        if self.mode == PatchMode::Full {
+            self.buffer.push(MemAccessRecord {
+                addr,
+                size,
+                kind,
+                flat_thread,
+                pc,
+            });
+            if self.buffer.len() >= self.capacity {
+                self.flush(sanitizer, info);
+            }
+        }
+    }
+
+    pub(crate) fn flush(&mut self, sanitizer: &Sanitizer, info: &KernelInfo) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        sanitizer.dispatch_buffer(info, &self.buffer);
+        self.buffer.clear();
+        self.flushes += 1;
+    }
+}

@@ -1,0 +1,317 @@
+//! Streams, events, and the simulated timeline.
+//!
+//! GPU APIs dispatched on different streams may execute concurrently
+//! (Sec. 5.3). The simulator models each stream as an in-order timeline with
+//! a *tail* timestamp; an operation enqueued on stream `s` begins at
+//! `max(host_now, tail(s))` and advances the tail by its simulated duration.
+//! Events provide cross-stream ordering exactly like `cudaEventRecord` /
+//! `cudaStreamWaitEvent`.
+
+use crate::error::{Result, SimError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Simulated time in nanoseconds since context creation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The zero time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Returns the later of two times.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Adds a duration in nanoseconds.
+    pub fn advance(self, ns: u64) -> SimTime {
+        SimTime(self.0 + ns)
+    }
+
+    /// Nanoseconds since time zero.
+    pub fn as_ns(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// Identifier of a stream. Stream 0 is the default stream.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct StreamId(pub u32);
+
+impl StreamId {
+    /// The default stream (stream 0).
+    pub const DEFAULT: StreamId = StreamId(0);
+}
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+/// Identifier of an event created with [`StreamSet::create_event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventId(pub u32);
+
+#[derive(Debug, Clone)]
+struct StreamState {
+    tail: SimTime,
+    /// Number of operations enqueued on this stream so far, used to derive
+    /// per-stream API ordinals (the paper's `ALLOC(i, j)` naming in Fig. 7).
+    ops: u64,
+}
+
+/// The set of streams and events owned by a device context.
+#[derive(Debug)]
+pub struct StreamSet {
+    streams: Vec<StreamState>,
+    events: Vec<Option<SimTime>>,
+    host_now: SimTime,
+}
+
+impl Default for StreamSet {
+    fn default() -> Self {
+        StreamSet::new()
+    }
+}
+
+impl StreamSet {
+    /// Creates a stream set containing only the default stream.
+    pub fn new() -> Self {
+        StreamSet {
+            streams: vec![StreamState {
+                tail: SimTime::ZERO,
+                ops: 0,
+            }],
+            events: Vec::new(),
+            host_now: SimTime::ZERO,
+        }
+    }
+
+    /// Creates a new stream and returns its id.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(u32::try_from(self.streams.len()).expect("too many streams"));
+        self.streams.push(StreamState {
+            tail: self.host_now,
+            ops: 0,
+        });
+        id
+    }
+
+    /// Creates a new (unrecorded) event.
+    pub fn create_event(&mut self) -> EventId {
+        let id = EventId(u32::try_from(self.events.len()).expect("too many events"));
+        self.events.push(None);
+        id
+    }
+
+    /// Number of streams, including the default stream.
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Current host-side time.
+    pub fn host_now(&self) -> SimTime {
+        self.host_now
+    }
+
+    /// Advances host time by `ns` (models host-side work between API calls).
+    pub fn advance_host(&mut self, ns: u64) {
+        self.host_now = self.host_now.advance(ns);
+    }
+
+    fn state_mut(&mut self, stream: StreamId) -> Result<&mut StreamState> {
+        self.streams
+            .get_mut(stream.0 as usize)
+            .ok_or(SimError::UnknownStream(stream.0))
+    }
+
+    fn state(&self, stream: StreamId) -> Result<&StreamState> {
+        self.streams
+            .get(stream.0 as usize)
+            .ok_or(SimError::UnknownStream(stream.0))
+    }
+
+    /// Enqueues an asynchronous operation of `duration_ns` on `stream`.
+    ///
+    /// Returns the `(start, end)` interval and the per-stream ordinal of the
+    /// operation. Host time does not advance (the call is asynchronous).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownStream`] for an id not created by this set.
+    pub fn enqueue(&mut self, stream: StreamId, duration_ns: u64) -> Result<(SimTime, SimTime, u64)> {
+        let host_now = self.host_now;
+        let st = self.state_mut(stream)?;
+        let start = st.tail.max(host_now);
+        let end = start.advance(duration_ns);
+        st.tail = end;
+        let ordinal = st.ops;
+        st.ops += 1;
+        Ok((start, end, ordinal))
+    }
+
+    /// Enqueues a *synchronous* operation (e.g. a blocking memcpy): like
+    /// [`StreamSet::enqueue`], but host time also advances to the end.
+    pub fn enqueue_sync(
+        &mut self,
+        stream: StreamId,
+        duration_ns: u64,
+    ) -> Result<(SimTime, SimTime, u64)> {
+        let (start, end, ordinal) = self.enqueue(stream, duration_ns)?;
+        self.host_now = self.host_now.max(end);
+        Ok((start, end, ordinal))
+    }
+
+    /// Records `event` at the current tail of `stream`
+    /// (`cudaEventRecord`).
+    pub fn record_event(&mut self, event: EventId, stream: StreamId) -> Result<SimTime> {
+        let tail = self.state(stream)?.tail;
+        let slot = self
+            .events
+            .get_mut(event.0 as usize)
+            .ok_or(SimError::UnknownEvent(event.0))?;
+        *slot = Some(tail);
+        Ok(tail)
+    }
+
+    /// Makes `stream` wait for `event` (`cudaStreamWaitEvent`). Waiting on an
+    /// unrecorded event is a no-op, as in CUDA.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) -> Result<()> {
+        let recorded = *self
+            .events
+            .get(event.0 as usize)
+            .ok_or(SimError::UnknownEvent(event.0))?;
+        if let Some(t) = recorded {
+            let st = self.state_mut(stream)?;
+            st.tail = st.tail.max(t);
+        }
+        Ok(())
+    }
+
+    /// Blocks the host until `stream` drains (`cudaStreamSynchronize`).
+    pub fn sync_stream(&mut self, stream: StreamId) -> Result<SimTime> {
+        let tail = self.state(stream)?.tail;
+        self.host_now = self.host_now.max(tail);
+        Ok(self.host_now)
+    }
+
+    /// Blocks the host until all streams drain (`cudaDeviceSynchronize`).
+    pub fn sync_device(&mut self) -> SimTime {
+        let max_tail = self
+            .streams
+            .iter()
+            .map(|s| s.tail)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        self.host_now = self.host_now.max(max_tail);
+        self.host_now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_exists() {
+        let s = StreamSet::new();
+        assert_eq!(s.stream_count(), 1);
+        assert_eq!(StreamId::DEFAULT, StreamId(0));
+    }
+
+    #[test]
+    fn ops_on_one_stream_serialize() {
+        let mut s = StreamSet::new();
+        let (a0, a1, ord0) = s.enqueue(StreamId::DEFAULT, 100).unwrap();
+        let (b0, b1, ord1) = s.enqueue(StreamId::DEFAULT, 50).unwrap();
+        assert_eq!(a0, SimTime::ZERO);
+        assert_eq!(a1, SimTime(100));
+        assert_eq!(b0, SimTime(100));
+        assert_eq!(b1, SimTime(150));
+        assert_eq!((ord0, ord1), (0, 1));
+    }
+
+    #[test]
+    fn ops_on_different_streams_overlap() {
+        let mut s = StreamSet::new();
+        let s1 = s.create_stream();
+        let (a0, a1, _) = s.enqueue(StreamId::DEFAULT, 100).unwrap();
+        let (b0, b1, _) = s.enqueue(s1, 100).unwrap();
+        assert_eq!(a0, b0, "independent streams start together");
+        assert_eq!(a1, b1);
+    }
+
+    #[test]
+    fn sync_operations_block_host() {
+        let mut s = StreamSet::new();
+        s.enqueue(StreamId::DEFAULT, 100).unwrap();
+        assert_eq!(s.host_now(), SimTime::ZERO);
+        s.enqueue_sync(StreamId::DEFAULT, 10).unwrap();
+        assert_eq!(s.host_now(), SimTime(110));
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut s = StreamSet::new();
+        let s1 = s.create_stream();
+        let ev = s.create_event();
+        s.enqueue(StreamId::DEFAULT, 100).unwrap();
+        s.record_event(ev, StreamId::DEFAULT).unwrap();
+        s.wait_event(s1, ev).unwrap();
+        let (start, _, _) = s.enqueue(s1, 10).unwrap();
+        assert_eq!(start, SimTime(100), "s1 waits for the event at t=100");
+    }
+
+    #[test]
+    fn waiting_on_unrecorded_event_is_noop() {
+        let mut s = StreamSet::new();
+        let s1 = s.create_stream();
+        let ev = s.create_event();
+        s.wait_event(s1, ev).unwrap();
+        let (start, _, _) = s.enqueue(s1, 10).unwrap();
+        assert_eq!(start, SimTime::ZERO);
+    }
+
+    #[test]
+    fn device_sync_joins_all_streams() {
+        let mut s = StreamSet::new();
+        let s1 = s.create_stream();
+        s.enqueue(StreamId::DEFAULT, 70).unwrap();
+        s.enqueue(s1, 100).unwrap();
+        assert_eq!(s.sync_device(), SimTime(100));
+    }
+
+    #[test]
+    fn unknown_ids_are_errors() {
+        let mut s = StreamSet::new();
+        assert!(matches!(
+            s.enqueue(StreamId(9), 1).unwrap_err(),
+            SimError::UnknownStream(9)
+        ));
+        assert!(matches!(
+            s.wait_event(StreamId::DEFAULT, EventId(3)).unwrap_err(),
+            SimError::UnknownEvent(3)
+        ));
+    }
+
+    #[test]
+    fn new_stream_starts_at_host_now() {
+        let mut s = StreamSet::new();
+        s.enqueue_sync(StreamId::DEFAULT, 500).unwrap();
+        let s1 = s.create_stream();
+        let (start, _, _) = s.enqueue(s1, 1).unwrap();
+        assert_eq!(start, SimTime(500));
+    }
+}

@@ -1,0 +1,272 @@
+//! Cross-module integration tests for the simulated runtime: instrumentation
+//! contracts, stream/event semantics, buffer chunking, and fault behaviour.
+
+use gpu_sim::sanitizer::{KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks};
+use gpu_sim::{
+    ApiKind, DeviceContext, Dim3, KernelCounters, LaunchConfig, PlatformConfig, SimError,
+    StreamId, TouchedObject,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct Probe {
+    mode: Option<PatchMode>,
+    buffers: Vec<usize>,
+    kernels_seen: u64,
+    touched: Vec<TouchedObject>,
+    counters: Vec<KernelCounters>,
+}
+
+impl SanitizerHooks for Probe {
+    fn on_kernel_begin(&mut self, _info: &KernelInfo) -> PatchMode {
+        self.kernels_seen += 1;
+        self.mode.unwrap_or(PatchMode::None)
+    }
+    fn on_mem_access_buffer(&mut self, _info: &KernelInfo, records: &[MemAccessRecord]) {
+        self.buffers.push(records.len());
+    }
+    fn on_kernel_end(
+        &mut self,
+        _info: &KernelInfo,
+        touched: &[TouchedObject],
+        counters: &KernelCounters,
+    ) {
+        self.touched.extend_from_slice(touched);
+        self.counters.push(*counters);
+    }
+}
+
+fn probe(mode: PatchMode) -> Arc<Mutex<Probe>> {
+    Arc::new(Mutex::new(Probe {
+        mode: Some(mode),
+        ..Probe::default()
+    }))
+}
+
+#[test]
+fn record_buffers_are_chunked_at_capacity() {
+    let p = probe(PatchMode::Full);
+    let mut ctx = DeviceContext::new_default();
+    ctx.sanitizer_mut().register(p.clone());
+    ctx.sanitizer_mut().set_buffer_capacity(100);
+    let n = 512u64;
+    let a = ctx.malloc(n * 4, "a").unwrap();
+    ctx.launch("w", LaunchConfig::cover(n, 64), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            t.store_f32(a + i * 4, 0.0);
+        }
+    })
+    .unwrap();
+    let p = p.lock();
+    // 512 records in ≤100-record chunks: five full + one remainder.
+    assert_eq!(p.buffers.iter().sum::<usize>(), 512);
+    assert!(p.buffers.len() >= 6, "buffers: {:?}", p.buffers);
+    assert!(p.buffers.iter().all(|&len| len <= 100));
+}
+
+#[test]
+fn most_demanding_patch_mode_wins_across_tools() {
+    let lazy = probe(PatchMode::None);
+    let eager = probe(PatchMode::Full);
+    let mut ctx = DeviceContext::new_default();
+    ctx.sanitizer_mut().register(lazy.clone());
+    ctx.sanitizer_mut().register(eager.clone());
+    let a = ctx.malloc(64, "a").unwrap();
+    ctx.launch("k", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < 4 {
+            t.store_f32(a + i * 4, 1.0);
+        }
+    })
+    .unwrap();
+    // Both tools receive the record stream even though one asked for None.
+    assert_eq!(lazy.lock().buffers.iter().sum::<usize>(), 4);
+    assert_eq!(eager.lock().buffers.iter().sum::<usize>(), 4);
+}
+
+#[test]
+fn counters_report_exact_work() {
+    let p = probe(PatchMode::HitFlags);
+    let mut ctx = DeviceContext::new_default();
+    ctx.sanitizer_mut().register(p.clone());
+    let n = 100u64;
+    let a = ctx.malloc(n * 4, "a").unwrap();
+    let b = ctx.malloc(n * 4, "b").unwrap();
+    ctx.memset(a, 0, n * 4).unwrap();
+    ctx.launch("axpy", LaunchConfig::cover(n, 32), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            let v = t.load_f32(a + i * 4);
+            t.store_f32(b + i * 4, v + 1.0);
+            t.flop(1);
+        }
+    })
+    .unwrap();
+    let p = p.lock();
+    let c = p.counters[0];
+    assert_eq!(c.global_reads, n);
+    assert_eq!(c.global_writes, n);
+    assert_eq!(c.global_bytes, n * 8);
+    assert_eq!(c.flops, n);
+    assert_eq!(c.page_migrations, 0);
+    let reads: Vec<&TouchedObject> = p.touched.iter().filter(|t| t.read).collect();
+    assert_eq!(reads.len(), 1);
+}
+
+#[test]
+fn per_stream_ordinals_follow_figure7_naming() {
+    let mut ctx = DeviceContext::new_default();
+    let s1 = ctx.create_stream();
+    let a = ctx.malloc(256, "a").unwrap();
+    ctx.memset_on(a, 0, 256, s1).unwrap();
+    ctx.memset_on(a, 1, 256, s1).unwrap();
+    ctx.memset(a, 2, 256).unwrap();
+    let names: Vec<String> = ctx
+        .api_log()
+        .iter()
+        .filter(|e| e.kind.is_gpu_api())
+        .map(|e| e.display_name())
+        .collect();
+    assert_eq!(
+        names,
+        ["ALLOC(0, 0)", "SET(1, 0)", "SET(1, 1)", "SET(0, 1)"],
+        "ordinals count per stream"
+    );
+}
+
+#[test]
+fn event_chain_orders_three_streams() {
+    let mut ctx = DeviceContext::new_default();
+    let s1 = ctx.create_stream();
+    let s2 = ctx.create_stream();
+    let s3 = ctx.create_stream();
+    let n = 8 * 1024u64;
+    let buf = ctx.malloc(n * 4, "buf").unwrap();
+    ctx.memset_on(buf, 0, n * 4, s1).unwrap();
+    let e1 = ctx.create_event();
+    ctx.record_event(e1, s1).unwrap();
+    ctx.wait_event(s2, e1).unwrap();
+    ctx.memset_on(buf, 1, n * 4, s2).unwrap();
+    let e2 = ctx.create_event();
+    ctx.record_event(e2, s2).unwrap();
+    ctx.wait_event(s3, e2).unwrap();
+    ctx.memset_on(buf, 2, n * 4, s3).unwrap();
+    ctx.sync_device();
+    let sets: Vec<_> = ctx
+        .api_log()
+        .iter()
+        .filter(|e| matches!(e.kind, ApiKind::Memset { .. }))
+        .collect();
+    assert_eq!(sets.len(), 3);
+    assert!(sets[0].end <= sets[1].start, "event chains serialize streams");
+    assert!(sets[1].end <= sets[2].start);
+    // The last write wins in memory.
+    let mut out = [0u8; 4];
+    ctx.memcpy_d2h(&mut out, buf).unwrap();
+    assert_eq!(out, [2, 2, 2, 2]);
+}
+
+#[test]
+fn freed_memory_faults_on_kernel_access() {
+    let mut ctx = DeviceContext::new_default();
+    let a = ctx.malloc(64, "a").unwrap();
+    ctx.free(a).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        ctx.launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
+            t.load_f32(a);
+        })
+    }));
+    assert!(result.is_err(), "use-after-free must fault");
+}
+
+#[test]
+fn d2d_copy_moves_data_between_objects() {
+    let mut ctx = DeviceContext::new_default();
+    let src = ctx.malloc(1024, "src").unwrap();
+    let dst = ctx.malloc(1024, "dst").unwrap();
+    ctx.memcpy_h2d(src, &[0xAB; 1024]).unwrap();
+    ctx.memcpy_d2d(dst, src, 1024).unwrap();
+    let mut out = [0u8; 1024];
+    ctx.memcpy_d2h(&mut out, dst).unwrap();
+    assert_eq!(out, [0xAB; 1024]);
+    // And shows up as read-src/write-dst in the log.
+    let d2d = ctx
+        .api_log()
+        .iter()
+        .find(|e| matches!(e.kind, ApiKind::MemcpyD2D { .. }))
+        .unwrap();
+    match d2d.kind {
+        ApiKind::MemcpyD2D { dst: d, src: s, size } => {
+            assert_eq!((d, s, size), (dst, src, 1024));
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[test]
+fn shared_memory_is_per_block() {
+    let mut ctx = DeviceContext::new_default();
+    let out = ctx.malloc(8 * 4, "out").unwrap();
+    // Two blocks of four threads; thread 0 writes shared[0], others read
+    // it. Values must not leak across blocks (shared memory is zeroed per
+    // block).
+    let cfg = LaunchConfig::new(Dim3::x(2), Dim3::x(4)).with_shared_mem(16);
+    ctx.launch("shmem", cfg, StreamId::DEFAULT, move |t| {
+        if t.thread_idx.x == 0 {
+            t.shared_store_f32(0, (t.block_idx.x + 1) as f32 * 10.0);
+        }
+        let v = t.shared_load_f32(0);
+        t.store_f32(out + t.global_thread_id() * 4, v);
+    })
+    .unwrap();
+    let mut host = [0.0f32; 8];
+    ctx.d2h_f32(&mut host, out).unwrap();
+    assert_eq!(&host[0..4], &[10.0; 4]);
+    assert_eq!(&host[4..8], &[20.0; 4]);
+}
+
+#[test]
+fn instrumentation_cost_model_is_tunable() {
+    use gpu_sim::sanitizer::OverheadModel;
+    let run = |model: OverheadModel| {
+        let p = probe(PatchMode::Full);
+        let mut ctx = DeviceContext::new_default();
+        ctx.sanitizer_mut().register(p);
+        ctx.sanitizer_mut().set_overhead_model(model);
+        let n = 4096u64;
+        let a = ctx.malloc(n * 4, "a").unwrap();
+        ctx.launch("k", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < n {
+                t.store_f32(a + i * 4, 0.0);
+            }
+        })
+        .unwrap();
+        ctx.sync_device().as_ns()
+    };
+    let cheap = run(OverheadModel {
+        full_access_ns: 1.0,
+        ..OverheadModel::default()
+    });
+    let pricey = run(OverheadModel {
+        full_access_ns: 100.0,
+        ..OverheadModel::default()
+    });
+    assert!(pricey > cheap);
+}
+
+#[test]
+fn tiny_platform_forces_oom_then_recovers() {
+    let mut ctx = DeviceContext::new(PlatformConfig::test_tiny());
+    let a = ctx.malloc(900 * 1024, "big").unwrap();
+    assert!(matches!(
+        ctx.malloc(900 * 1024, "too_much"),
+        Err(SimError::OutOfMemory { .. })
+    ));
+    ctx.free(a).unwrap();
+    // Space is back.
+    let b = ctx.malloc(900 * 1024, "big_again").unwrap();
+    ctx.free(b).unwrap();
+}

@@ -1,0 +1,151 @@
+//! Shared infrastructure for the simulated benchmark programs.
+
+use gpu_sim::{DeviceContext, DevicePtr, Result, SimTime, SourceLoc};
+
+/// Which variant of a workload to run.
+///
+/// `Unoptimized` reproduces the memory behaviour the paper profiled;
+/// `Optimized` applies the paper's fixes (deferred allocations, early frees,
+/// buffer reuse, removed dead writes, shrunken overallocations, shared-memory
+/// placement, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// The original program, inefficiencies included.
+    #[default]
+    Unoptimized,
+    /// The program with the paper's optimizations applied.
+    Optimized,
+}
+
+impl Variant {
+    /// Both variants, unoptimized first.
+    pub const BOTH: [Variant; 2] = [Variant::Unoptimized, Variant::Optimized];
+
+    /// Returns `true` for [`Variant::Optimized`].
+    pub fn is_optimized(self) -> bool {
+        self == Variant::Optimized
+    }
+}
+
+/// What one workload run produced, for validation and Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Peak device memory (allocator high-water mark), in bytes.
+    pub peak_bytes: u64,
+    /// Peak *pool* memory for pool-based workloads (PyTorch), in bytes.
+    pub pool_peak_bytes: Option<u64>,
+    /// Simulated end-to-end time.
+    pub elapsed: SimTime,
+    /// A workload-defined checksum over the results; must be equal across
+    /// variants (the paper's "optimized code does not change program
+    /// semantics" check).
+    pub checksum: f64,
+}
+
+/// Runs `body` inside a named host stack frame, so allocations inside get a
+/// realistic call path.
+pub fn in_frame<R>(
+    ctx: &mut DeviceContext,
+    function: &str,
+    file: &str,
+    line: u32,
+    body: impl FnOnce(&mut DeviceContext) -> R,
+) -> R {
+    ctx.with_frame(SourceLoc::new(function, file, line), body)
+}
+
+/// Uploads `data` as `f32`s to a freshly allocated, labelled device buffer.
+pub fn alloc_and_upload(
+    ctx: &mut DeviceContext,
+    label: &str,
+    data: &[f32],
+) -> Result<DevicePtr> {
+    let ptr = ctx.malloc(data.len() as u64 * 4, label)?;
+    ctx.h2d_f32(ptr, data)?;
+    Ok(ptr)
+}
+
+/// Downloads `n` `f32`s from the device.
+pub fn download(ctx: &mut DeviceContext, src: DevicePtr, n: usize) -> Result<Vec<f32>> {
+    let mut out = vec![0.0f32; n];
+    ctx.d2h_f32(&mut out, src)?;
+    Ok(out)
+}
+
+/// A cheap deterministic pseudo-random sequence for input data (no external
+/// RNG needed; identical across runs and platforms).
+pub fn synth_data(n: usize, seed: u32) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            // Map to a small range so f32 matrix products stay exact enough.
+            ((state >> 24) & 0xF) as f32 / 16.0
+        })
+        .collect()
+}
+
+/// Sum of a slice, as the standard checksum.
+pub fn checksum(data: &[f32]) -> f64 {
+    data.iter().map(|&v| f64::from(v)).sum()
+}
+
+/// Asserts two checksums match to within floating-point noise.
+///
+/// # Panics
+///
+/// Panics if the relative difference exceeds `1e-6`.
+pub fn assert_checksums_match(a: f64, b: f64) {
+    let denom = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        ((a - b) / denom).abs() < 1e-6,
+        "checksum mismatch: {a} vs {b}"
+    );
+}
+
+/// Finishes a run: synchronizes the device and packages the outcome.
+pub fn finish(ctx: &mut DeviceContext, checksum: f64, pool_peak: Option<u64>) -> RunOutcome {
+    let elapsed = ctx.sync_device();
+    RunOutcome {
+        peak_bytes: ctx.allocator().stats().peak_bytes,
+        pool_peak_bytes: pool_peak,
+        elapsed,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_data_is_deterministic_and_bounded() {
+        let a = synth_data(100, 7);
+        let b = synth_data(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert_ne!(synth_data(100, 8), a);
+    }
+
+    #[test]
+    fn upload_download_round_trip() {
+        let mut ctx = DeviceContext::new_default();
+        let data = synth_data(64, 1);
+        let ptr = alloc_and_upload(&mut ctx, "x", &data).unwrap();
+        let back = download(&mut ctx, ptr, 64).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "checksum mismatch")]
+    fn checksum_mismatch_panics() {
+        assert_checksums_match(1.0, 2.0);
+    }
+
+    #[test]
+    fn variants() {
+        assert!(Variant::Optimized.is_optimized());
+        assert!(!Variant::Unoptimized.is_optimized());
+        assert_eq!(Variant::default(), Variant::Unoptimized);
+    }
+}

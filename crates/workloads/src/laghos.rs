@@ -1,0 +1,190 @@
+//! Laghos: Lagrangian high-order hydrodynamics (the paper's Sec. 1.2 / 7.7
+//! case study).
+//!
+//! `QUpdate::q_dx` and `q_dy` are last accessed in
+//! `UpdateQuadratureData()`, yet the unoptimized program keeps them alive
+//! until process exit — the paper's motivating **late deallocation**. The
+//! solver phase then allocates its own work arrays on top, inflating the
+//! peak. The optimized variant frees `q_dx`/`q_dy` right after
+//! `UpdateQuadratureData()` (the paper's 2-line fix, 35 % peak reduction).
+//! The mesh buffer is initialized twice (**dead write**), a small
+//! `q_e` estimate buffer is never accessed (**unused allocation**), the
+//! work array `w1` can reuse `q_dx`'s memory (**redundant allocation**),
+//! and the mesh sits **temporarily idle** between the quadrature and solver
+//! phases.
+
+use crate::common::{checksum, finish, in_frame, synth_data, RunOutcome, Variant};
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Elements of the mesh/state buffer.
+pub const MESH_LEN: u64 = 16 * 1024; // 64 KiB
+/// Elements of each quadrature buffer (`q_dx`, `q_dy`).
+pub const Q_LEN: u64 = 11 * 1024; // 44 KiB
+/// Elements of the first solver work array (same size as `q_dx` → RA).
+pub const W1_LEN: u64 = Q_LEN;
+/// Elements of the second solver work array.
+pub const W2_LEN: u64 = 14 * 1024; // 56 KiB
+/// Elements of the never-used energy-estimate buffer.
+pub const QE_LEN: u64 = 512; // 2 KiB
+
+fn update_quadrature_data(
+    ctx: &mut DeviceContext,
+    mesh: DevicePtr,
+    q_dx: DevicePtr,
+    q_dy: DevicePtr,
+) -> Result<()> {
+    in_frame(ctx, "QUpdate::UpdateQuadratureData", "laghos_assembly.cpp", 986, |ctx| {
+        ctx.launch(
+            "qupdate_kernel",
+            LaunchConfig::cover(Q_LEN, 128),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < Q_LEN {
+                    let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
+                    t.store_f32(q_dx + i * 4, m * 2.0);
+                    t.store_f32(q_dy + i * 4, m * 0.5 + 1.0);
+                    t.flop(3);
+                }
+            },
+        )?;
+        Ok(())
+    })
+}
+
+fn solver_step(
+    ctx: &mut DeviceContext,
+    mesh: DevicePtr,
+    w1: DevicePtr,
+    w2: DevicePtr,
+) -> Result<()> {
+    in_frame(ctx, "LagrangianHydroOperator::Mult", "laghos_solver.cpp", 410, |ctx| {
+        ctx.launch(
+            "force_kernel",
+            LaunchConfig::cover(W2_LEN, 128),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < W2_LEN {
+                    let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
+                    if i < W1_LEN {
+                        t.store_f32(w1 + i * 4, m + 3.0);
+                    }
+                    t.store_f32(w2 + i * 4, m * m);
+                    t.flop(3);
+                }
+            },
+        )?;
+        ctx.launch(
+            "energy_kernel",
+            LaunchConfig::cover(W2_LEN, 128),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < W2_LEN {
+                    let v = t.load_f32(w2 + i * 4);
+                    let w = if i < W1_LEN {
+                        t.load_f32(w1 + i * 4)
+                    } else {
+                        1.0
+                    };
+                    t.store_f32(w2 + i * 4, v + w);
+                    t.flop(2);
+                }
+            },
+        )?;
+        Ok(())
+    })
+}
+
+/// Runs the Laghos workload.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+///
+/// # Panics
+///
+/// Panics if the solver result disagrees with the host reference.
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let mesh_host = synth_data(MESH_LEN as usize, 91);
+    // Host reference for w2 after both solver kernels.
+    let reference: Vec<f32> = (0..W2_LEN as usize)
+        .map(|i| {
+            let m = mesh_host[i % MESH_LEN as usize];
+            let w1 = if (i as u64) < W1_LEN { m + 3.0 } else { 1.0 };
+            m * m + w1
+        })
+        .collect();
+    let expected = checksum(&reference);
+
+    let out = in_frame(ctx, "main", "laghos.cpp", 512, |ctx| -> Result<Vec<f32>> {
+        let mesh = ctx.malloc(MESH_LEN * 4, "mesh_gpu")?;
+        // Dead write: zeroed, then immediately overwritten by the upload.
+        ctx.memset(mesh, 0, MESH_LEN * 4)?;
+        ctx.h2d_f32(mesh, &mesh_host)?;
+        let (q_dx, q_dy, q_e) = in_frame(ctx, "QUpdate::QUpdate", "laghos_assembly.cpp", 950, |ctx| {
+            Ok::<_, gpu_sim::SimError>((
+                ctx.malloc(Q_LEN * 4, "q_dx")?,
+                ctx.malloc(Q_LEN * 4, "q_dy")?,
+                ctx.malloc(QE_LEN * 4, "q_e")?,
+            ))
+        })?;
+        update_quadrature_data(ctx, mesh, q_dx, q_dy)?;
+        if variant.is_optimized() {
+            // The paper's fix: release the quadrature buffers right after
+            // their last use.
+            ctx.free(q_dx)?;
+            ctx.free(q_dy)?;
+            ctx.free(q_e)?;
+        }
+        let w1 = ctx.malloc(W1_LEN * 4, "w1_gpu")?;
+        let w2 = ctx.malloc(W2_LEN * 4, "w2_gpu")?;
+        solver_step(ctx, mesh, w1, w2)?;
+        let mut out = vec![0.0f32; W2_LEN as usize];
+        ctx.d2h_f32(&mut out, w2)?;
+        ctx.free(w1)?;
+        ctx.free(w2)?;
+        ctx.free(mesh)?;
+        if !variant.is_optimized() {
+            // Unoptimized Laghos keeps them until the very end.
+            ctx.free(q_dx)?;
+            ctx.free(q_dy)?;
+            ctx.free(q_e)?;
+        }
+        Ok(out)
+    })?;
+
+    let got = checksum(&out);
+    crate::common::assert_checksums_match(got, expected);
+    assert_eq!(out, reference, "solver output must match host reference");
+    Ok(finish(ctx, got, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_drops_35_percent() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 35.0).abs() < 2.0,
+            "expected ~35% reduction, got {reduction:.1}%"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # drgpum-workloads: the DrGPUM paper's benchmark suite, simulated
+//!
+//! One module per program of the paper's evaluation (Table 1 / Table 4):
+//! Rodinia huffman and dwt2d, PolyBench 2MM/3MM/GramSchmidt/BICG, and the
+//! PyTorch, Laghos, Darknet, XSBench, MiniMDock, and SimpleMultiCopy
+//! applications. Every workload:
+//!
+//! * runs against the simulated GPU runtime in [`gpu_sim`], exercising the
+//!   same allocation/access structure the paper describes for the real
+//!   program;
+//! * comes in an [`common::Variant::Unoptimized`] form (exhibiting the
+//!   paper's inefficiency patterns) and an
+//!   [`common::Variant::Optimized`] form (with the paper's fixes applied);
+//! * computes real results validated against a host reference, so the
+//!   "optimized code does not change program semantics" requirement is
+//!   checked on every run.
+//!
+//! The [`registry`] lists all twelve programs with the paper's expected
+//! patterns, peak-memory reductions, and speedups — the ground truth the
+//! experiment harnesses in `drgpum-bench` compare against.
+//!
+//! # Example
+//!
+//! ```
+//! use drgpum_workloads::common::Variant;
+//! use drgpum_workloads::registry;
+//!
+//! let spec = registry::by_name("2MM").expect("2MM is registered");
+//! let unopt = spec.run_fresh(Variant::Unoptimized).expect("runs");
+//! let opt = spec.run_fresh(Variant::Optimized).expect("runs");
+//! assert!(opt.peak_bytes < unopt.peak_bytes);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod darknet;
+pub mod laghos;
+pub mod minimdock;
+pub mod polybench;
+pub mod pytorch;
+pub mod registry;
+pub mod rodinia;
+pub mod simple_multi_copy;
+pub mod xsbench;
+
+pub use common::{RunOutcome, Variant};
+pub use registry::{all, by_name, RunConfig, WorkloadSpec};

@@ -1,0 +1,270 @@
+//! PolyBench/GramSchmidt: classical Gram-Schmidt orthonormalization.
+//!
+//! Per iteration `k`, three kernels run: `gramschmidt_kernel1` computes the
+//! column norm into `R[k,k]`, `gramschmidt_kernel2` normalizes the column
+//! into `Q`, and `gramschmidt_kernel3` computes the row slice `R[k, k+1..n]`
+//! and updates the remaining columns of `A`.
+//!
+//! DrGPUM's findings (Sec. 7.3):
+//!
+//! * `R_gpu` matches the **structured access** pattern at
+//!   `gramschmidt_kernel3` — each instance touches one disjoint row slice
+//!   (Fig. 8). The optimized variant allocates a single row buffer and
+//!   reuses it across instances, copying each finished row to the host
+//!   (33 % peak reduction).
+//! * `R_gpu` matches **non-uniform access frequency** — row slices shrink
+//!   with `k`, so per-slice access totals are highly skewed (the paper
+//!   measures 58 % variance). The optimized variant stages the hot `Q`
+//!   column in shared memory and keeps the freshly-computed `R[k,j]` in a
+//!   register, yielding the paper's ~1.3–1.4× speedup.
+
+use crate::common::{checksum, finish, in_frame, synth_data, RunOutcome, Variant};
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Matrix dimension (n×n).
+pub const N: u32 = 24;
+
+/// Bytes per row of `R_gpu` — the element granularity at which the paper
+/// discusses `R_gpu`'s access-frequency variance (per slice, Sec. 7.3).
+pub const ROW_BYTES: u32 = N * 4;
+
+fn at(base: DevicePtr, i: u64, j: u64) -> DevicePtr {
+    base + (i * u64::from(N) + j) * 4
+}
+
+/// `gramschmidt_kernel1`: `R[k,k] = ||A[:,k]||`.
+fn kernel1(ctx: &mut DeviceContext, a: DevicePtr, r_kk: DevicePtr, k: u64) -> Result<()> {
+    let m = u64::from(N);
+    ctx.launch(
+        "gramschmidt_kernel1",
+        LaunchConfig::cover(1, 1),
+        StreamId::DEFAULT,
+        move |t| {
+            let mut nrm = 0.0f32;
+            for i in 0..m {
+                let v = t.load_f32(at(a, i, k));
+                nrm += v * v;
+                t.flop(2);
+            }
+            t.store_f32(r_kk, nrm.sqrt());
+            t.flop(8);
+        },
+    )?;
+    Ok(())
+}
+
+/// `gramschmidt_kernel2`: `Q[:,k] = A[:,k] / R[k,k]`.
+fn kernel2(
+    ctx: &mut DeviceContext,
+    a: DevicePtr,
+    q: DevicePtr,
+    r_kk: DevicePtr,
+    k: u64,
+) -> Result<()> {
+    let m = u64::from(N);
+    ctx.launch(
+        "gramschmidt_kernel2",
+        LaunchConfig::cover(m, 8),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < m {
+                let nrm = t.load_f32(r_kk);
+                let v = t.load_f32(at(a, i, k));
+                t.store_f32(at(q, i, k), v / nrm);
+                t.flop(1);
+            }
+        },
+    )?;
+    Ok(())
+}
+
+/// `gramschmidt_kernel3`: for each `j > k`, compute `R[k,j] = Q[:,k]·A[:,j]`
+/// and update `A[:,j] -= Q[:,k] * R[k,j]`.
+///
+/// `r_row(j)` maps column `j` to the device address holding `R[k,j]` —
+/// either inside the full `R` matrix (unoptimized) or inside the reused row
+/// buffer (optimized). When `optimized` is set, the hot `Q` column is staged
+/// in shared memory once per block and `R[k,j]` stays in a register.
+fn kernel3(
+    ctx: &mut DeviceContext,
+    a: DevicePtr,
+    q: DevicePtr,
+    r_elem: impl Fn(u64) -> DevicePtr + Copy + 'static,
+    k: u64,
+    optimized: bool,
+) -> Result<()> {
+    let m = u64::from(N);
+    let cols = m - k - 1;
+    if cols == 0 {
+        return Ok(());
+    }
+    let block: u32 = 8;
+    let cfg = LaunchConfig::cover(cols, block).with_shared_mem(N * 4);
+    ctx.launch("gramschmidt_kernel3", cfg, StreamId::DEFAULT, move |t| {
+        let lane = t.global_x();
+        if optimized && t.thread_idx.x == 0 {
+            // First thread of each block stages Q[:,k] into shared memory.
+            for i in 0..m {
+                let v = t.load_f32(at(q, i, k));
+                t.shared_store_f32(i as u32 * 4, v);
+            }
+        }
+        if lane < cols {
+            let j = k + 1 + lane;
+            let mut acc = 0.0f32;
+            for i in 0..m {
+                let qv = if optimized {
+                    t.shared_load_f32(i as u32 * 4)
+                } else {
+                    t.load_f32(at(q, i, k))
+                };
+                let av = t.load_f32(at(a, i, j));
+                acc += qv * av;
+                t.flop(2);
+            }
+            t.store_f32(r_elem(j), acc);
+            for i in 0..m {
+                let rv = if optimized {
+                    acc // kept in a register
+                } else {
+                    t.load_f32(r_elem(j))
+                };
+                let qv = if optimized {
+                    t.shared_load_f32(i as u32 * 4)
+                } else {
+                    t.load_f32(at(q, i, k))
+                };
+                let av = t.load_f32(at(a, i, j));
+                t.store_f32(at(a, i, j), av - qv * rv);
+                t.flop(2);
+            }
+        }
+    })?;
+    Ok(())
+}
+
+/// Runs GramSchmidt; see the module docs for the two variants.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+///
+/// # Panics
+///
+/// Panics if the produced `Q` is not orthonormal (validation).
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let n = N as usize;
+    let m = u64::from(N);
+    let s = m * m * 4;
+    let host_a = synth_data(n * n, 41);
+
+    let q_host = in_frame(ctx, "main", "gramschmidt.cu", 140, |ctx| -> Result<Vec<f32>> {
+        let a = ctx.malloc(s, "A_gpu")?;
+        let q = ctx.malloc(s, "Q_gpu")?;
+        ctx.h2d_f32(a, &host_a)?;
+        ctx.memset(q, 0, s)?;
+        match variant {
+            Variant::Unoptimized => {
+                // One big R for the whole run (the structured-access victim).
+                let r = ctx.malloc(s, "R_gpu")?;
+                for k in 0..m {
+                    kernel1(ctx, a, at(r, k, k), k)?;
+                    kernel2(ctx, a, q, at(r, k, k), k)?;
+                    kernel3(ctx, a, q, move |j| at(r, k, j), k, false)?;
+                }
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, q)?;
+                ctx.free(r)?;
+                ctx.free(q)?;
+                ctx.free(a)?;
+                Ok(out)
+            }
+            Variant::Optimized => {
+                // One row-sized slice, reused across every kernel3 instance.
+                let row_bytes = u64::from(ROW_BYTES);
+                let r_row = ctx.malloc(row_bytes, "R_row")?;
+                let mut r_host = vec![0.0f32; n * n];
+                for k in 0..m {
+                    kernel1(ctx, a, r_row + k * 4, k)?;
+                    kernel2(ctx, a, q, r_row + k * 4, k)?;
+                    kernel3(ctx, a, q, move |j| r_row + j * 4, k, true)?;
+                    // Persist the finished row on the host.
+                    let mut row = vec![0.0f32; n];
+                    ctx.d2h_f32(&mut row, r_row)?;
+                    r_host[k as usize * n..(k as usize + 1) * n].copy_from_slice(&row);
+                }
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, q)?;
+                ctx.free(r_row)?;
+                ctx.free(q)?;
+                ctx.free(a)?;
+                Ok(out)
+            }
+        }
+    })?;
+
+    // Validation: Q must be orthonormal.
+    for c1 in 0..n {
+        for c2 in c1..n {
+            let dot: f64 = (0..n)
+                .map(|i| f64::from(q_host[i * n + c1]) * f64::from(q_host[i * n + c2]))
+                .sum();
+            let expect = if c1 == c2 { 1.0 } else { 0.0 };
+            assert!(
+                (dot - expect).abs() < 2e-2,
+                "Q not orthonormal: col {c1}·col {c2} = {dot}"
+            );
+        }
+    }
+    Ok(finish(ctx, checksum(&q_host), None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_drops_a_third() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 33.0).abs() < 2.0,
+            "expected ~33% reduction, got {reduction:.1}%"
+        );
+    }
+
+    #[test]
+    fn shared_memory_optimization_is_faster() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let speedup = u.elapsed.as_ns() as f64 / o.elapsed.as_ns() as f64;
+        assert!(
+            speedup > 1.1,
+            "optimized variant must be faster, got {speedup:.2}x"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! PolyBench/GPU workloads: 2MM, 3MM, GramSchmidt, BICG.
+
+pub mod bicg;
+pub mod gramschmidt;
+pub mod three_mm;
+pub mod two_mm;
+
+/// Host-side reference matrix multiply: `C = A × B` for `n×n` row-major
+/// matrices, shared by the 2MM/3MM validations.
+pub fn host_matmul(a: &[f32], b: &[f32], n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                c[i * n + j] += aik * b[k * n + j];
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_matmul_identity() {
+        let n = 3;
+        let mut eye = vec![0.0f32; 9];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let a: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        assert_eq!(host_matmul(&a, &eye, n), a);
+        assert_eq!(host_matmul(&eye, &a, n), a);
+    }
+}

@@ -1,0 +1,138 @@
+//! PolyBench/3MM: three chained matrix multiplications,
+//! `G = (A×B) × (C×D)`.
+//!
+//! The unoptimized variant allocates all seven matrices up front and frees
+//! them at exit. DrGPUM's findings (Table 4): late deallocations on
+//! `A_gpu`/`C_gpu`, redundant allocations, early allocations on
+//! `E_gpu`/`F_gpu`, and temporary idleness (`E` sits idle on the GPU while
+//! the second multiplication runs). The optimized variant frees inputs
+//! eagerly, reuses dead buffers, and offloads `E` to the host during the
+//! second multiplication — cutting peak memory from 7 to 3 matrices (the
+//! paper reports 57 %).
+
+use crate::common::{checksum, finish, in_frame, synth_data, RunOutcome, Variant};
+use crate::polybench::host_matmul;
+use crate::polybench::two_mm::device_matmul;
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, Result};
+
+/// Matrix dimension (n×n).
+pub const N: u32 = 24;
+
+/// Runs 3MM; see the module docs for the two variants.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let n = N as usize;
+    let host_a = synth_data(n * n, 31);
+    let host_b = synth_data(n * n, 32);
+    let host_c = synth_data(n * n, 33);
+    let host_d = synth_data(n * n, 34);
+    let e_ref = host_matmul(&host_a, &host_b, n);
+    let f_ref = host_matmul(&host_c, &host_d, n);
+    let g_ref = host_matmul(&e_ref, &f_ref, n);
+    let expected = checksum(&g_ref);
+    let s = u64::from(N) * u64::from(N) * 4;
+
+    let result = in_frame(ctx, "main", "3mm.cu", 180, |ctx| -> Result<Vec<f32>> {
+        match variant {
+            Variant::Unoptimized => {
+                let ptrs = in_frame(ctx, "init_arrays", "3mm.cu", 40, |ctx| {
+                    Ok::<_, gpu_sim::SimError>((
+                        ctx.malloc(s, "A_gpu")?,
+                        ctx.malloc(s, "B_gpu")?,
+                        ctx.malloc(s, "C_gpu")?,
+                        ctx.malloc(s, "D_gpu")?,
+                        ctx.malloc(s, "E_gpu")?,
+                        ctx.malloc(s, "F_gpu")?,
+                        ctx.malloc(s, "G_gpu")?,
+                    ))
+                })?;
+                let (a, b, c, d, e, f, g) = ptrs;
+                ctx.h2d_f32(b, &host_b)?;
+                ctx.h2d_f32(a, &host_a)?;
+                device_matmul(ctx, "mm3_kernel1", a, b, e, N)?;
+                ctx.h2d_f32(d, &host_d)?;
+                ctx.h2d_f32(c, &host_c)?;
+                device_matmul(ctx, "mm3_kernel2", c, d, f, N)?;
+                device_matmul(ctx, "mm3_kernel3", e, f, g, N)?;
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, g)?;
+                for ptr in [a, b, c, d, e, f, g] {
+                    ctx.free(ptr)?;
+                }
+                Ok(out)
+            }
+            Variant::Optimized => {
+                // Phase 1: E = A × B with only three matrices live.
+                let a = ctx.malloc(s, "A_gpu")?;
+                let b = ctx.malloc(s, "B_gpu")?;
+                ctx.h2d_f32(b, &host_b)?;
+                ctx.h2d_f32(a, &host_a)?;
+                let e = ctx.malloc(s, "E_gpu")?;
+                device_matmul(ctx, "mm3_kernel1", a, b, e, N)?;
+                ctx.free(a)?;
+                ctx.free(b)?;
+                // Offload E to the host while the second multiply runs
+                // (the temporary-idleness fix).
+                let mut e_host = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut e_host, e)?;
+                ctx.free(e)?;
+                // Phase 2: F = C × D; C and D reuse the freed slots.
+                let c = ctx.malloc(s, "C_gpu")?;
+                let d = ctx.malloc(s, "D_gpu")?;
+                ctx.h2d_f32(d, &host_d)?;
+                ctx.h2d_f32(c, &host_c)?;
+                let f = ctx.malloc(s, "F_gpu")?;
+                device_matmul(ctx, "mm3_kernel2", c, d, f, N)?;
+                ctx.free(c)?;
+                ctx.free(d)?;
+                // Phase 3: bring E back and compute G.
+                let e2 = ctx.malloc(s, "E_gpu")?;
+                ctx.h2d_f32(e2, &e_host)?;
+                let g = ctx.malloc(s, "G_gpu")?;
+                device_matmul(ctx, "mm3_kernel3", e2, f, g, N)?;
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, g)?;
+                for ptr in [e2, f, g] {
+                    ctx.free(ptr)?;
+                }
+                Ok(out)
+            }
+        }
+    })?;
+
+    let got = checksum(&result);
+    crate::common::assert_checksums_match(got, expected);
+    assert_eq!(result, g_ref, "3MM result must match host reference");
+    Ok(finish(ctx, got, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_drops_57_percent() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 57.0).abs() < 1.5,
+            "expected ~57% reduction, got {reduction:.1}%"
+        );
+    }
+}

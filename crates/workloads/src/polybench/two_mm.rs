@@ -1,0 +1,175 @@
+//! PolyBench/2MM: two chained matrix multiplications, `D = (A×B)×C`.
+//!
+//! The unoptimized variant mirrors PolyBench/GPU's structure: every array is
+//! allocated up front and freed at the very end. DrGPUM's findings (Table 4):
+//! `A_gpu` late deallocation, `B_gpu` redundant allocation (reusable for
+//! `D_gpu`), `D_gpu` early allocation. The optimized variant defers `D`'s
+//! space by reusing `B`'s buffer, frees `A` right after its last kernel, and
+//! allocates `C` just before use — cutting peak memory from 5 to 3 matrices
+//! (the paper reports 40 %).
+
+use crate::common::{checksum, finish, in_frame, RunOutcome, Variant};
+use crate::polybench::host_matmul;
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Matrix dimension (n×n).
+pub const N: u32 = 24;
+
+fn matrix_bytes() -> u64 {
+    u64::from(N) * u64::from(N) * 4
+}
+
+/// Launches the n×n matmul kernel `c = a × b`.
+pub(crate) fn device_matmul(
+    ctx: &mut DeviceContext,
+    name: &str,
+    a: DevicePtr,
+    b: DevicePtr,
+    c: DevicePtr,
+    n: u32,
+) -> Result<()> {
+    let total = u64::from(n) * u64::from(n);
+    let n64 = u64::from(n);
+    ctx.launch(name, LaunchConfig::cover(total, 64), StreamId::DEFAULT, move |t| {
+        let idx = t.global_x();
+        if idx < total {
+            let i = idx / n64;
+            let j = idx % n64;
+            let mut acc = 0.0f32;
+            for k in 0..n64 {
+                let av = t.load_f32(a + (i * n64 + k) * 4);
+                let bv = t.load_f32(b + (k * n64 + j) * 4);
+                acc += av * bv;
+                t.flop(2);
+            }
+            t.store_f32(c + idx * 4, acc);
+        }
+    })?;
+    Ok(())
+}
+
+/// Runs 2MM; see the module docs for the two variants.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let n = N as usize;
+    let host_a = crate::common::synth_data(n * n, 21);
+    let host_b = crate::common::synth_data(n * n, 22);
+    let host_c = crate::common::synth_data(n * n, 23);
+    let reference = host_matmul(&host_matmul(&host_a, &host_b, n), &host_c, n);
+    let expected = checksum(&reference);
+    let s = matrix_bytes();
+
+    let d_result = in_frame(ctx, "main", "2mm.cu", 164, |ctx| -> Result<Vec<f32>> {
+        match variant {
+            Variant::Unoptimized => {
+                // Eager batch allocation (the PolyBench habit).
+                let (a, b, c, tmp, d) = in_frame(ctx, "init_arrays", "2mm.cu", 35, |ctx| {
+                    Ok::<_, gpu_sim::SimError>((
+                        ctx.malloc(s, "A_gpu")?,
+                        ctx.malloc(s, "B_gpu")?,
+                        ctx.malloc(s, "C_gpu")?,
+                        ctx.malloc(s, "tmp_gpu")?,
+                        ctx.malloc(s, "D_gpu")?,
+                    ))
+                })?;
+                ctx.h2d_f32(b, &host_b)?;
+                ctx.h2d_f32(a, &host_a)?;
+                in_frame(ctx, "mm2_cpu", "2mm.cu", 90, |ctx| {
+                    device_matmul(ctx, "mm2_kernel1", a, b, tmp, N)
+                })?;
+                ctx.h2d_f32(c, &host_c)?;
+                in_frame(ctx, "mm2_cpu", "2mm.cu", 98, |ctx| {
+                    device_matmul(ctx, "mm2_kernel2", tmp, c, d, N)
+                })?;
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, d)?;
+                // Lazy batch deallocation at program end.
+                for ptr in [a, b, c, tmp, d] {
+                    ctx.free(ptr)?;
+                }
+                Ok(out)
+            }
+            Variant::Optimized => {
+                let a = ctx.malloc(s, "A_gpu")?;
+                let b = ctx.malloc(s, "B_gpu")?;
+                ctx.h2d_f32(b, &host_b)?;
+                ctx.h2d_f32(a, &host_a)?;
+                let tmp = ctx.malloc(s, "tmp_gpu")?;
+                in_frame(ctx, "mm2_cpu", "2mm.cu", 90, |ctx| {
+                    device_matmul(ctx, "mm2_kernel1", a, b, tmp, N)
+                })?;
+                // A's last use is behind us: free it now (LD fix).
+                ctx.free(a)?;
+                // B is dead too; its buffer is reused as D (RA fix), so D
+                // never gets its own allocation (EA fix: no early D at all).
+                let d = b;
+                let c = ctx.malloc(s, "C_gpu")?;
+                ctx.h2d_f32(c, &host_c)?;
+                in_frame(ctx, "mm2_cpu", "2mm.cu", 98, |ctx| {
+                    device_matmul(ctx, "mm2_kernel2", tmp, c, d, N)
+                })?;
+                let mut out = vec![0.0f32; n * n];
+                ctx.d2h_f32(&mut out, d)?;
+                for ptr in [tmp, c, b] {
+                    ctx.free(ptr)?;
+                }
+                Ok(out)
+            }
+        }
+    })?;
+
+    let got = checksum(&d_result);
+    crate::common::assert_checksums_match(got, expected);
+    assert_eq!(d_result, reference, "2MM result must match host reference");
+    Ok(finish(ctx, got, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_agree_with_reference() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+    }
+
+    #[test]
+    fn optimization_cuts_peak_by_forty_percent() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 40.0).abs() < 1.0,
+            "expected ~40% peak reduction, got {reduction:.1}% \
+             (unopt {} / opt {})",
+            u.peak_bytes,
+            o.peak_bytes
+        );
+    }
+}

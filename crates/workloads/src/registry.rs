@@ -1,0 +1,340 @@
+//! The workload registry: one entry per program of the paper's evaluation
+//! (Table 1 / Table 4), with the expected results as ground truth for the
+//! experiment harnesses.
+
+use crate::common::{RunOutcome, Variant};
+use drgpum_core::PatternKind;
+use gpu_sim::pool::SharedPoolObserver;
+use gpu_sim::{DeviceContext, Result};
+
+/// Extra wiring a harness can hand to a workload run.
+#[derive(Default)]
+pub struct RunConfig {
+    /// Observer registered with any caching pool the workload creates
+    /// (DrGPUM's Sec. 5.4 interface). `None` runs the pool unobserved.
+    pub pool_observer: Option<SharedPoolObserver>,
+}
+
+impl std::fmt::Debug for RunConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunConfig")
+            .field("pool_observer", &self.pool_observer.is_some())
+            .finish()
+    }
+}
+
+/// Signature of a workload entry point.
+pub type RunFn = fn(&mut DeviceContext, Variant, &RunConfig) -> Result<RunOutcome>;
+
+/// One benchmark program of the paper's evaluation.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Program name, e.g. `"huffman"`.
+    pub name: &'static str,
+    /// Suite, e.g. `"Rodinia"`, `"PolyBench"`, or `"-"` for applications.
+    pub suite: &'static str,
+    /// Application domain (Table 4 column).
+    pub domain: &'static str,
+    /// The paper's Table 1 row: patterns DrGPUM found in this program.
+    pub expected_patterns: &'static [PatternKind],
+    /// The paper's Table 4 peak-memory reduction, if any.
+    pub expected_reduction_pct: Option<f64>,
+    /// The paper's Table 4 speedups `(RTX 3090, A100)`, if any.
+    pub expected_speedup: Option<(f64, f64)>,
+    /// Total source lines modified by the paper's fixes (Table 4).
+    pub sloc_modified: u32,
+    /// Whether the workload allocates through a caching pool (Sec. 5.4).
+    pub uses_pool: bool,
+    /// Whether the workload dispatches on multiple streams (Sec. 5.3).
+    pub multi_stream: bool,
+    /// Element granularity hint for frequency maps: `None` uses the default
+    /// 4 bytes; GramSchmidt analyzes `R_gpu` at row-slice granularity
+    /// (Sec. 7.3 reports per-slice variance).
+    pub elem_size_hint: Option<u32>,
+    /// Entry point.
+    pub run: RunFn,
+}
+
+impl WorkloadSpec {
+    /// Runs the workload on a fresh default-platform context.
+    pub fn run_fresh(&self, variant: Variant) -> Result<RunOutcome> {
+        let mut ctx = DeviceContext::new_default();
+        (self.run)(&mut ctx, variant, &RunConfig::default())
+    }
+}
+
+/// All twelve programs, in the paper's Table 1 order.
+pub fn all() -> Vec<WorkloadSpec> {
+    use PatternKind::*;
+    vec![
+        WorkloadSpec {
+            name: "huffman",
+            suite: "Rodinia",
+            domain: "Lossless compression",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                UnusedAllocation,
+                TemporaryIdleness,
+            ],
+            expected_reduction_pct: Some(67.0),
+            expected_speedup: None,
+            sloc_modified: 4,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::rodinia::huffman::run,
+        },
+        WorkloadSpec {
+            name: "dwt2d",
+            suite: "Rodinia",
+            domain: "Image/video compression",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                UnusedAllocation,
+                TemporaryIdleness,
+                DeadWrite,
+            ],
+            expected_reduction_pct: Some(48.0),
+            expected_speedup: None,
+            sloc_modified: 15,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::rodinia::dwt2d::run,
+        },
+        WorkloadSpec {
+            name: "2MM",
+            suite: "PolyBench",
+            domain: "Matrix multiplication",
+            expected_patterns: &[EarlyAllocation, LateDeallocation, RedundantAllocation],
+            expected_reduction_pct: Some(40.0),
+            expected_speedup: None,
+            sloc_modified: 11,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::polybench::two_mm::run,
+        },
+        WorkloadSpec {
+            name: "3MM",
+            suite: "PolyBench",
+            domain: "Matrix multiplication",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                TemporaryIdleness,
+            ],
+            expected_reduction_pct: Some(57.0),
+            expected_speedup: None,
+            sloc_modified: 15,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::polybench::three_mm::run,
+        },
+        WorkloadSpec {
+            name: "GramSchmidt",
+            suite: "PolyBench",
+            domain: "Gram-Schmidt decomposition",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                TemporaryIdleness,
+                NonUniformAccessFrequency,
+                StructuredAccess,
+            ],
+            expected_reduction_pct: Some(33.0),
+            expected_speedup: Some((1.39, 1.30)),
+            sloc_modified: 10,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: Some(crate::polybench::gramschmidt::ROW_BYTES),
+            run: crate::polybench::gramschmidt::run,
+        },
+        WorkloadSpec {
+            name: "BICG",
+            suite: "PolyBench",
+            domain: "Linear solver",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                NonUniformAccessFrequency,
+            ],
+            expected_reduction_pct: None,
+            expected_speedup: Some((2.06, 2.48)),
+            sloc_modified: 16,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::polybench::bicg::run,
+        },
+        WorkloadSpec {
+            name: "PyTorch",
+            suite: "-",
+            domain: "Deep learning",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                UnusedAllocation,
+                TemporaryIdleness,
+            ],
+            expected_reduction_pct: Some(3.0),
+            expected_speedup: None,
+            sloc_modified: 3,
+            uses_pool: true,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::pytorch::run,
+        },
+        WorkloadSpec {
+            name: "Laghos",
+            suite: "-",
+            domain: "LAGrangian solver",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                UnusedAllocation,
+                TemporaryIdleness,
+                DeadWrite,
+            ],
+            expected_reduction_pct: Some(35.0),
+            expected_speedup: None,
+            sloc_modified: 4,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::laghos::run,
+        },
+        WorkloadSpec {
+            name: "Darknet",
+            suite: "-",
+            domain: "Deep learning",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                RedundantAllocation,
+                UnusedAllocation,
+                MemoryLeak,
+                TemporaryIdleness,
+                DeadWrite,
+            ],
+            expected_reduction_pct: Some(83.0),
+            expected_speedup: None,
+            sloc_modified: 6,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::darknet::run,
+        },
+        WorkloadSpec {
+            name: "XSBench",
+            suite: "-",
+            domain: "Neutronics",
+            expected_patterns: &[MemoryLeak, Overallocation],
+            expected_reduction_pct: Some(63.0),
+            expected_speedup: None,
+            sloc_modified: 9,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::xsbench::run,
+        },
+        WorkloadSpec {
+            name: "MiniMDock",
+            suite: "-",
+            domain: "Molecular biology",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                UnusedAllocation,
+                TemporaryIdleness,
+                Overallocation,
+            ],
+            expected_reduction_pct: Some(64.0),
+            expected_speedup: None,
+            sloc_modified: 2,
+            uses_pool: false,
+            multi_stream: false,
+            elem_size_hint: None,
+            run: crate::minimdock::run,
+        },
+        WorkloadSpec {
+            name: "SimpleMultiCopy",
+            suite: "-",
+            domain: "Data communication",
+            expected_patterns: &[
+                EarlyAllocation,
+                LateDeallocation,
+                TemporaryIdleness,
+                DeadWrite,
+            ],
+            expected_reduction_pct: Some(50.0),
+            expected_speedup: None,
+            sloc_modified: 10,
+            uses_pool: false,
+            multi_stream: true,
+            elem_size_hint: None,
+            run: crate::simple_multi_copy::run,
+        },
+    ]
+}
+
+/// Looks a workload up by name (case-insensitive).
+pub fn by_name(name: &str) -> Option<WorkloadSpec> {
+    all()
+        .into_iter()
+        .find(|w| w.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_programs_in_table1_order() {
+        let names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            [
+                "huffman",
+                "dwt2d",
+                "2MM",
+                "3MM",
+                "GramSchmidt",
+                "BICG",
+                "PyTorch",
+                "Laghos",
+                "Darknet",
+                "XSBench",
+                "MiniMDock",
+                "SimpleMultiCopy"
+            ]
+        );
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_name("bicg").is_some());
+        assert!(by_name("BICG").is_some());
+        assert!(by_name("nope").is_none());
+    }
+
+    #[test]
+    fn every_workload_has_expected_patterns() {
+        for w in all() {
+            assert!(
+                !w.expected_patterns.is_empty(),
+                "{} must expect at least one pattern",
+                w.name
+            );
+        }
+    }
+}

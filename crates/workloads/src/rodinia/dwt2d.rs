@@ -1,0 +1,203 @@
+//! Rodinia/dwt2d: 2-D discrete wavelet transform of an RGB image.
+//!
+//! The program splits an interleaved RGB buffer into per-channel planes and
+//! runs a Haar wavelet step on each. DrGPUM's findings (Table 4): the
+//! outputs are **early allocations** (`c_r_out`), the per-channel planes
+//! admit **redundant allocations** (`c_g_out` can reuse a dead plane),
+//! `backup` is an **unused allocation**, the source is initialized twice —
+//! a `cudaMemset` immediately overwritten by the `cudaMemcpy` of the image
+//! (**dead write**) — and planes sit **temporarily idle** between the split
+//! and their transform; everything is **late-deallocated**. The fixes cut
+//! peak memory by ~48 %.
+
+use crate::common::{checksum, finish, in_frame, synth_data, RunOutcome, Variant};
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Pixels per channel plane.
+pub const PIXELS: u64 = 1024;
+/// Bytes of the never-used `backup` buffer.
+pub const BACKUP_BYTES: u64 = 10 * 1024;
+
+fn split_kernel(
+    ctx: &mut DeviceContext,
+    src: DevicePtr,
+    planes: [DevicePtr; 3],
+) -> Result<()> {
+    ctx.launch(
+        "c_CopySrcToComponents",
+        LaunchConfig::cover(PIXELS, 64),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < PIXELS {
+                for (c, plane) in planes.iter().enumerate() {
+                    let v = t.load_f32(src + (i * 3 + c as u64) * 4);
+                    t.store_f32(*plane + i * 4, v);
+                }
+            }
+        },
+    )?;
+    Ok(())
+}
+
+fn haar_kernel(
+    ctx: &mut DeviceContext,
+    name: &str,
+    plane: DevicePtr,
+    out: DevicePtr,
+) -> Result<()> {
+    let half = PIXELS / 2;
+    ctx.launch(
+        name,
+        LaunchConfig::cover(half, 64),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < half {
+                let a = t.load_f32(plane + (2 * i) * 4);
+                let b = t.load_f32(plane + (2 * i + 1) * 4);
+                t.store_f32(out + i * 4, (a + b) * 0.5);
+                t.store_f32(out + (half + i) * 4, (a - b) * 0.5);
+                t.flop(4);
+            }
+        },
+    )?;
+    Ok(())
+}
+
+fn host_haar(plane: &[f32]) -> Vec<f32> {
+    let half = plane.len() / 2;
+    let mut out = vec![0.0f32; plane.len()];
+    for i in 0..half {
+        out[i] = (plane[2 * i] + plane[2 * i + 1]) * 0.5;
+        out[half + i] = (plane[2 * i] - plane[2 * i + 1]) * 0.5;
+    }
+    out
+}
+
+/// Runs dwt2d; see the module docs for the two variants.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+///
+/// # Panics
+///
+/// Panics if a transformed plane disagrees with the host reference.
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let n = PIXELS as usize;
+    let rgb = synth_data(n * 3, 71);
+    let plane_ref: Vec<Vec<f32>> = (0..3)
+        .map(|c| {
+            let plane: Vec<f32> = (0..n).map(|i| rgb[i * 3 + c]).collect();
+            host_haar(&plane)
+        })
+        .collect();
+    let src_bytes = PIXELS * 3 * 4;
+    let plane_bytes = PIXELS * 4;
+
+    let outs = in_frame(ctx, "main", "dwt2d.cu", 300, |ctx| -> Result<Vec<Vec<f32>>> {
+        match variant {
+            Variant::Unoptimized => {
+                let src = ctx.malloc(src_bytes, "d_src")?;
+                let backup = ctx.malloc(BACKUP_BYTES, "backup")?;
+                let planes = [
+                    ctx.malloc(plane_bytes, "c_r")?,
+                    ctx.malloc(plane_bytes, "c_g")?,
+                    ctx.malloc(plane_bytes, "c_b")?,
+                ];
+                let outs_d = [
+                    ctx.malloc(plane_bytes, "c_r_out")?,
+                    ctx.malloc(plane_bytes, "c_g_out")?,
+                    ctx.malloc(plane_bytes, "c_b_out")?,
+                ];
+                // Dead write: the memset is immediately overwritten by the
+                // image upload with no read in between.
+                ctx.memset(src, 0, src_bytes)?;
+                ctx.h2d_f32(src, &rgb)?;
+                split_kernel(ctx, src, planes)?;
+                for c in 0..3 {
+                    haar_kernel(ctx, "fdwt53Kernel", planes[c], outs_d[c])?;
+                }
+                let mut results = Vec::new();
+                for out_d in &outs_d {
+                    let mut out = vec![0.0f32; n];
+                    ctx.d2h_f32(&mut out, *out_d)?;
+                    results.push(out);
+                }
+                for ptr in [src, backup, planes[0], planes[1], planes[2]] {
+                    ctx.free(ptr)?;
+                }
+                for ptr in outs_d {
+                    ctx.free(ptr)?;
+                }
+                Ok(results)
+            }
+            Variant::Optimized => {
+                // No backup, no double init, source freed after the split,
+                // later outputs reuse dead planes.
+                let src = ctx.malloc(src_bytes, "d_src")?;
+                ctx.h2d_f32(src, &rgb)?;
+                let planes = [
+                    ctx.malloc(plane_bytes, "c_r")?,
+                    ctx.malloc(plane_bytes, "c_g")?,
+                    ctx.malloc(plane_bytes, "c_b")?,
+                ];
+                split_kernel(ctx, src, planes)?;
+                ctx.free(src)?;
+                let mut results = Vec::new();
+                // Channel r gets a fresh output; channels g and b write into
+                // the plane freed by the previous channel (RA fix).
+                let out_r = ctx.malloc(plane_bytes, "c_r_out")?;
+                haar_kernel(ctx, "fdwt53Kernel", planes[0], out_r)?;
+                let out_g = planes[0]; // reuse c_r's buffer
+                haar_kernel(ctx, "fdwt53Kernel", planes[1], out_g)?;
+                let out_b = planes[1]; // reuse c_g's buffer
+                haar_kernel(ctx, "fdwt53Kernel", planes[2], out_b)?;
+                for d in [out_r, out_g, out_b] {
+                    let mut out = vec![0.0f32; n];
+                    ctx.d2h_f32(&mut out, d)?;
+                    results.push(out);
+                }
+                for ptr in [out_r, planes[0], planes[1], planes[2]] {
+                    ctx.free(ptr)?;
+                }
+                Ok(results)
+            }
+        }
+    })?;
+
+    for c in 0..3 {
+        assert_eq!(outs[c], plane_ref[c], "channel {c} mismatch");
+    }
+    let sum: f64 = outs.iter().map(|o| checksum(o)).sum();
+    Ok(finish(ctx, sum, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_drops_48_percent() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 48.0).abs() < 2.0,
+            "expected ~48% reduction, got {reduction:.1}%"
+        );
+    }
+}

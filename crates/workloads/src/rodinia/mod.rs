@@ -1,0 +1,4 @@
+//! Rodinia workloads: huffman and dwt2d.
+
+pub mod dwt2d;
+pub mod huffman;

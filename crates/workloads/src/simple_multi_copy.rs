@@ -1,0 +1,165 @@
+//! SimpleMultiCopy: the multi-stream copy/compute overlap sample from the
+//! CUDA Toolkit (the paper's Sec. 7.1 case study and Fig. 7 GUI example).
+//!
+//! Two independent pipelines (`in1 → kernel → out1` on stream 1,
+//! `in2 → kernel → out2` on stream 2) are set up with all four buffers
+//! allocated eagerly. DrGPUM's findings:
+//!
+//! * `d_data_out1` — **early allocation** (several GPU APIs run between its
+//!   allocation and its first-touch kernel);
+//! * `d_data_in1` — **temporarily idle** while the later allocations and
+//!   memsets execute;
+//! * `d_data_in2` / `d_data_out2` — **late deallocation**;
+//! * `d_data_in2` — **dead write**: a `cudaMemset` immediately overwritten
+//!   by the host upload.
+//!
+//! Staggering the allocations so only one pipeline's buffers live at a time
+//! halves peak memory (the paper reports 50 %).
+
+use crate::common::{finish, in_frame, RunOutcome, Variant};
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Elements per buffer.
+pub const LEN: u64 = 16 * 1024; // 64 KiB
+
+fn incr_kernel(
+    ctx: &mut DeviceContext,
+    name: &str,
+    stream: StreamId,
+    input: DevicePtr,
+    output: DevicePtr,
+) -> Result<()> {
+    ctx.launch(name, LaunchConfig::cover(LEN, 128), stream, move |t| {
+        let i = t.global_x();
+        if i < LEN {
+            let v = t.load_u32(input + i * 4);
+            t.store_u32(output + i * 4, v.wrapping_mul(2).wrapping_add(1));
+            t.flop(2);
+        }
+    })?;
+    Ok(())
+}
+
+fn synth_u32(n: u64, seed: u32) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(2891336453).wrapping_add(7);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            state >> 8
+        })
+        .collect()
+}
+
+/// Runs SimpleMultiCopy.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+///
+/// # Panics
+///
+/// Panics if either pipeline's output disagrees with the reference.
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let h_in1 = synth_u32(LEN, 131);
+    let h_in2 = synth_u32(LEN, 132);
+    let ref1: Vec<u32> = h_in1.iter().map(|&v| v.wrapping_mul(2).wrapping_add(1)).collect();
+    let ref2: Vec<u32> = h_in2.iter().map(|&v| v.wrapping_mul(2).wrapping_add(1)).collect();
+    let bytes = LEN * 4;
+
+    let (out1, out2) = in_frame(ctx, "main", "simpleMultiCopy.cu", 200, |ctx| {
+        let s1 = ctx.create_stream();
+        let s2 = ctx.create_stream();
+        match variant {
+            Variant::Unoptimized => {
+                // Eager setup phase on the default stream, exactly like the
+                // CUDA sample: allocate and zero every buffer first, upload
+                // afterwards, then overlap the two pipelines on streams 1/2.
+                let in1 = ctx.malloc(bytes, "d_data_in1")?;
+                ctx.memset(in1, 0, bytes)?; // in1 then idles through setup…
+                let out1 = ctx.malloc(bytes, "d_data_out1")?;
+                let in2 = ctx.malloc(bytes, "d_data_in2")?;
+                ctx.memset(in2, 0, bytes)?; // dead write…
+                let out2 = ctx.malloc(bytes, "d_data_out2")?;
+                ctx.memcpy_h2d(in1, &as_bytes(&h_in1))?;
+                ctx.memcpy_h2d(in2, &as_bytes(&h_in2))?; // …overwritten here
+                incr_kernel(ctx, "incKernel", s1, in1, out1)?;
+                incr_kernel(ctx, "incKernel", s2, in2, out2)?;
+                let mut o1 = vec![0u8; bytes as usize];
+                ctx.memcpy_d2h_on(&mut o1, out1, s1)?;
+                let mut o2 = vec![0u8; bytes as usize];
+                ctx.memcpy_d2h_on(&mut o2, out2, s2)?;
+                ctx.sync_device();
+                for ptr in [in1, out1, in2, out2] {
+                    ctx.free(ptr)?;
+                }
+                Ok::<_, gpu_sim::SimError>((from_bytes(&o1), from_bytes(&o2)))
+            }
+            Variant::Optimized => {
+                // Pipeline 1 completes and releases before pipeline 2
+                // starts: only two buffers ever live together.
+                let in1 = ctx.malloc(bytes, "d_data_in1")?;
+                ctx.memcpy_h2d_on(in1, &as_bytes(&h_in1), s1)?;
+                let out1 = ctx.malloc(bytes, "d_data_out1")?;
+                incr_kernel(ctx, "incKernel", s1, in1, out1)?;
+                let mut o1 = vec![0u8; bytes as usize];
+                ctx.memcpy_d2h_on(&mut o1, out1, s1)?;
+                ctx.sync_stream(s1)?;
+                ctx.free(in1)?;
+                ctx.free(out1)?;
+                let in2 = ctx.malloc(bytes, "d_data_in2")?;
+                ctx.memcpy_h2d_on(in2, &as_bytes(&h_in2), s2)?;
+                let out2 = ctx.malloc(bytes, "d_data_out2")?;
+                incr_kernel(ctx, "incKernel", s2, in2, out2)?;
+                let mut o2 = vec![0u8; bytes as usize];
+                ctx.memcpy_d2h_on(&mut o2, out2, s2)?;
+                ctx.sync_device();
+                ctx.free(in2)?;
+                ctx.free(out2)?;
+                Ok((from_bytes(&o1), from_bytes(&o2)))
+            }
+        }
+    })?;
+
+    assert_eq!(out1, ref1, "stream-1 pipeline output mismatch");
+    assert_eq!(out2, ref2, "stream-2 pipeline output mismatch");
+    let sum: f64 = out1.iter().chain(&out2).map(|&v| f64::from(v)).sum();
+    Ok(finish(ctx, sum, None))
+}
+
+fn as_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn from_bytes(b: &[u8]) -> Vec<u32> {
+    b.chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_halves() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 50.0).abs() < 1.0,
+            "expected ~50% reduction, got {reduction:.1}%"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! XSBench: Monte Carlo neutron-transport macroscopic cross-section lookup
+//! (the paper's Sec. 7.5 case study).
+//!
+//! `GSD.index_grid` is sized for the full unionized energy grid, but each
+//! GPU thread only touches its own chunk and most chunks stay untouched:
+//! the paper measures 5 % of elements accessed — the **overallocation**
+//! pattern, with near-zero fragmentation because the touched chunks are
+//! clustered. Shrinking the grid to the touched portion reclaims 63 % of
+//! peak memory. `GSD.concs` is never freed — a **memory leak** (the paper's
+//! 1-line fix pairs it with a free).
+
+use crate::common::{finish, in_frame, synth_data, RunOutcome, Variant};
+use crate::registry::RunConfig;
+use gpu_sim::{DeviceContext, DevicePtr, LaunchConfig, Result, StreamId};
+
+/// Bytes of the (overallocated) unionized index grid.
+pub const INDEX_GRID_BYTES: u64 = 97_280;
+/// Bytes of one index-grid chunk (one per thread).
+pub const CHUNK_BYTES: u64 = 256;
+/// Number of lookup threads (each touches exactly one chunk).
+pub const LOOKUPS: u64 = 19;
+/// Elements of the nuclide grid.
+pub const NUCLIDE_LEN: u64 = 8 * 1024; // 32 KiB
+/// Elements of the concentrations array.
+pub const CONCS_LEN: u64 = 4 * 1024; // 16 KiB (divides the nuclide walk evenly)
+
+fn xs_lookup_kernel(
+    ctx: &mut DeviceContext,
+    nuclide: DevicePtr,
+    concs: DevicePtr,
+    index_grid: DevicePtr,
+) -> Result<()> {
+    let chunk_elems = CHUNK_BYTES / 4;
+    ctx.launch(
+        "xs_lookup_kernel_baseline",
+        LaunchConfig::cover(LOOKUPS, 32),
+        StreamId::DEFAULT,
+        move |t| {
+            let tid = t.global_x();
+            if tid < LOOKUPS {
+                let mut macro_xs = 0.0f32;
+                // Each thread walks the whole nuclide/concentration data in
+                // a strided fashion (full coverage across the grid)…
+                let mut i = tid;
+                while i < NUCLIDE_LEN {
+                    let n = t.load_f32(nuclide + i * 4);
+                    let c = t.load_f32(concs + (i % CONCS_LEN) * 4);
+                    macro_xs += n * c;
+                    t.flop(2);
+                    i += LOOKUPS;
+                }
+                // …but touches only its own chunk of the giant index grid.
+                let chunk = index_grid + tid * CHUNK_BYTES;
+                for e in 0..chunk_elems {
+                    t.store_f32(chunk + e * 4, macro_xs + e as f32);
+                }
+            }
+        },
+    )?;
+    Ok(())
+}
+
+fn host_reference(nuclide: &[f32], concs: &[f32]) -> Vec<f32> {
+    let chunk_elems = (CHUNK_BYTES / 4) as usize;
+    let mut out = vec![0.0f32; LOOKUPS as usize * chunk_elems];
+    for tid in 0..LOOKUPS as usize {
+        let mut macro_xs = 0.0f32;
+        let mut i = tid;
+        while i < NUCLIDE_LEN as usize {
+            macro_xs += nuclide[i] * concs[i % CONCS_LEN as usize];
+            i += LOOKUPS as usize;
+        }
+        for e in 0..chunk_elems {
+            out[tid * chunk_elems + e] = macro_xs + e as f32;
+        }
+    }
+    out
+}
+
+/// Runs the XSBench workload.
+///
+/// # Errors
+///
+/// Propagates simulator errors (they indicate workload bugs).
+///
+/// # Panics
+///
+/// Panics if the lookup results disagree with the host reference.
+pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
+    let nuclide_host = synth_data(NUCLIDE_LEN as usize, 101);
+    let concs_host = synth_data(CONCS_LEN as usize, 102);
+    let reference = host_reference(&nuclide_host, &concs_host);
+    let used_bytes = LOOKUPS * CHUNK_BYTES;
+
+    let results = in_frame(ctx, "main", "Main.cu", 53, |ctx| -> Result<Vec<f32>> {
+        // grid_init_do_not_profile: build the simulation data.
+        let (index_grid, concs, nuclide) =
+            in_frame(ctx, "grid_init", "Simulation.cu", 281, |ctx| {
+                let grid_bytes = if variant.is_optimized() {
+                    // The fix: size the grid by the actual lookup count.
+                    used_bytes
+                } else {
+                    INDEX_GRID_BYTES
+                };
+                Ok::<_, gpu_sim::SimError>((
+                    ctx.malloc(grid_bytes, "GSD.index_grid")?,
+                    ctx.malloc(CONCS_LEN * 4, "GSD.concs")?,
+                    ctx.malloc(NUCLIDE_LEN * 4, "GSD.nuclide_grid")?,
+                ))
+            })?;
+        ctx.h2d_f32(concs, &concs_host)?;
+        ctx.h2d_f32(nuclide, &nuclide_host)?;
+        xs_lookup_kernel(ctx, nuclide, concs, index_grid)?;
+        // Free each buffer right after its last use (no late deallocation
+        // in XSBench's Table 1 row).
+        ctx.free(nuclide)?;
+        let mut out = vec![0.0f32; (used_bytes / 4) as usize];
+        ctx.d2h_f32(&mut out, index_grid)?;
+        ctx.free(index_grid)?;
+        if variant.is_optimized() {
+            // The paper's memory-leak fix.
+            ctx.free(concs)?;
+        }
+        Ok(out)
+    })?;
+
+    assert_eq!(results, reference, "lookup results must match reference");
+    let sum: f64 = results.iter().map(|&v| f64::from(v)).sum();
+    Ok(finish(ctx, sum, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variants_agree_and_peak_drops_63_percent() {
+        let u = run(
+            &mut DeviceContext::new_default(),
+            Variant::Unoptimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        let o = run(
+            &mut DeviceContext::new_default(),
+            Variant::Optimized,
+            &RunConfig::default(),
+        )
+        .unwrap();
+        crate::common::assert_checksums_match(u.checksum, o.checksum);
+        let reduction = 100.0 * (1.0 - o.peak_bytes as f64 / u.peak_bytes as f64);
+        assert!(
+            (reduction - 63.0).abs() < 2.0,
+            "expected ~63% reduction, got {reduction:.1}%"
+        );
+    }
+
+    #[test]
+    fn five_percent_of_the_grid_is_touched() {
+        let used = LOOKUPS * CHUNK_BYTES;
+        let pct = 100.0 * used as f64 / INDEX_GRID_BYTES as f64;
+        assert!((pct - 5.0).abs() < 0.1, "touched fraction is {pct:.2}%");
+    }
+}

@@ -1,0 +1,83 @@
+//! Profiling a deep-learning framework's caching allocator (Sec. 5.4).
+//!
+//! Frameworks like PyTorch pre-allocate a slab and carve tensors out of it
+//! with custom APIs the GPU driver never sees. DrGPUM observes those
+//! tensors through its pool-profiling interface and analyzes them as
+//! first-class data objects — here catching an unused gradient buffer and
+//! an activation that idles through the backward pass.
+//!
+//! Run with `cargo run --example dl_training`.
+
+use drgpum::prelude::*;
+use drgpum::sim::pool::CachingPool;
+
+fn main() -> Result<(), SimError> {
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(
+        &mut ctx,
+        ProfilerOptions::intra_object().with_pool_tracking(),
+    );
+
+    let mut pool = CachingPool::reserve(&mut ctx, 1 << 20)?;
+    profiler.observe_pool(&mut pool);
+
+    let n = 4 * 1024u64;
+    let bytes = n * 4;
+
+    // Forward: activation produced, then sits idle through two unrelated
+    // steps before the backward pass reuses it.
+    let act = pool.alloc(&mut ctx, bytes, "activation")?;
+    let weight = pool.alloc(&mut ctx, bytes, "weight")?;
+    // Inference-only run: the gradient tensor is never touched.
+    let _grad = pool.alloc(&mut ctx, bytes, "weight_grad")?;
+    ctx.h2d_f32(weight, &vec![0.5f32; n as usize])?;
+    ctx.launch("forward", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            let w = t.load_f32(weight + i * 4);
+            t.store_f32(act + i * 4, w * 3.0);
+        }
+    })?;
+    // Two optimizer-ish steps that do not touch the activation.
+    let m1 = pool.alloc(&mut ctx, bytes, "momentum")?;
+    ctx.memset(m1, 0, bytes)?;
+    ctx.launch("optimizer_step", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            let w = t.load_f32(weight + i * 4);
+            let m = t.load_f32(m1 + i * 4);
+            t.store_f32(m1 + i * 4, m + w);
+        }
+    })?;
+    // Backward finally consumes the activation.
+    ctx.launch("backward", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            let a = t.load_f32(act + i * 4);
+            t.store_f32(weight + i * 4, a * 0.1);
+        }
+    })?;
+
+    for t in [act, weight, _grad, m1] {
+        pool.free(t)?;
+    }
+    let pool_peak = pool.stats().peak_allocated_bytes;
+    pool.release(&mut ctx)?;
+
+    let report = profiler.report(&ctx);
+    println!("{}", report.render_text());
+    println!("pool peak: {pool_peak} bytes");
+
+    let grad_findings = report.findings_for("weight_grad");
+    assert!(
+        grad_findings.iter().any(|f| f.kind() == PatternKind::UnusedAllocation),
+        "the gradient tensor is unused in inference"
+    );
+    let act_findings = report.findings_for("activation");
+    assert!(
+        act_findings.iter().any(|f| f.kind() == PatternKind::TemporaryIdleness),
+        "the activation idles between forward and backward"
+    );
+    println!("dl_training: pool tensors analyzed as first-class objects");
+    Ok(())
+}

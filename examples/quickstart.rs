@@ -1,0 +1,58 @@
+//! Quickstart: profile a small GPU program and read the report.
+//!
+//! Writes a deliberately sloppy program — an early allocation, a leak, a
+//! dead write, and an overallocated buffer — and lets DrGPUM find all of
+//! them.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use drgpum::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let mut ctx = DeviceContext::new_default();
+    // Intra-object analysis sees element-level waste too.
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+
+    ctx.with_frame(SourceLoc::new("main", "quickstart.rs", 14), |ctx| {
+        // (1) Early allocation: `result` is created long before first use.
+        let result = ctx.malloc(64 * 1024, "result")?;
+        // (2) Overallocation: a 1 MiB scratch buffer…
+        let scratch = ctx.malloc(1 << 20, "scratch")?;
+        // (3) A leak: `lookup` is never freed.
+        let lookup = ctx.malloc(4096, "lookup_table")?;
+        ctx.memset(lookup, 0, 4096)?;
+        // (4) Dead write: zeroing `input` right before uploading over it.
+        let input = ctx.malloc(64 * 1024, "input")?;
+        ctx.memset(input, 0, 64 * 1024)?;
+        ctx.memcpy_h2d(input, &vec![3u8; 64 * 1024])?;
+
+        // The kernel touches all of `input`/`result` but only the first
+        // 1 KiB of the megabyte of scratch.
+        let n = 16 * 1024u64;
+        ctx.launch("compute", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < n {
+                let v = t.load_f32(input + i * 4);
+                if i < 256 {
+                    t.store_f32(scratch + i * 4, v * 2.0);
+                }
+                t.store_f32(result + i * 4, v + 1.0);
+            }
+        })?;
+
+        ctx.free(input)?;
+        ctx.free(scratch)?;
+        ctx.free(result)?;
+        Ok::<_, SimError>(())
+    })?;
+
+    let report = profiler.report(&ctx);
+    println!("{}", report.render_text());
+
+    assert!(report.has_pattern(PatternKind::EarlyAllocation));
+    assert!(report.has_pattern(PatternKind::MemoryLeak));
+    assert!(report.has_pattern(PatternKind::DeadWrite));
+    assert!(report.has_pattern(PatternKind::Overallocation));
+    println!("quickstart: all four planted inefficiencies were found");
+    Ok(())
+}

@@ -1,0 +1,75 @@
+//! Unified-memory profiling — the paper's future-work extension (Sec. 8):
+//! "memory inefficiencies that reside in CPU-GPU interactions, such as
+//! page-level false sharing in unified memory".
+//!
+//! A managed buffer holds a CPU-updated control block in the first half of
+//! a page and GPU-consumed data in the second half. Every iteration the CPU
+//! writes its half and the GPU reads its own — disjoint bytes, same page —
+//! so the page ping-pongs across the interconnect. DrGPUM's extension
+//! classifies the page as *false sharing* and suggests splitting the
+//! allocation at page boundaries.
+//!
+//! Run with `cargo run --example unified_memory`.
+
+use drgpum::prelude::*;
+
+const PAGE: u64 = 4096;
+
+fn main() -> Result<(), SimError> {
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+
+    // One managed page: CPU control words in the first half, GPU-read
+    // payload in the second half.
+    let shared = ctx.malloc_managed(PAGE, "control_block")?;
+    let payload = shared + PAGE / 2;
+
+    // A separate, well-behaved managed buffer the GPU owns after init.
+    let device_only = ctx.malloc_managed(PAGE, "device_data")?;
+    ctx.managed_write_f32s(device_only, &vec![1.0f32; (PAGE / 4) as usize])?;
+
+    let iterations = 6;
+    for step in 0..iterations {
+        // CPU updates its control words (first half of the page)…
+        ctx.managed_write_f32(shared, step as f32)?;
+        ctx.managed_write_f32(shared + 4, (step * 2) as f32)?;
+        // …then the GPU reads only the payload half — and the whole page
+        // faults over anyway.
+        ctx.launch("consume", LaunchConfig::cover(64, 64), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < 64 {
+                let v = t.load_f32(payload + i * 4);
+                let d = t.load_f32(device_only + i * 4);
+                t.store_f32(device_only + i * 4, v + d);
+            }
+        })?;
+    }
+    ctx.sync_device();
+    println!(
+        "total page migrations: {}",
+        ctx.unified().total_migrations()
+    );
+    ctx.free(shared)?;
+    ctx.free(device_only)?;
+
+    let report = profiler.report(&ctx);
+    println!("{}", report.render_text());
+
+    let fs = report
+        .findings
+        .iter()
+        .find(|f| f.kind() == PatternKind::PageFalseSharing)
+        .expect("the control block page is falsely shared");
+    assert_eq!(fs.object.label, "control_block");
+    println!("false sharing detected: {}", fs.suggestion);
+    assert!(
+        !report
+            .findings_for("device_data")
+            .iter()
+            .any(|f| f.kind() == PatternKind::PageFalseSharing
+                || f.kind() == PatternKind::PageThrashing),
+        "the device-resident buffer migrates once and stays put"
+    );
+    println!("unified_memory: extension analysis complete");
+    Ok(())
+}

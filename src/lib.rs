@@ -1,0 +1,58 @@
+//! # DrGPUM (Rust reproduction)
+//!
+//! An object-centric GPU memory profiler — a full reproduction of
+//! *DrGPUM: Guiding Memory Optimization for GPU-Accelerated Applications*
+//! (ASPLOS 2023) — together with the simulated CUDA-like runtime it runs
+//! on, the paper's benchmark suite, and the baseline tools it compares
+//! against.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`sim`] — the GPU runtime simulator (`gpu-sim`): device memory,
+//!   streams, kernels, and the Sanitizer-style instrumentation API;
+//! * [`profiler`] — the profiler itself (`drgpum-core`): object-level and
+//!   intra-object analyses, the ten inefficiency patterns, reports, and
+//!   the Perfetto GUI export;
+//! * [`workloads`] — the paper's twelve benchmark programs
+//!   (`drgpum-workloads`), each in unoptimized and optimized variants;
+//! * [`baselines`] — ValueExpert-lite and memcheck-lite
+//!   (`drgpum-baselines`) for the Table 5 comparison.
+//!
+//! # Quick start
+//!
+//! ```
+//! use drgpum::prelude::*;
+//!
+//! # fn main() -> Result<(), gpu_sim::SimError> {
+//! let mut ctx = DeviceContext::new_default();
+//! let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+//!
+//! let buf = ctx.malloc(4096, "my_buffer")?;
+//! ctx.memset(buf, 0, 4096)?;
+//! // …never freed: DrGPUM reports the leak.
+//!
+//! let report = profiler.report(&ctx);
+//! assert!(report.has_pattern(PatternKind::MemoryLeak));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and the
+//! `drgpum-bench` binaries for the paper's tables and figures.
+
+#![warn(missing_docs)]
+
+pub use drgpum_baselines as baselines;
+pub use drgpum_core as profiler;
+pub use drgpum_workloads as workloads;
+pub use gpu_sim as sim;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use drgpum_core::{
+        AnalysisLevel, PatternKind, Profiler, ProfilerOptions, Report, SamplingPolicy, Thresholds,
+    };
+    pub use gpu_sim::{
+        DeviceContext, DevicePtr, LaunchConfig, PlatformConfig, SimError, SourceLoc, StreamId,
+    };
+}

@@ -1,0 +1,314 @@
+//! The `drgpum` command-line tool.
+//!
+//! ```text
+//! drgpum list
+//! drgpum run <workload> [--optimized] [--intra] [--platform rtx3090|a100]
+//!                       [--period N] [--kernel NAME] [--estimate] [--json FILE]
+//!                       [--html FILE] [--perfetto FILE] [--save-trace FILE]
+//! drgpum reanalyze <trace.json> [--idleness N] [--overalloc-pct X]
+//!                               [--nuaf-cov X] [--redundant-pct X] [--json FILE]
+//! drgpum diff <before.json> <after.json>
+//! ```
+//!
+//! `run` profiles one of the paper's workloads and prints the report;
+//! `reanalyze` re-runs the offline analysis on a saved trace with different
+//! thresholds — no program re-run required; `diff` compares two recordings
+//! (e.g. before and after applying the suggested fixes) the way the
+//! paper's evaluation compares unoptimized and optimized programs.
+
+use drgpum::prelude::*;
+use drgpum::profiler::{export, trace_io, SavedTrace};
+use drgpum::workloads::common::Variant;
+use drgpum::workloads::registry::RunConfig;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  drgpum list\n  drgpum run <workload> [--optimized] [--intra] \
+         [--platform rtx3090|a100] [--period N] [--kernel NAME] [--estimate] [--json FILE] \
+         [--html FILE] [--perfetto FILE] [--save-trace FILE]\n  drgpum reanalyze <trace.json> [--idleness N] \
+         [--overalloc-pct X] [--nuaf-cov X] [--redundant-pct X] [--json FILE]\n  \
+         drgpum diff <before.json> <after.json>"
+    );
+    ExitCode::from(2)
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{flag} requires a value"));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn cmd_list() -> ExitCode {
+    println!(
+        "{:<18} {:<10} {:<26} paper patterns",
+        "name", "suite", "domain"
+    );
+    for spec in drgpum::workloads::all() {
+        let patterns: Vec<&str> = spec.expected_patterns.iter().map(|p| p.code()).collect();
+        println!(
+            "{:<18} {:<10} {:<26} {}",
+            spec.name,
+            spec.suite,
+            spec.domain,
+            patterns.join(",")
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let json_out = take_value(&mut args, "--json")?;
+    let perfetto_out = take_value(&mut args, "--perfetto")?;
+    let trace_out = take_value(&mut args, "--save-trace")?;
+    let html_out = take_value(&mut args, "--html")?;
+    let platform_name = take_value(&mut args, "--platform")?.unwrap_or_else(|| "rtx3090".into());
+    let period: u64 = take_value(&mut args, "--period")?
+        .map(|v| v.parse().map_err(|_| "--period must be a number".to_owned()))
+        .transpose()?
+        .unwrap_or(1);
+    let kernel_whitelist = take_value(&mut args, "--kernel")?;
+    let optimized = take_flag(&mut args, "--optimized");
+    let intra = take_flag(&mut args, "--intra");
+    let estimate = take_flag(&mut args, "--estimate");
+    let Some(name) = args.first() else {
+        return Err("run: missing workload name".into());
+    };
+    let Some(spec) = drgpum::workloads::by_name(name) else {
+        return Err(format!("unknown workload `{name}` (see `drgpum list`)"));
+    };
+    let platform = match platform_name.as_str() {
+        "rtx3090" => PlatformConfig::rtx3090(),
+        "a100" => PlatformConfig::a100(),
+        other => return Err(format!("unknown platform `{other}`")),
+    };
+
+    let mut ctx = DeviceContext::new(platform);
+    let mut options = if intra {
+        ProfilerOptions::intra_object()
+    } else {
+        ProfilerOptions::object_level()
+    };
+    options.sampling = SamplingPolicy::with_period(period);
+    if let Some(kernel) = kernel_whitelist {
+        // The paper's kernel whitelist (Sec. 5.5): only this kernel is
+        // fully patched for intra-object analysis.
+        options.sampling = options.sampling.with_whitelist([kernel]);
+    }
+    if let Some(elem) = spec.elem_size_hint {
+        options.elem_size = elem;
+    }
+    if spec.uses_pool {
+        options.track_pool_tensors = true;
+    }
+    let profiler = Profiler::attach(&mut ctx, options);
+    let cfg = RunConfig {
+        pool_observer: spec
+            .uses_pool
+            .then(|| profiler.collector() as drgpum::sim::pool::SharedPoolObserver),
+    };
+    let variant = if optimized {
+        Variant::Optimized
+    } else {
+        Variant::Unoptimized
+    };
+    let outcome = (spec.run)(&mut ctx, variant, &cfg).map_err(|e| e.to_string())?;
+    let report = profiler.report(&ctx);
+    println!("{}", report.render_text());
+    println!(
+        "peak memory {} bytes, simulated time {} us, checksum {:.3}",
+        outcome
+            .pool_peak_bytes
+            .unwrap_or(outcome.peak_bytes),
+        outcome.elapsed.as_ns() / 1000,
+        outcome.checksum
+    );
+
+    if estimate {
+        let est = profiler.estimate_savings(&ctx);
+        println!(
+            "advisor: applying the suggestions above would cut peak memory \
+             from {} to ~{} bytes ({:.1}% reduction, upper bound)",
+            est.original_peak,
+            est.estimated_peak,
+            est.reduction_pct()
+        );
+    }
+    if let Some(path) = json_out {
+        let v = export::report_json(&report);
+        std::fs::write(&path, serde_json::to_string_pretty(&v).expect("serialize"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("report JSON written to {path}");
+    }
+    if let Some(path) = perfetto_out {
+        let v = profiler.perfetto_trace(&ctx);
+        std::fs::write(&path, serde_json::to_string_pretty(&v).expect("serialize"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("Perfetto trace written to {path} (open at https://ui.perfetto.dev)");
+    }
+    if let Some(path) = html_out {
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        let html = drgpum::profiler::html::report_html(&report, collector.usage_curve());
+        std::fs::write(&path, html).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("HTML report written to {path}");
+    }
+    if let Some(path) = trace_out {
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        let saved = trace_io::save(&collector, ctx.call_stack().table(), &ctx.config().name);
+        std::fs::write(&path, saved.to_json().expect("serialize"))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("raw trace written to {path} (reanalyze with `drgpum reanalyze`)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_reanalyze(mut args: Vec<String>) -> Result<ExitCode, String> {
+    let json_out = take_value(&mut args, "--json")?;
+    let mut thresholds = Thresholds::default();
+    if let Some(v) = take_value(&mut args, "--idleness")? {
+        thresholds.idleness_min_apis = v.parse().map_err(|_| "--idleness must be a number")?;
+    }
+    if let Some(v) = take_value(&mut args, "--overalloc-pct")? {
+        thresholds.overalloc_accessed_pct =
+            v.parse().map_err(|_| "--overalloc-pct must be a number")?;
+    }
+    if let Some(v) = take_value(&mut args, "--nuaf-cov")? {
+        thresholds.nuaf_cov_pct = v.parse().map_err(|_| "--nuaf-cov must be a number")?;
+    }
+    if let Some(v) = take_value(&mut args, "--redundant-pct")? {
+        thresholds.redundant_size_pct =
+            v.parse().map_err(|_| "--redundant-pct must be a number")?;
+    }
+    let Some(path) = args.first() else {
+        return Err("reanalyze: missing trace file".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let saved = SavedTrace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    println!(
+        "loaded trace: {} GPU APIs, {} objects, platform {}",
+        saved.api_count(),
+        saved.object_count(),
+        saved.platform
+    );
+    let report = saved.reanalyze(&thresholds);
+    println!("{}", report.render_text());
+    if let Some(out) = json_out {
+        let v = export::report_json(&report);
+        std::fs::write(&out, serde_json::to_string_pretty(&v).expect("serialize"))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("report JSON written to {out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
+    let [before_path, after_path] = args.as_slice() else {
+        return Err("diff: expected exactly two trace files".into());
+    };
+    let load = |path: &String| -> Result<(SavedTrace, Report), String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let saved = SavedTrace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let report = saved.reanalyze(&Thresholds::default());
+        Ok((saved, report))
+    };
+    let (_, before) = load(before_path)?;
+    let (_, after) = load(after_path)?;
+
+    let reduction = if before.stats.peak_bytes > 0 {
+        100.0 * (1.0 - after.stats.peak_bytes as f64 / before.stats.peak_bytes as f64)
+    } else {
+        0.0
+    };
+    println!(
+        "peak memory: {} -> {} bytes ({:+.1}% change)",
+        before.stats.peak_bytes, after.stats.peak_bytes, -reduction
+    );
+    println!(
+        "leaked objects: {} -> {}",
+        before.stats.leaked_objects, after.stats.leaked_objects
+    );
+    println!(
+        "findings: {} -> {}",
+        before.findings.len(),
+        after.findings.len()
+    );
+
+    // Per-pattern resolution.
+    let count = |report: &Report, kind| {
+        report
+            .findings
+            .iter()
+            .filter(|f| f.kind() == kind)
+            .count()
+    };
+    println!("
+{:<32} {:>7} {:>7}", "pattern", "before", "after");
+    let mut kinds: Vec<PatternKind> = before
+        .patterns_present()
+        .union(&after.patterns_present())
+        .copied()
+        .collect();
+    kinds.sort();
+    for kind in kinds {
+        let (b, a) = (count(&before, kind), count(&after, kind));
+        let mark = if a < b { "  fixed" } else { "" };
+        println!("{:<32} {:>7} {:>7}{}", kind.name(), b, a, mark);
+    }
+
+    // Findings that disappeared / appeared, by object label.
+    let labels = |r: &Report| -> std::collections::BTreeSet<(String, &'static str)> {
+        r.findings
+            .iter()
+            .map(|f| (f.object.label.clone(), f.kind().code()))
+            .collect()
+    };
+    let (lb, la) = (labels(&before), labels(&after));
+    for (label, code) in lb.difference(&la) {
+        println!("resolved: [{code}] {label}");
+    }
+    for (label, code) in la.difference(&lb) {
+        println!("NEW:      [{code}] {label}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let command = args.remove(0);
+    let result = match command.as_str() {
+        "list" => Ok(cmd_list()),
+        "run" => cmd_run(args),
+        "reanalyze" => cmd_reanalyze(args),
+        "diff" => cmd_diff(args),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

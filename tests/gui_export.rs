@@ -1,0 +1,95 @@
+//! Integration test: the Perfetto GUI export (Fig. 7) produces a
+//! well-formed Chrome trace with the paper's headline content.
+
+use drgpum::prelude::*;
+use drgpum::workloads::common::Variant;
+use drgpum::workloads::registry::RunConfig;
+use serde_json::Value;
+
+fn simple_multi_copy_trace() -> (Report, Value) {
+    let spec = drgpum::workloads::by_name("SimpleMultiCopy").expect("registered");
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+    (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default()).expect("runs");
+    (profiler.report(&ctx), profiler.perfetto_trace(&ctx))
+}
+
+#[test]
+fn trace_is_valid_chrome_trace_json() {
+    let (_, trace) = simple_multi_copy_trace();
+    let text = serde_json::to_string(&trace).expect("serializes");
+    let parsed: Value = serde_json::from_str(&text).expect("round-trips");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e["ph"].as_str().expect("phase");
+        assert!(matches!(ph, "X" | "i" | "M"), "unexpected phase {ph}");
+        if ph == "X" {
+            assert!(e["ts"].is_number());
+            assert!(e["dur"].is_number());
+            assert!(e["pid"].is_number());
+            assert!(e["tid"].is_number());
+        }
+    }
+}
+
+#[test]
+fn trace_shows_streams_objects_and_patterns() {
+    let (report, trace) = simple_multi_copy_trace();
+    let events = trace["traceEvents"].as_array().expect("array");
+
+    // Pane 1: every GPU API slice, across multiple stream tracks.
+    let api_slices: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["pid"] == 1 && e["ph"] == "X")
+        .collect();
+    assert_eq!(api_slices.len(), report.stats.gpu_apis as usize);
+    let streams: std::collections::HashSet<u64> = api_slices
+        .iter()
+        .filter_map(|e| e["tid"].as_u64())
+        .collect();
+    assert!(streams.len() >= 2, "multi-stream program: several tracks");
+
+    // Pane 2: object lifetimes for the peak objects with attached findings.
+    let lifetimes: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["pid"] == 2 && e["cat"] == "object")
+        .collect();
+    assert!(!lifetimes.is_empty());
+    let out1 = lifetimes
+        .iter()
+        .find(|e| e["name"].as_str().unwrap_or("").contains("d_data_out1"))
+        .expect("d_data_out1 lifetime slice");
+    let patterns = out1["args"]["inefficiency_patterns"]
+        .as_array()
+        .expect("patterns");
+    assert!(
+        patterns.iter().any(|p| p["code"] == "EA"),
+        "Fig. 7 headline: d_data_out1 matches early allocation"
+    );
+    // Suggestions ride along in the args.
+    assert!(patterns
+        .iter()
+        .all(|p| p["suggestion"].as_str().map(|s| !s.is_empty()).unwrap_or(false)));
+
+    // Access instants reference topological timestamps.
+    let instants: Vec<&Value> = events
+        .iter()
+        .filter(|e| e["pid"] == 2 && e["ph"] == "i")
+        .collect();
+    assert!(!instants.is_empty());
+    assert!(instants.iter().all(|e| e["args"]["topological_ts"].is_number()));
+}
+
+#[test]
+fn api_slices_carry_call_paths_and_topo_order() {
+    let (_, trace) = simple_multi_copy_trace();
+    let events = trace["traceEvents"].as_array().expect("array");
+    let with_paths = events
+        .iter()
+        .filter(|e| e["pid"] == 1 && e["ph"] == "X")
+        .all(|e| {
+            e["args"]["call_path"].is_string() && e["args"]["topological_ts"].is_number()
+        });
+    assert!(with_paths);
+}

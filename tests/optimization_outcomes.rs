@@ -1,0 +1,94 @@
+//! Integration test: the paper's Table 4 as an executable assertion —
+//! peak-memory reductions within a few points of the paper's, speedups in
+//! the right direction, and optimized variants preserving semantics.
+
+use drgpum::workloads::common::{RunOutcome, Variant};
+use drgpum::workloads::registry::RunConfig;
+use gpu_sim::{DeviceContext, PlatformConfig};
+
+fn run(name: &str, variant: Variant, platform: PlatformConfig) -> RunOutcome {
+    let spec = drgpum::workloads::by_name(name).expect("registered");
+    let mut ctx = DeviceContext::new(platform);
+    (spec.run)(&mut ctx, variant, &RunConfig::default()).expect("workload runs")
+}
+
+fn peak(outcome: &RunOutcome) -> u64 {
+    outcome.pool_peak_bytes.unwrap_or(outcome.peak_bytes)
+}
+
+#[test]
+fn reductions_match_table4_within_3_points() {
+    for spec in drgpum::workloads::all() {
+        let Some(expected) = spec.expected_reduction_pct else {
+            continue;
+        };
+        let u = run(spec.name, Variant::Unoptimized, PlatformConfig::rtx3090());
+        let o = run(spec.name, Variant::Optimized, PlatformConfig::rtx3090());
+        let reduction = 100.0 * (1.0 - peak(&o) as f64 / peak(&u) as f64);
+        assert!(
+            (reduction - expected).abs() <= 3.0,
+            "{}: measured {reduction:.1}%, paper {expected}%",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn optimized_variants_preserve_semantics() {
+    for spec in drgpum::workloads::all() {
+        let u = run(spec.name, Variant::Unoptimized, PlatformConfig::rtx3090());
+        let o = run(spec.name, Variant::Optimized, PlatformConfig::rtx3090());
+        let denom = u.checksum.abs().max(1.0);
+        assert!(
+            ((u.checksum - o.checksum) / denom).abs() < 1e-6,
+            "{}: checksums diverge ({} vs {})",
+            spec.name,
+            u.checksum,
+            o.checksum
+        );
+    }
+}
+
+#[test]
+fn nuaf_fixes_speed_up_on_both_platforms() {
+    for name in ["GramSchmidt", "BICG"] {
+        for platform in [PlatformConfig::rtx3090(), PlatformConfig::a100()] {
+            let pname = platform.name.clone();
+            let u = run(name, Variant::Unoptimized, platform.clone());
+            let o = run(name, Variant::Optimized, platform);
+            let speedup = u.elapsed.as_ns() as f64 / o.elapsed.as_ns() as f64;
+            assert!(
+                speedup > 1.15,
+                "{name} on {pname}: expected a real speedup, got {speedup:.2}x"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizations_never_slow_anything_down() {
+    for spec in drgpum::workloads::all() {
+        let u = run(spec.name, Variant::Unoptimized, PlatformConfig::rtx3090());
+        let o = run(spec.name, Variant::Optimized, PlatformConfig::rtx3090());
+        // Memory fixes may add a few cheap APIs (e.g. 3MM's offload round
+        // trip); allow 30% slack but catch pathological regressions.
+        assert!(
+            (o.elapsed.as_ns() as f64) < u.elapsed.as_ns() as f64 * 1.3,
+            "{}: optimized variant is drastically slower",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn reductions_are_platform_independent() {
+    // Table 4's footnote: the same reduction on RTX 3090 and A100.
+    for name in ["2MM", "Darknet", "XSBench"] {
+        let u_r = run(name, Variant::Unoptimized, PlatformConfig::rtx3090());
+        let o_r = run(name, Variant::Optimized, PlatformConfig::rtx3090());
+        let u_a = run(name, Variant::Unoptimized, PlatformConfig::a100());
+        let o_a = run(name, Variant::Optimized, PlatformConfig::a100());
+        assert_eq!(peak(&u_r), peak(&u_a), "{name}: unopt peak differs");
+        assert_eq!(peak(&o_r), peak(&o_a), "{name}: opt peak differs");
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration test: the paper's Table 1 as an executable assertion.
+//!
+//! For every workload, every pattern the paper reports must be detected on
+//! the unoptimized run, and the detectors must stay silent on patterns that
+//! cannot occur (e.g. no memory leak in programs that free everything).
+
+use drgpum::prelude::*;
+use drgpum::workloads::common::Variant;
+use drgpum::workloads::registry::{RunConfig, WorkloadSpec};
+
+fn profile(spec: &WorkloadSpec, variant: Variant) -> Report {
+    let mut ctx = DeviceContext::new_default();
+    let mut options = ProfilerOptions::intra_object();
+    if let Some(elem) = spec.elem_size_hint {
+        options.elem_size = elem;
+    }
+    if spec.uses_pool {
+        options.track_pool_tensors = true;
+    }
+    let profiler = Profiler::attach(&mut ctx, options);
+    let cfg = RunConfig {
+        pool_observer: spec
+            .uses_pool
+            .then(|| profiler.collector() as drgpum::sim::pool::SharedPoolObserver),
+    };
+    (spec.run)(&mut ctx, variant, &cfg).expect("workload runs");
+    profiler.report(&ctx)
+}
+
+#[test]
+fn every_expected_pattern_is_detected() {
+    for spec in drgpum::workloads::all() {
+        let report = profile(&spec, Variant::Unoptimized);
+        let detected = report.patterns_present();
+        for expected in spec.expected_patterns {
+            assert!(
+                detected.contains(expected),
+                "{}: paper expects {} but it was not detected; found {:?}",
+                spec.name,
+                expected,
+                detected
+            );
+        }
+    }
+}
+
+#[test]
+fn leaks_only_where_the_paper_reports_them() {
+    for spec in drgpum::workloads::all() {
+        let report = profile(&spec, Variant::Unoptimized);
+        let expects_leak = spec.expected_patterns.contains(&PatternKind::MemoryLeak);
+        assert_eq!(
+            report.has_pattern(PatternKind::MemoryLeak),
+            expects_leak,
+            "{}: leak detection mismatch",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn optimized_variants_fix_the_headline_patterns() {
+    // The pattern the paper's fix targets must disappear (or strictly
+    // shrink) in the optimized variant.
+    let cases: &[(&str, PatternKind)] = &[
+        ("huffman", PatternKind::UnusedAllocation),
+        ("Darknet", PatternKind::DeadWrite),
+        ("Darknet", PatternKind::MemoryLeak),
+        ("XSBench", PatternKind::MemoryLeak),
+        ("XSBench", PatternKind::Overallocation),
+        ("MiniMDock", PatternKind::Overallocation),
+        ("PyTorch", PatternKind::UnusedAllocation),
+    ];
+    for (name, pattern) in cases {
+        let spec = drgpum::workloads::by_name(name).expect("registered");
+        let opt = profile(&spec, Variant::Optimized);
+        assert!(
+            !opt.has_pattern(*pattern),
+            "{name}: the paper's fix should eliminate {pattern}"
+        );
+    }
+
+    // Laghos' fix targets q_dx/q_dy specifically (Sec. 7.7); other objects
+    // freed at program exit legitimately keep trivial LD findings.
+    let spec = drgpum::workloads::by_name("Laghos").expect("registered");
+    let opt = profile(&spec, Variant::Optimized);
+    for label in ["q_dx", "q_dy"] {
+        assert!(
+            !opt
+                .findings_for(label)
+                .iter()
+                .any(|f| f.kind() == PatternKind::LateDeallocation),
+            "Laghos: {label} must be freed right after UpdateQuadratureData"
+        );
+    }
+}
+
+#[test]
+fn findings_are_prioritized_peak_first() {
+    let spec = drgpum::workloads::by_name("Darknet").expect("registered");
+    let report = profile(&spec, Variant::Unoptimized);
+    // Findings are sorted by (at_peak, wasted_bytes) descending.
+    let priorities: Vec<(bool, u64)> = report.findings.iter().map(|f| f.priority()).collect();
+    let mut sorted = priorities.clone();
+    sorted.sort_by(|a, b| b.cmp(a));
+    assert_eq!(priorities, sorted, "findings must be ranked most-severe first");
+}
+
+#[test]
+fn reports_resolve_call_paths_to_source_lines() {
+    let spec = drgpum::workloads::by_name("Laghos").expect("registered");
+    let report = profile(&spec, Variant::Unoptimized);
+    let q_dx = report.findings_for("q_dx");
+    assert!(!q_dx.is_empty());
+    let path = &q_dx[0].object.alloc_path;
+    assert!(
+        path.iter().any(|frame| frame.contains("laghos_assembly.cpp")),
+        "q_dx's allocation call path must point into QUpdate: {path:?}"
+    );
+}

@@ -1,0 +1,340 @@
+//! Property-based tests on the core data structures and detector
+//! invariants, backing the paper's "DrGPUM does not incur false positives"
+//! claim (Sec. 5.6): every finding's evidence is re-checked against a naive
+//! oracle on randomly generated traces.
+
+use drgpum::profiler::accessmap::{AccessBitmap, FreqMap, RangeSet};
+use drgpum::profiler::depgraph::{DependencyGraph, VertexAccess};
+use drgpum::profiler::object::ObjectId;
+use drgpum::profiler::options::Thresholds;
+use drgpum::profiler::patterns::{
+    object_level, redundant, AccessVia, ApiRef, ObjectAccess, ObjectView, PatternEvidence,
+    TraceView,
+};
+use gpu_sim::mem::DeviceAllocator;
+use gpu_sim::StreamId;
+use proptest::prelude::*;
+
+// ------------------------------------------------------------ allocator
+
+#[derive(Debug, Clone)]
+enum AllocOp {
+    Malloc(u64),
+    FreeNth(usize),
+}
+
+fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..100_000).prop_map(AllocOp::Malloc),
+            (0usize..64).prop_map(AllocOp::FreeNth),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocator_invariants(ops in alloc_ops()) {
+        let capacity = 4 << 20;
+        let mut a = DeviceAllocator::new(capacity);
+        let mut live: Vec<(gpu_sim::DevicePtr, u64)> = Vec::new();
+        for op in ops {
+            match op {
+                AllocOp::Malloc(size) => {
+                    if let Ok(info) = a.malloc(size) {
+                        live.push((info.ptr, size));
+                    }
+                }
+                AllocOp::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let (ptr, _) = live.remove(n % live.len());
+                        a.free(ptr).expect("tracked pointer frees cleanly");
+                    }
+                }
+            }
+            // Live allocations never overlap.
+            let mut ranges: Vec<(u64, u64)> = live
+                .iter()
+                .map(|(p, s)| (p.addr(), p.addr() + s))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlapping allocations");
+            }
+            // Accounting matches our model.
+            let model_in_use: u64 = live.iter().map(|(_, s)| s).sum();
+            prop_assert_eq!(a.stats().in_use_bytes, model_in_use);
+            prop_assert!(a.stats().peak_bytes >= a.stats().in_use_bytes);
+            prop_assert_eq!(a.stats().live_allocations, live.len());
+        }
+        // Free everything: the address space coalesces back to one region.
+        for (ptr, _) in live {
+            a.free(ptr).expect("valid");
+        }
+        prop_assert_eq!(a.largest_free(), capacity);
+    }
+
+    // -------------------------------------------------------- access maps
+
+    #[test]
+    fn bitmap_matches_boolean_model(
+        ranges in prop::collection::vec((0u64..600, 0u64..80), 0..40),
+        len in 1u64..600,
+    ) {
+        let mut bm = AccessBitmap::new(len);
+        let mut model = vec![false; len as usize];
+        for (start, width) in ranges {
+            bm.set_range(start, start + width);
+            for i in start..(start + width).min(len) {
+                model[i as usize] = true;
+            }
+        }
+        prop_assert_eq!(bm.count_set(), model.iter().filter(|&&b| b).count() as u64);
+        for (i, &m) in model.iter().enumerate() {
+            prop_assert_eq!(bm.is_set(i as u64), m);
+        }
+        // Largest clear run agrees with a scan of the model.
+        let mut best = 0usize;
+        let mut cur = 0usize;
+        for &m in &model {
+            if m { best = best.max(cur); cur = 0; } else { cur += 1; }
+        }
+        best = best.max(cur);
+        prop_assert_eq!(bm.largest_clear_run(), best as u64);
+    }
+
+    #[test]
+    fn rangeset_matches_boolean_model(
+        ranges in prop::collection::vec((0u64..500, 1u64..60), 1..40),
+    ) {
+        let mut rs = RangeSet::new();
+        let mut model = vec![false; 600];
+        for (s, w) in &ranges {
+            rs.insert(*s, s + w);
+            for i in *s..(s + w) {
+                model[i as usize] = true;
+            }
+        }
+        prop_assert_eq!(rs.covered(), model.iter().filter(|&&b| b).count() as u64);
+        // Invariant: stored ranges are sorted, disjoint, non-adjacent.
+        for w in rs.ranges().windows(2) {
+            prop_assert!(w[0].1 < w[1].0, "ranges must be disjoint and separated");
+        }
+        // Membership agrees with the model at every boundary point.
+        for (i, &m) in model.iter().enumerate() {
+            let i = i as u64;
+            let mut probe = RangeSet::new();
+            probe.insert(i, i + 1);
+            prop_assert_eq!(rs.intersects(&probe), m);
+        }
+    }
+
+    #[test]
+    fn freqmap_total_counts_conserved(
+        accesses in prop::collection::vec((0u64..256, 1u32..8), 0..100),
+    ) {
+        let mut fm = FreqMap::new(256, 4);
+        let mut expected_total = 0u64;
+        for (off, size) in &accesses {
+            let off = (*off).min(255);
+            let size = (*size).min((256 - off) as u32);
+            if size == 0 { continue; }
+            fm.record(off, size);
+            let first = off / 4;
+            let last = (off + u64::from(size) - 1) / 4;
+            expected_total += last - first + 1;
+        }
+        let total: u64 = fm.counts().iter().map(|&c| u64::from(c)).sum();
+        prop_assert_eq!(total, expected_total);
+        prop_assert!(fm.coefficient_of_variation_pct() >= 0.0);
+    }
+
+    // ----------------------------------------------------- dependency graph
+
+    #[test]
+    fn topological_timestamps_respect_all_edges(
+        spec in prop::collection::vec((0u32..4, 0u64..6, 0u64..6), 1..60),
+    ) {
+        let vertices: Vec<VertexAccess> = spec
+            .iter()
+            .map(|(stream, read, write)| VertexAccess {
+                stream: StreamId(*stream),
+                reads: vec![ObjectId(*read)],
+                writes: vec![ObjectId(*write)],
+                frees: vec![],
+                after: vec![],
+            })
+            .collect();
+        let g = DependencyGraph::build(&vertices);
+        for e in g.edges() {
+            prop_assert!(
+                g.timestamp(e.from) < g.timestamp(e.to),
+                "edge {}->{} violates topological order",
+                e.from,
+                e.to
+            );
+        }
+        // Single-stream degenerates to invocation order.
+        let single: Vec<VertexAccess> = spec
+            .iter()
+            .map(|(_, read, write)| VertexAccess {
+                stream: StreamId(0),
+                reads: vec![ObjectId(*read)],
+                writes: vec![ObjectId(*write)],
+                frees: vec![],
+                after: vec![],
+            })
+            .collect();
+        let g1 = DependencyGraph::build(&single);
+        let expect: Vec<u64> = (0..single.len() as u64).collect();
+        prop_assert_eq!(g1.timestamps(), &expect[..]);
+    }
+
+    // ------------------------------------------------- detector soundness
+
+    #[test]
+    fn object_level_findings_are_sound(
+        objects in prop::collection::vec(
+            // (alloc, first, last, free) offsets into a 64-API trace.
+            (0usize..16, 0usize..16, 0usize..16, 0usize..16, prop::bool::ANY),
+            1..20,
+        ),
+    ) {
+        let n_apis = 64;
+        let mut tv = TraceView::synthetic(n_apis);
+        for (i, (a, f, l, d, freed)) in objects.iter().enumerate() {
+            let alloc = *a;
+            let first = alloc + 1 + f;
+            let last = first + l;
+            let free = last + 1 + d;
+            let mk = |idx: usize| ObjectAccess {
+                api: ApiRef { idx, ts: idx as u64, name: format!("API({idx})") },
+                read: true,
+                write: false,
+                via: AccessVia::Kernel,
+            };
+            let accesses = if first == last { vec![mk(first)] } else { vec![mk(first), mk(last)] };
+            tv.objects.push(ObjectView {
+                id: ObjectId(i as u64),
+                label: format!("o{i}"),
+                size: 512,
+                alloc: Some(ApiRef { idx: alloc, ts: alloc as u64, name: format!("API({alloc})") }),
+                alloc_anchor: alloc,
+                free: freed.then(|| ApiRef { idx: free, ts: free as u64, name: format!("API({free})") }),
+                free_anchor: None,
+                accesses,
+                analyzable: true,
+            });
+        }
+        let thresholds = Thresholds::default();
+        for finding in object_level::detect_all(&tv, &thresholds) {
+            let obj = &tv.objects[finding.object.0 as usize];
+            match &finding.evidence {
+                PatternEvidence::EarlyAllocation { intervening, .. } => {
+                    let alloc_ts = obj.alloc.as_ref().unwrap().ts;
+                    let first_ts = obj.accesses.first().unwrap().api.ts;
+                    prop_assert!(*intervening >= 1);
+                    prop_assert_eq!(*intervening, first_ts - alloc_ts - 1);
+                }
+                PatternEvidence::LateDeallocation { intervening, .. } => {
+                    let last_ts = obj.accesses.last().unwrap().api.ts;
+                    let free_ts = obj.free.as_ref().unwrap().ts;
+                    prop_assert!(*intervening >= 1);
+                    prop_assert_eq!(*intervening, free_ts - last_ts - 1);
+                }
+                PatternEvidence::MemoryLeak => prop_assert!(obj.free.is_none()),
+                PatternEvidence::UnusedAllocation => prop_assert!(obj.accesses.is_empty()),
+                PatternEvidence::TemporaryIdleness { spans } => {
+                    for s in spans {
+                        prop_assert!(s.intervening >= thresholds.idleness_min_apis);
+                        prop_assert_eq!(s.intervening, s.to.ts - s.from.ts - 1);
+                    }
+                }
+                other => prop_assert!(false, "unexpected evidence {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn redundant_allocation_pairs_are_valid(
+        objects in prop::collection::vec((0usize..30, 0usize..10, 100u64..2000), 2..20),
+    ) {
+        let mut tv = TraceView::synthetic(64);
+        for (i, (first, span, size)) in objects.iter().enumerate() {
+            let first = *first;
+            let last = (first + span).min(63);
+            let mk = |idx: usize| ObjectAccess {
+                api: ApiRef { idx, ts: idx as u64, name: format!("API({idx})") },
+                read: true,
+                write: true,
+                via: AccessVia::Kernel,
+            };
+            let accesses = if first == last { vec![mk(first)] } else { vec![mk(first), mk(last)] };
+            tv.objects.push(ObjectView {
+                id: ObjectId(i as u64),
+                label: format!("o{i}"),
+                size: *size,
+                alloc: None,
+                alloc_anchor: 0,
+                free: None,
+                free_anchor: None,
+                accesses,
+                analyzable: true,
+            });
+        }
+        let findings = redundant::detect_redundant_allocations(&tv, 10.0);
+        let pairs = redundant::reuse_pairs(&findings);
+        let mut reused_sources = std::collections::HashSet::new();
+        for (consumer, source) in &pairs {
+            // Each source's memory handed out at most once.
+            prop_assert!(reused_sources.insert(*source), "source reused twice");
+            let c = &tv.objects[consumer.0 as usize];
+            let s = &tv.objects[source.0 as usize];
+            // Disjoint lifetimes: the source's last access strictly before
+            // the consumer's first (Last sorts after First on ties).
+            let s_last = s.accesses.last().unwrap().api.ts;
+            let c_first = c.accesses.first().unwrap().api.ts;
+            prop_assert!(s_last < c_first, "lifetimes overlap: {s_last} !< {c_first}");
+            // Size window respected.
+            prop_assert!(redundant::sizes_compatible(c.size, s.size, 10.0));
+        }
+    }
+}
+
+// --------------------------------------------------------------- peaks
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn peaks_are_true_local_maxima(curve in prop::collection::vec(0u64..1000, 1..80)) {
+        let samples: Vec<drgpum::profiler::peaks::UsageSample> = curve
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| drgpum::profiler::peaks::UsageSample {
+                api_idx: i,
+                bytes_in_use: b,
+            })
+            .collect();
+        let peaks = drgpum::profiler::peaks::find_peaks(&samples, 3);
+        let global_max = curve.iter().copied().max().unwrap_or(0);
+        if global_max > 0 {
+            prop_assert!(!peaks.is_empty(), "a nonzero curve has at least one peak");
+            prop_assert_eq!(peaks[0].1, global_max, "first peak is the global maximum");
+        }
+        for (idx, bytes) in &peaks {
+            prop_assert_eq!(curve[*idx], *bytes, "peak value comes from the curve");
+            // No strictly larger neighbour on either side until the value
+            // changes (local maximum over distinct values).
+            if *idx > 0 {
+                prop_assert!(curve[idx - 1] <= *bytes);
+            }
+            if idx + 1 < curve.len() {
+                prop_assert!(curve[idx + 1] <= *bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the unified-memory extension (the paper's Sec. 8
+//! future work): page thrashing and page-level false sharing, end to end
+//! through the simulator, collector, analyzer, and trace replay.
+
+use drgpum::prelude::*;
+
+const PAGE: u64 = 4096;
+
+/// CPU and GPU alternately touch the *same* words of one managed page.
+fn run_thrashing(ctx: &mut DeviceContext) -> Result<(), SimError> {
+    let shared = ctx.malloc_managed(PAGE, "shared_counter")?;
+    for _ in 0..4 {
+        let v = ctx.managed_read_f32(shared)?;
+        ctx.managed_write_f32(shared, v + 1.0)?;
+        ctx.launch("bump", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
+            let v = t.load_f32(shared);
+            t.store_f32(shared, v * 2.0);
+        })?;
+    }
+    ctx.sync_device();
+    ctx.free(shared)?;
+    Ok(())
+}
+
+#[test]
+fn overlapping_ping_pong_is_thrashing_not_false_sharing() {
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+    run_thrashing(&mut ctx).unwrap();
+    let report = profiler.report(&ctx);
+    assert!(report.has_pattern(PatternKind::PageThrashing));
+    assert!(
+        !report.has_pattern(PatternKind::PageFalseSharing),
+        "both sides touch the same word: genuine sharing, not false sharing"
+    );
+}
+
+#[test]
+fn migrations_cost_simulated_time() {
+    // The same program with device-resident data must be much faster than
+    // the ping-ponging version — the paper's motivation for flagging
+    // unified-memory traffic (up to 10x slowdowns, Sec. 1).
+    let mut thrash_ctx = DeviceContext::new_default();
+    run_thrashing(&mut thrash_ctx).unwrap();
+    let thrash_ns = thrash_ctx.now().as_ns();
+
+    let mut clean_ctx = DeviceContext::new_default();
+    let buf = clean_ctx.malloc(PAGE, "device_only").unwrap();
+    clean_ctx.memset(buf, 0, PAGE).unwrap();
+    for _ in 0..4 {
+        clean_ctx
+            .launch("bump", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
+                let v = t.load_f32(buf);
+                t.store_f32(buf, v * 2.0 + 1.0);
+            })
+            .unwrap();
+    }
+    clean_ctx.sync_device();
+    clean_ctx.free(buf).unwrap();
+    let clean_ns = clean_ctx.now().as_ns();
+    assert!(
+        thrash_ns > clean_ns * 2,
+        "page migrations must dominate: {thrash_ns} vs {clean_ns}"
+    );
+}
+
+#[test]
+fn managed_memory_computes_correct_results() {
+    let mut ctx = DeviceContext::new_default();
+    let n = 256u64;
+    let buf = ctx.malloc_managed(n * 4, "managed").unwrap();
+    let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
+    ctx.managed_write_f32s(buf, &data).unwrap();
+    ctx.launch("triple", LaunchConfig::cover(n, 64), StreamId::DEFAULT, move |t| {
+        let i = t.global_x();
+        if i < n {
+            let v = t.load_f32(buf + i * 4);
+            t.store_f32(buf + i * 4, v * 3.0);
+        }
+    })
+    .unwrap();
+    let mut out = vec![0.0f32; n as usize];
+    ctx.managed_read_f32s(&mut out, buf).unwrap();
+    assert_eq!(out[100], 300.0);
+    ctx.free(buf).unwrap();
+    // Host init → device kernel → host read: one round trip per page.
+    assert!(ctx.unified().total_migrations() >= 2);
+}
+
+#[test]
+fn unified_findings_survive_trace_replay() {
+    use drgpum::profiler::{trace_io, Thresholds};
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+    run_thrashing(&mut ctx).unwrap();
+    let live = profiler.report(&ctx);
+
+    let collector = profiler.collector();
+    let collector = collector.lock();
+    let saved = trace_io::save(&collector, ctx.call_stack().table(), "rtx3090");
+    let text = saved.to_json().unwrap();
+    let replayed = drgpum::profiler::SavedTrace::from_json(&text)
+        .unwrap()
+        .reanalyze(&Thresholds::default());
+    assert_eq!(live.patterns_present(), replayed.patterns_present());
+    assert!(replayed.has_pattern(PatternKind::PageThrashing));
+
+    // Raising the threshold offline silences the extension findings.
+    let strict = Thresholds {
+        thrash_min_migrations: 1000,
+        ..Thresholds::default()
+    };
+    let silenced = saved.reanalyze(&strict);
+    assert!(!silenced.has_pattern(PatternKind::PageThrashing));
+}
+
+#[test]
+fn plain_device_memory_never_reports_extension_patterns() {
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+    let buf = ctx.malloc(PAGE, "plain").unwrap();
+    for _ in 0..8 {
+        ctx.memset(buf, 0, PAGE).unwrap();
+        ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, move |t| {
+            let i = t.global_x();
+            if i < 16 {
+                t.store_f32(buf + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+    }
+    ctx.free(buf).unwrap();
+    let report = profiler.report(&ctx);
+    assert!(!report.has_pattern(PatternKind::PageThrashing));
+    assert!(!report.has_pattern(PatternKind::PageFalseSharing));
+    assert_eq!(ctx.unified().total_migrations(), 0);
+}
