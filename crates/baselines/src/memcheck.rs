@@ -9,8 +9,8 @@
 //! no device-side `malloc`).
 
 use drgpum_core::PatternKind;
-use gpu_sim::{ApiEvent, ApiKind, CallPath, DevicePtr};
 use gpu_sim::sanitizer::SanitizerHooks;
+use gpu_sim::{ApiEvent, ApiKind, CallPath, DevicePtr};
 use std::collections::{HashMap, HashSet};
 
 /// One leak record, in compute-sanitizer style.

@@ -79,7 +79,8 @@ impl ValueExpertLite {
         all.extend(self.objects.values().cloned());
         for st in all {
             if !st.accessed && st.label != "memory_pool_slab" {
-                self.findings.push(ValueFinding::NeverAccessed { label: st.label });
+                self.findings
+                    .push(ValueFinding::NeverAccessed { label: st.label });
             }
         }
     }
@@ -178,7 +179,9 @@ mod tests {
             .findings()
             .iter()
             .any(|f| matches!(f, ValueFinding::NeverAccessed { label } if label == "unused")));
-        assert!(t.detectable_patterns().contains(&PatternKind::UnusedAllocation));
+        assert!(t
+            .detectable_patterns()
+            .contains(&PatternKind::UnusedAllocation));
     }
 
     #[test]

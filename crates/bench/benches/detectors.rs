@@ -1,7 +1,8 @@
-//! Criterion micro-benchmarks for the pattern detectors and their data
-//! structures — the profiler-side costs behind Figure 6's overhead.
+//! Micro-benchmarks for the pattern detectors and their data structures —
+//! the profiler-side costs behind Figure 6's overhead. Uses the offline
+//! timing harness in [`drgpum_bench::timing`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drgpum_bench::timing::{bench, group};
 use drgpum_core::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use drgpum_core::depgraph::{DependencyGraph, VertexAccess};
 use drgpum_core::object::ObjectId;
@@ -48,23 +49,22 @@ fn synthetic_trace(n_objects: usize) -> TraceView {
     tv
 }
 
-fn bench_object_level(c: &mut Criterion) {
-    let mut group = c.benchmark_group("object_level_detectors");
+fn bench_object_level() {
+    group("object_level_detectors");
     for n in [100usize, 1000] {
         let tv = synthetic_trace(n);
         let thresholds = Thresholds::default();
-        group.bench_with_input(BenchmarkId::new("detect_all", n), &tv, |b, tv| {
-            b.iter(|| black_box(object_level::detect_all(tv, &thresholds)));
+        bench(&format!("detect_all/{n}"), 50, || {
+            black_box(object_level::detect_all(&tv, &thresholds))
         });
-        group.bench_with_input(BenchmarkId::new("redundant_one_pass", n), &tv, |b, tv| {
-            b.iter(|| black_box(redundant::detect_redundant_allocations(tv, 10.0)));
+        bench(&format!("redundant_one_pass/{n}"), 50, || {
+            black_box(redundant::detect_redundant_allocations(&tv, 10.0))
         });
     }
-    group.finish();
 }
 
-fn bench_depgraph(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dependency_graph");
+fn bench_depgraph() {
+    group("dependency_graph");
     for n in [1000usize, 10_000] {
         let vertices: Vec<VertexAccess> = (0..n)
             .map(|i| VertexAccess {
@@ -75,52 +75,47 @@ fn bench_depgraph(c: &mut Criterion) {
                 after: vec![],
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("build_and_sort", n), &vertices, |b, v| {
-            b.iter(|| black_box(DependencyGraph::build(v)));
+        bench(&format!("build_and_sort/{n}"), 20, || {
+            black_box(DependencyGraph::build(&vertices))
         });
     }
-    group.finish();
 }
 
-fn bench_access_maps(c: &mut Criterion) {
-    let mut group = c.benchmark_group("access_maps");
-    group.bench_function("bitmap_set_4k_ranges_in_1m", |b| {
-        b.iter(|| {
-            let mut bm = AccessBitmap::new(1 << 20);
-            for i in 0..4096u64 {
-                bm.set_range(i * 256, i * 256 + 128);
-            }
-            black_box(bm.count_set())
-        });
-    });
-    group.bench_function("bitmap_fragmentation_1m", |b| {
+fn bench_access_maps() {
+    group("access_maps");
+    bench("bitmap_set_4k_ranges_in_1m", 20, || {
         let mut bm = AccessBitmap::new(1 << 20);
-        for i in 0..2048u64 {
-            bm.set_range(i * 512, i * 512 + 256);
+        for i in 0..4096u64 {
+            bm.set_range(i * 256, i * 256 + 128);
         }
-        b.iter(|| black_box(drgpum_core::metrics::fragmentation_pct(&bm)));
+        black_box(bm.count_set())
     });
-    group.bench_function("rangeset_insert_4k", |b| {
-        b.iter(|| {
-            let mut rs = RangeSet::new();
-            for i in 0..4096u64 {
-                let s = (i * 37) % 100_000;
-                rs.insert(s, s + 64);
-            }
-            black_box(rs.covered())
-        });
+    let mut bm = AccessBitmap::new(1 << 20);
+    for i in 0..2048u64 {
+        bm.set_range(i * 512, i * 512 + 256);
+    }
+    bench("bitmap_fragmentation_1m", 20, || {
+        black_box(drgpum_core::metrics::fragmentation_pct(&bm))
     });
-    group.bench_function("freqmap_record_64k", |b| {
-        b.iter(|| {
-            let mut fm = FreqMap::new(1 << 16, 4);
-            for i in 0..65_536u64 {
-                fm.record((i * 4) % (1 << 16), 4);
-            }
-            black_box(fm.coefficient_of_variation_pct())
-        });
+    bench("rangeset_insert_4k", 20, || {
+        let mut rs = RangeSet::new();
+        for i in 0..4096u64 {
+            let s = (i * 37) % 100_000;
+            rs.insert(s, s + 64);
+        }
+        black_box(rs.covered())
     });
-    group.finish();
+    bench("freqmap_record_64k", 20, || {
+        let mut fm = FreqMap::new(1 << 16, 4);
+        for i in 0..65_536u64 {
+            fm.record((i * 4) % (1 << 16), 4);
+        }
+        black_box(fm.coefficient_of_variation_pct())
+    });
 }
 
-criterion_group!(benches, bench_object_level, bench_depgraph, bench_access_maps);
-criterion_main!(benches);
+fn main() {
+    bench_object_level();
+    bench_depgraph();
+    bench_access_maps();
+}

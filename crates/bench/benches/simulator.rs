@@ -1,8 +1,8 @@
-//! Criterion micro-benchmarks for the GPU-simulator substrate: allocator
-//! throughput, memory traffic, and kernel execution with and without
-//! instrumentation.
+//! Micro-benchmarks for the GPU-simulator substrate: allocator throughput,
+//! memory traffic, and kernel execution with and without instrumentation.
+//! Uses the offline timing harness in [`drgpum_bench::timing`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drgpum_bench::timing::{bench, group};
 use gpu_sim::mem::DeviceAllocator;
 use gpu_sim::sanitizer::{KernelInfo, PatchMode, SanitizerHooks};
 use gpu_sim::{DeviceContext, LaunchConfig, StreamId};
@@ -10,37 +10,32 @@ use parking_lot::Mutex;
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn bench_allocator(c: &mut Criterion) {
-    let mut group = c.benchmark_group("allocator");
-    group.bench_function("alloc_free_churn_1k", |b| {
-        b.iter(|| {
-            let mut a = DeviceAllocator::new(1 << 24);
-            let mut ptrs = Vec::with_capacity(1000);
-            for i in 0..1000u64 {
-                ptrs.push(a.malloc(256 + (i % 16) * 64).expect("fits").ptr);
-            }
-            for p in ptrs.drain(..).step_by(2) {
-                a.free(p).expect("valid");
-            }
-            black_box(a.stats())
-        });
-    });
-    group.bench_function("interval_lookup", |b| {
+fn bench_allocator() {
+    group("allocator");
+    bench("alloc_free_churn_1k", 50, || {
         let mut a = DeviceAllocator::new(1 << 24);
-        let ptrs: Vec<_> = (0..1000u64)
-            .map(|_| a.malloc(4096).expect("fits").ptr)
-            .collect();
-        b.iter(|| {
-            let mut hits = 0;
-            for p in &ptrs {
-                if a.find_containing(*p + 100).is_some() {
-                    hits += 1;
-                }
-            }
-            black_box(hits)
-        });
+        let mut ptrs = Vec::with_capacity(1000);
+        for i in 0..1000u64 {
+            ptrs.push(a.malloc(256 + (i % 16) * 64).expect("fits").ptr);
+        }
+        for p in ptrs.drain(..).step_by(2) {
+            a.free(p).expect("valid");
+        }
+        black_box(a.stats())
     });
-    group.finish();
+    let mut a = DeviceAllocator::new(1 << 24);
+    let ptrs: Vec<_> = (0..1000u64)
+        .map(|_| a.malloc(4096).expect("fits").ptr)
+        .collect();
+    bench("interval_lookup", 50, || {
+        let mut hits = 0;
+        for p in &ptrs {
+            if a.find_containing(*p + 100).is_some() {
+                hits += 1;
+            }
+        }
+        black_box(hits)
+    });
 }
 
 /// A sink that forces a patch mode and discards records, to isolate the
@@ -53,59 +48,55 @@ impl SanitizerHooks for Forcing {
     }
 }
 
-fn bench_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_execution");
-    group.sample_size(20);
+fn bench_kernels() {
+    group("kernel_execution");
     for (label, mode) in [
         ("uninstrumented", None),
         ("hit_flags", Some(PatchMode::HitFlags)),
         ("full_records", Some(PatchMode::Full)),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("saxpy_64k", label),
-            &mode,
-            |b, mode| {
-                let mut ctx = DeviceContext::new_default();
-                if let Some(m) = *mode {
-                    ctx.sanitizer_mut().register(Arc::new(Mutex::new(Forcing(m))));
-                }
-                let n = 64 * 1024u64;
-                let x = ctx.malloc(n * 4, "x").expect("fits");
-                let y = ctx.malloc(n * 4, "y").expect("fits");
-                ctx.memset(x, 1, n * 4).expect("valid");
-                ctx.memset(y, 2, n * 4).expect("valid");
-                b.iter(|| {
-                    ctx.launch("saxpy", LaunchConfig::cover(n, 256), StreamId::DEFAULT, |t| {
-                        let i = t.global_x();
-                        if i < n {
-                            let xv = t.load_f32(x + i * 4);
-                            let yv = t.load_f32(y + i * 4);
-                            t.store_f32(y + i * 4, 2.0 * xv + yv);
-                            t.flop(2);
-                        }
-                    })
-                    .expect("launches")
-                });
-            },
-        );
+        let mut ctx = DeviceContext::new_default();
+        if let Some(m) = mode {
+            ctx.sanitizer_mut()
+                .register(Arc::new(Mutex::new(Forcing(m))));
+        }
+        let n = 64 * 1024u64;
+        let x = ctx.malloc(n * 4, "x").expect("fits");
+        let y = ctx.malloc(n * 4, "y").expect("fits");
+        ctx.memset(x, 1, n * 4).expect("valid");
+        ctx.memset(y, 2, n * 4).expect("valid");
+        bench(&format!("saxpy_64k/{label}"), 10, || {
+            ctx.launch(
+                "saxpy",
+                LaunchConfig::cover(n, 256),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < n {
+                        let xv = t.load_f32(x + i * 4);
+                        let yv = t.load_f32(y + i * 4);
+                        t.store_f32(y + i * 4, 2.0 * xv + yv);
+                        t.flop(2);
+                    }
+                },
+            )
+            .expect("launches")
+        });
     }
-    group.finish();
 }
 
-fn bench_memcpy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memcpy");
+fn bench_memcpy() {
+    group("memcpy");
     let mut ctx = DeviceContext::new_default();
     let p = ctx.malloc(1 << 20, "buf").expect("fits");
     let data = vec![7u8; 1 << 20];
-    group.bench_function("h2d_1m", |b| {
-        b.iter(|| ctx.memcpy_h2d(p, &data).expect("valid"));
-    });
+    bench("h2d_1m", 20, || ctx.memcpy_h2d(p, &data).expect("valid"));
     let mut out = vec![0u8; 1 << 20];
-    group.bench_function("d2h_1m", |b| {
-        b.iter(|| ctx.memcpy_d2h(&mut out, p).expect("valid"));
-    });
-    group.finish();
+    bench("d2h_1m", 20, || ctx.memcpy_d2h(&mut out, p).expect("valid"));
 }
 
-criterion_group!(benches, bench_allocator, bench_kernels, bench_memcpy);
-criterion_main!(benches);
+fn main() {
+    bench_allocator();
+    bench_kernels();
+    bench_memcpy();
+}

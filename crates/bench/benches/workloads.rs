@@ -1,50 +1,42 @@
-//! Criterion end-to-end benchmarks: each paper workload natively and under
-//! DrGPUM's two analysis modes — the measured form of Figure 6's bars.
+//! End-to-end benchmarks: each paper workload natively and under DrGPUM's
+//! two analysis modes — the measured form of Figure 6's bars. Uses the
+//! offline timing harness in [`drgpum_bench::timing`].
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drgpum_bench::timing::{bench, group};
 use drgpum_bench::{profile_workload, run_native};
 use drgpum_core::{AnalysisLevel, SamplingPolicy};
 use drgpum_workloads::common::Variant;
 use gpu_sim::PlatformConfig;
 use std::hint::black_box;
 
-fn bench_workloads(c: &mut Criterion) {
-    let mut group = c.benchmark_group("workloads");
-    group.sample_size(10);
+fn main() {
+    group("workloads");
     // A representative subset keeps `cargo bench` within a coffee break;
     // the figure6 binary covers the full suite.
     for name in ["2MM", "huffman", "Laghos", "SimpleMultiCopy"] {
         let spec = drgpum_workloads::by_name(name).expect("registered");
-        group.bench_with_input(BenchmarkId::new("native", name), &spec, |b, spec| {
-            b.iter(|| black_box(run_native(spec, PlatformConfig::rtx3090()).1.peak_bytes));
+        bench(&format!("native/{name}"), 10, || {
+            black_box(run_native(&spec, PlatformConfig::rtx3090()).1.peak_bytes)
         });
-        group.bench_with_input(BenchmarkId::new("object_level", name), &spec, |b, spec| {
-            b.iter(|| {
-                let (report, _) = profile_workload(
-                    spec,
-                    Variant::Unoptimized,
-                    AnalysisLevel::ObjectLevel,
-                    PlatformConfig::rtx3090(),
-                    SamplingPolicy::default(),
-                );
-                black_box(report.findings.len())
-            });
+        bench(&format!("object_level/{name}"), 10, || {
+            let (report, _) = profile_workload(
+                &spec,
+                Variant::Unoptimized,
+                AnalysisLevel::ObjectLevel,
+                PlatformConfig::rtx3090(),
+                SamplingPolicy::default(),
+            );
+            black_box(report.findings.len())
         });
-        group.bench_with_input(BenchmarkId::new("intra_object", name), &spec, |b, spec| {
-            b.iter(|| {
-                let (report, _) = profile_workload(
-                    spec,
-                    Variant::Unoptimized,
-                    AnalysisLevel::IntraObject,
-                    PlatformConfig::rtx3090(),
-                    SamplingPolicy::every_instance(),
-                );
-                black_box(report.findings.len())
-            });
+        bench(&format!("intra_object/{name}"), 10, || {
+            let (report, _) = profile_workload(
+                &spec,
+                Variant::Unoptimized,
+                AnalysisLevel::IntraObject,
+                PlatformConfig::rtx3090(),
+                SamplingPolicy::every_instance(),
+            );
+            black_box(report.findings.len())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

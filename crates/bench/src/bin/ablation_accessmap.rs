@@ -36,7 +36,8 @@ impl SanitizerHooks for ForcedMode {
 fn simulated_ns(spec: &drgpum_workloads::WorkloadSpec, mode: Option<PatchMode>) -> u64 {
     let mut ctx = DeviceContext::new_default();
     if let Some(m) = mode {
-        ctx.sanitizer_mut().register(Arc::new(Mutex::new(ForcedMode(m))));
+        ctx.sanitizer_mut()
+            .register(Arc::new(Mutex::new(ForcedMode(m))));
     }
     let out = (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default())
         .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
@@ -74,7 +75,10 @@ fn main() {
     println!("\nAblation 2: adaptive access-map placement (maps on GPU iff they fit)");
     let spec = drgpum_workloads::by_name("Darknet").expect("registered");
     for (label, capacity) in [
-        ("roomy device (24 GB)", PlatformConfig::rtx3090().device_memory_bytes),
+        (
+            "roomy device (24 GB)",
+            PlatformConfig::rtx3090().device_memory_bytes,
+        ),
         ("tiny device (1.5 MB)", 1_500_000),
     ] {
         let mut platform = PlatformConfig::rtx3090();
@@ -97,9 +101,7 @@ fn main() {
             .filter(|d| d.side == MapSide::Gpu)
             .count();
         let cpu = col.mode_decisions().len() - gpu;
-        println!(
-            "  {label}: {gpu} kernels updated maps on the GPU, {cpu} streamed to the CPU"
-        );
+        println!("  {label}: {gpu} kernels updated maps on the GPU, {cpu} streamed to the CPU");
         assert!(
             !col.mode_decisions().is_empty(),
             "intra-object analysis must log placement decisions"

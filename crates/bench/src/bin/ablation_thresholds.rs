@@ -80,9 +80,7 @@ fn main() {
         };
         let n = count(&xsbench, &t, PatternKind::Overallocation);
         let expected = usize::from(pct > 5.0);
-        println!(
-            "  threshold = {pct:>4.0}%: {n} OA findings (index_grid is 5.0% accessed)"
-        );
+        println!("  threshold = {pct:>4.0}%: {n} OA findings (index_grid is 5.0% accessed)");
         assert_eq!(
             n, expected,
             "OA must fire exactly when the threshold exceeds the touched fraction"

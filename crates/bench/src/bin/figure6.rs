@@ -24,9 +24,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
-    println!(
-        "Figure 6: DrGPUM overhead (x native), {runs} runs per point\n"
-    );
+    println!("Figure 6: DrGPUM overhead (x native), {runs} runs per point\n");
     let mut csv = String::from("platform,program,object_level,intra_object\n");
     for platform in [PlatformConfig::rtx3090(), PlatformConfig::a100()] {
         println!("platform: {}", platform.name);

@@ -31,8 +31,11 @@ fn main() {
     let dir = Path::new("results");
     fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join("liveness.json");
-    fs::write(&path, serde_json::to_string_pretty(&trace).expect("serialize"))
-        .expect("write trace");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(&trace).expect("serialize"),
+    )
+    .expect("write trace");
     let events = trace["traceEvents"].as_array().map(Vec::len).unwrap_or(0);
     println!("wrote {} ({events} trace events)", path.display());
     println!("open it at https://ui.perfetto.dev via `Open trace file`");

@@ -15,7 +15,11 @@ use drgpum_workloads::common::{RunOutcome, Variant};
 use drgpum_workloads::registry::RunConfig;
 use gpu_sim::{DeviceContext, PlatformConfig};
 
-fn run_on(spec: &drgpum_workloads::WorkloadSpec, variant: Variant, platform: PlatformConfig) -> RunOutcome {
+fn run_on(
+    spec: &drgpum_workloads::WorkloadSpec,
+    variant: Variant,
+    platform: PlatformConfig,
+) -> RunOutcome {
     let mut ctx = DeviceContext::new(platform);
     (spec.run)(&mut ctx, variant, &RunConfig::default())
         .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name))
@@ -108,11 +112,24 @@ fn main() {
                 format!("{pr:.2}x"),
                 format!("{pa:.2}x"),
             ),
-            None => ("-".to_owned(), "-".to_owned(), "-".to_owned(), "-".to_owned()),
+            None => (
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+                "-".to_owned(),
+            ),
         };
         println!(
             "{:<17} {:>6} {:>11} {:>10} {:>6.1}% {:>12} {:>11} {:>12} {:>11}",
-            spec.name, spec.sloc_modified, mem_meas, mem_paper, predicted, s_rtx, p_rtx, s_a100, p_a100
+            spec.name,
+            spec.sloc_modified,
+            mem_meas,
+            mem_paper,
+            predicted,
+            s_rtx,
+            p_rtx,
+            s_a100,
+            p_a100
         );
 
         if let Some(expected) = spec.expected_reduction_pct {

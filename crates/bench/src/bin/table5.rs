@@ -69,10 +69,7 @@ fn main() {
         println!("{:<30} {:>8} {:>13} {:>18}", p.name(), d, v, m);
         let expected_v = p == PatternKind::UnusedAllocation;
         let expected_m = p == PatternKind::MemoryLeak;
-        if d != "Yes"
-            || (v.starts_with("Yes") != expected_v)
-            || ((m == "Yes") != expected_m)
-        {
+        if d != "Yes" || (v.starts_with("Yes") != expected_v) || ((m == "Yes") != expected_m) {
             mismatches += 1;
         }
     }

@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use drgpum_core::{AnalysisLevel, Profiler, ProfilerOptions, Report, SamplingPolicy};
 use drgpum_workloads::common::{RunOutcome, Variant};
 use drgpum_workloads::registry::{RunConfig, WorkloadSpec};

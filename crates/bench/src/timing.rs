@@ -1,0 +1,99 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The build environment is fully offline, so the bench targets ship their
+//! own Criterion-style loop instead of pulling in an external framework:
+//! warm up, run a fixed number of timed iterations, and report min / median
+//! / mean wall time per iteration.
+
+use crate::median;
+use std::time::Instant;
+
+/// Timing summary for one benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label, e.g. `"object_level/detect_all/1000"`.
+    pub name: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Fastest iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Median iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean iteration, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// Formats a nanosecond figure with a human-scale unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs `f` for `iters` timed iterations (plus ~10% warmup), prints a
+/// one-line summary, and returns the timings.
+///
+/// Wrap the interesting value in [`std::hint::black_box`] inside `f` to
+/// keep the optimizer honest, exactly as with Criterion's `b.iter`.
+pub fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> BenchResult {
+    let warmup = (iters / 10).max(1);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters as usize);
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_nanos() as f64);
+    }
+    let min_ns = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+    let median_ns = median(&mut samples);
+    println!(
+        "{name:<48} median {:>10}   (min {:>10}, mean {:>10}, {} iters)",
+        fmt_ns(median_ns),
+        fmt_ns(min_ns),
+        fmt_ns(mean_ns),
+        samples.len(),
+    );
+    BenchResult {
+        name: name.to_owned(),
+        iters: samples.len() as u32,
+        min_ns,
+        median_ns,
+        mean_ns,
+    }
+}
+
+/// Prints a group header, mirroring Criterion's `benchmark_group` output.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_statistics() {
+        let r = bench("noop", 16, || std::hint::black_box(1 + 1));
+        assert_eq!(r.iters, 16);
+        assert!(r.min_ns <= r.median_ns);
+        assert!(r.min_ns <= r.mean_ns);
+        assert!(r.median_ns.is_finite());
+    }
+
+    #[test]
+    fn fmt_ns_picks_units() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 µs");
+        assert_eq!(fmt_ns(3_000_000.0), "3.00 ms");
+        assert_eq!(fmt_ns(1.5e9), "1.50 s");
+    }
+}

@@ -65,8 +65,7 @@ impl AccessBitmap {
         let (first_word, first_bit) = ((start / 64) as usize, start % 64);
         let (last_word, last_bit) = (((end - 1) / 64) as usize, (end - 1) % 64);
         if first_word == last_word {
-            let mask = (u64::MAX << first_bit)
-                & (u64::MAX >> (63 - last_bit));
+            let mask = (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit));
             self.words[first_word] |= mask;
             return;
         }
@@ -94,7 +93,11 @@ impl AccessBitmap {
         if tail_bits > 0 && !self.words.is_empty() {
             let last = *self.words.last().expect("non-empty");
             let valid = 64 - tail_bits;
-            let invalid_mask = if valid == 0 { u64::MAX } else { u64::MAX << valid };
+            let invalid_mask = if valid == 0 {
+                u64::MAX
+            } else {
+                u64::MAX << valid
+            };
             total -= u64::from((last & invalid_mask).count_ones());
         }
         total
@@ -340,7 +343,10 @@ impl FreqMap {
     /// elements were accessed.
     pub fn coefficient_of_variation_pct(&self) -> f64 {
         crate::metrics::coefficient_of_variation_pct(
-            self.counts.iter().filter(|&&c| c > 0).map(|&c| f64::from(c)),
+            self.counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| f64::from(c)),
         )
     }
 

@@ -67,11 +67,7 @@ fn lifetime_end(meta: &ObjectMeta, curve_len: usize) -> usize {
     meta.free_api.unwrap_or(curve_len)
 }
 
-fn fix_for(
-    finding: &Finding,
-    meta: &ObjectMeta,
-    curve_len: usize,
-) -> Vec<ModeledFix> {
+fn fix_for(finding: &Finding, meta: &ObjectMeta, curve_len: usize) -> Vec<ModeledFix> {
     let whole_life = (meta.alloc_api, lifetime_end(meta, curve_len));
     match &finding.evidence {
         PatternEvidence::UnusedAllocation => vec![ModeledFix {
@@ -147,11 +143,7 @@ fn fix_for(
 /// A leak also reported as a late deallocation is only modelled once; for
 /// each object and API index, the subtracted bytes are capped at the
 /// object's size (overlapping fixes on one object do not double-count).
-pub fn estimate(
-    report: &Report,
-    usage: &[UsageSample],
-    objects: &[ObjectMeta],
-) -> SavingsEstimate {
+pub fn estimate(report: &Report, usage: &[UsageSample], objects: &[ObjectMeta]) -> SavingsEstimate {
     let by_id: HashMap<ObjectId, &ObjectMeta> = objects.iter().map(|o| (o.id, o)).collect();
     let curve_len = usage.len();
     let mut fixes: Vec<ModeledFix> = Vec::new();
@@ -186,7 +178,10 @@ pub fn estimate(
     let original_peak = usage.iter().map(|s| s.bytes_in_use).max().unwrap_or(0);
     let estimated_peak = usage
         .iter()
-        .map(|s| s.bytes_in_use.saturating_sub(total.get(s.api_idx).copied().unwrap_or(0)))
+        .map(|s| {
+            s.bytes_in_use
+                .saturating_sub(total.get(s.api_idx).copied().unwrap_or(0))
+        })
         .max()
         .unwrap_or(0);
     SavingsEstimate {
@@ -232,7 +227,11 @@ mod tests {
         });
         assert_eq!(est.original_peak, 4000);
         // The unused 3000 bytes disappear entirely.
-        assert!(est.estimated_peak <= 1000, "estimated {}", est.estimated_peak);
+        assert!(
+            est.estimated_peak <= 1000,
+            "estimated {}",
+            est.estimated_peak
+        );
         assert!(est.reduction_pct() >= 75.0);
     }
 

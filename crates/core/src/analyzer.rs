@@ -10,9 +10,13 @@ use crate::patterns::{
     intra, object_level, redundant, ObjectAccess, ObjectView, PatternFinding, TraceView,
 };
 use crate::peaks;
-use crate::report::{suggestion_for, wasted_bytes_estimate, Finding, ObjectSummary, PeakSummary, Report, ReportStats};
+use crate::report::{
+    suggestion_for, wasted_bytes_estimate, DegradationRecord, DetectorOutcome, DetectorStatus,
+    Finding, ObjectSummary, PeakSummary, Report, ReportStats,
+};
 use gpu_sim::{CallPath, FrameTable};
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Builds the [`TraceView`] — the timestamp-augmented object-level memory
 /// access trace of Fig. 2 — from the collector's raw data.
@@ -28,17 +32,21 @@ pub fn build_trace_view(collector: &Collector) -> TraceView {
         .collect();
     let api_is_dealloc: Vec<bool> = apis.iter().map(|a| a.mnemonic == "FREE").collect();
 
-    // Group accesses per object.
+    // Group accesses per object. An access with a dangling API index (which
+    // a faulting run can produce) is dropped rather than panicking.
     let mut per_object: HashMap<_, Vec<ObjectAccess>> = HashMap::new();
     for acc in collector.accesses() {
+        let (Some(&ts), Some(name)) = (api_ts.get(acc.api_idx), api_names.get(acc.api_idx)) else {
+            continue;
+        };
         per_object
             .entry(acc.object)
             .or_default()
             .push(ObjectAccess {
                 api: crate::patterns::ApiRef {
                     idx: acc.api_idx,
-                    ts: api_ts[acc.api_idx],
-                    name: api_names[acc.api_idx].clone(),
+                    ts,
+                    name: name.clone(),
                 },
                 read: acc.read,
                 write: acc.write,
@@ -54,8 +62,11 @@ pub fn build_trace_view(collector: &Collector) -> TraceView {
             accesses.sort_by_key(|a| (a.api.ts, a.api.idx));
             let mk_ref = |idx: usize| crate::patterns::ApiRef {
                 idx,
-                ts: api_ts[idx],
-                name: api_names[idx].clone(),
+                ts: api_ts.get(idx).copied().unwrap_or(0),
+                name: api_names
+                    .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| format!("<api {idx}>")),
             };
             let (alloc, alloc_anchor) = if obj.alloc_is_api {
                 (Some(mk_ref(obj.alloc_api)), obj.alloc_api)
@@ -133,10 +144,55 @@ impl ObjectMeta {
     }
 }
 
+/// Recovers a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs one detector family under panic isolation, appending its findings
+/// (if it succeeded) and recording its status either way.
+fn run_detector(
+    name: &str,
+    raw: &mut Vec<PatternFinding>,
+    statuses: &mut Vec<DetectorStatus>,
+    body: impl FnOnce() -> Vec<PatternFinding>,
+) {
+    match catch_unwind(AssertUnwindSafe(body)) {
+        Ok(found) => {
+            statuses.push(DetectorStatus {
+                name: name.to_owned(),
+                outcome: DetectorOutcome::Ok {
+                    findings: found.len(),
+                },
+            });
+            raw.extend(found);
+        }
+        Err(payload) => {
+            statuses.push(DetectorStatus {
+                name: name.to_owned(),
+                outcome: DetectorOutcome::Failed {
+                    message: panic_message(payload),
+                },
+            });
+        }
+    }
+}
+
 /// Runs all detectors over prepared inputs and assembles the final report.
 ///
 /// Shared by the online path (profiling a live context) and the offline
 /// path (re-analyzing a saved trace, possibly with different thresholds).
+/// Each detector family runs under panic isolation: one crashing detector
+/// loses only its own findings and is marked `Failed` in the report's
+/// detector statuses. `degradations` carries downgrade records accumulated
+/// upstream (collector fallbacks, trace salvage losses).
+#[allow(clippy::too_many_arguments)] // the two call sites pass through prepared inputs 1:1
 pub fn assemble_report(
     trace: &TraceView,
     intra: &[crate::patterns::intra::IntraObjectData],
@@ -145,16 +201,23 @@ pub fn assemble_report(
     unified: &[crate::patterns::unified::UnifiedPageStats],
     thresholds: &crate::options::Thresholds,
     platform: &str,
+    degradations: Vec<DegradationRecord>,
 ) -> Report {
-    // Pattern detection.
+    // Pattern detection, one isolated family at a time.
     let mut raw: Vec<PatternFinding> = Vec::new();
-    raw.extend(object_level::detect_all(trace, thresholds));
-    raw.extend(redundant::detect_redundant_allocations(
-        trace,
-        thresholds.redundant_size_pct,
-    ));
-    raw.extend(intra::detect_all(intra, trace, thresholds));
-    raw.extend(crate::patterns::unified::detect_all(unified, thresholds));
+    let mut detectors: Vec<DetectorStatus> = Vec::new();
+    run_detector("object_level", &mut raw, &mut detectors, || {
+        object_level::detect_all(trace, thresholds)
+    });
+    run_detector("redundant", &mut raw, &mut detectors, || {
+        redundant::detect_redundant_allocations(trace, thresholds.redundant_size_pct)
+    });
+    run_detector("intra", &mut raw, &mut detectors, || {
+        intra::detect_all(intra, trace, thresholds)
+    });
+    run_detector("unified", &mut raw, &mut detectors, || {
+        crate::patterns::unified::detect_all(unified, thresholds)
+    });
 
     // Peak analysis over the object metadata.
     let by_id: HashMap<_, &ObjectMeta> = objects.iter().map(|o| (o.id, o)).collect();
@@ -209,7 +272,11 @@ pub fn assemble_report(
             })
         })
         .collect();
-    findings.sort_by(|a, b| b.priority().cmp(&a.priority()).then(a.object.id.cmp(&b.object.id)));
+    findings.sort_by(|a, b| {
+        b.priority()
+            .cmp(&a.priority())
+            .then(a.object.id.cmp(&b.object.id))
+    });
 
     // Statistics.
     let leaked: Vec<&ObjectMeta> = objects
@@ -229,6 +296,8 @@ pub fn assemble_report(
         findings,
         peaks,
         stats,
+        detectors,
+        degradations,
     }
 }
 
@@ -266,6 +335,7 @@ pub fn analyze(collector: &Collector, frames: &FrameTable, platform: &str) -> Re
         &collector.unified_page_stats(),
         &collector.options().thresholds,
         platform,
+        collector.degradations().to_vec(),
     )
 }
 
@@ -279,10 +349,7 @@ mod tests {
     use parking_lot::Mutex;
     use std::sync::Arc;
 
-    fn run_and_analyze(
-        opts: ProfilerOptions,
-        body: impl FnOnce(&mut DeviceContext),
-    ) -> Report {
+    fn run_and_analyze(opts: ProfilerOptions, body: impl FnOnce(&mut DeviceContext)) -> Report {
         let mut ctx = DeviceContext::new_default();
         let c = Arc::new(Mutex::new(Collector::new(
             opts,
@@ -325,12 +392,17 @@ mod tests {
     fn end_to_end_intra_object_overallocation() {
         let report = run_and_analyze(ProfilerOptions::intra_object(), |ctx| {
             let big = ctx.malloc(100_000, "big").unwrap();
-            ctx.launch("touch_little", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
-                let i = t.global_x();
-                if i < 16 {
-                    t.store_f32(big + i * 4, 1.0);
-                }
-            })
+            ctx.launch(
+                "touch_little",
+                LaunchConfig::cover(16, 16),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < 16 {
+                        t.store_f32(big + i * 4, 1.0);
+                    }
+                },
+            )
             .unwrap();
             ctx.free(big).unwrap();
         });

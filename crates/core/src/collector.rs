@@ -19,14 +19,15 @@ use crate::depgraph::VertexAccess;
 use crate::object::{ObjectId, ObjectRegistry, ObjectSource};
 use crate::options::{AnalysisLevel, ProfilerOptions};
 use crate::patterns::intra::IntraObjectData;
+use crate::patterns::unified::UnifiedPageStats;
 use crate::patterns::AccessVia;
 use crate::peaks::UsageSample;
-use crate::patterns::unified::UnifiedPageStats;
+use crate::report::DegradationRecord;
 use gpu_sim::kernel::KernelCounters;
 use gpu_sim::pool::{PoolEvent, PoolObserver};
 use gpu_sim::sanitizer::{KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks, TouchedObject};
 use gpu_sim::unified::{PageMigration, Side};
-use gpu_sim::{AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, StreamId};
+use gpu_sim::{AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, SimError, StreamId};
 use std::collections::{HashMap, HashSet};
 
 /// One GPU API in the collector's trace (pattern-relevant kinds only).
@@ -133,6 +134,13 @@ pub struct Collector {
     unified_pages: HashMap<(ObjectId, u32), UnifiedPageStats>,
     /// Device memory capacity, for the Sec. 5.5 placement decision.
     device_capacity: u64,
+    /// Downgrades taken to keep collecting through faults; copied into the
+    /// final report.
+    degradations: Vec<DegradationRecord>,
+    /// After a device allocation failure, access maps are pinned to the CPU
+    /// side regardless of the Sec. 5.5 capacity estimate — the estimate is
+    /// unreliable once the device has refused memory.
+    force_cpu_maps: bool,
 }
 
 impl Collector {
@@ -157,6 +165,8 @@ impl Collector {
             pending_sync: HashMap::new(),
             unified_pages: HashMap::new(),
             device_capacity,
+            degradations: Vec::new(),
+            force_cpu_maps: false,
         }
     }
 
@@ -197,6 +207,17 @@ impl Collector {
         &self.mode_decisions
     }
 
+    /// Downgrades this collector took to survive faults in the profiled
+    /// application (in observation order).
+    pub fn degradations(&self) -> &[DegradationRecord] {
+        &self.degradations
+    }
+
+    /// Whether any downgrade happened during collection.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty()
+    }
+
     /// Per-page unified-memory migration statistics, sorted by object and
     /// page (the Sec. 8 extension's detector input).
     pub fn unified_page_stats(&self) -> Vec<UnifiedPageStats> {
@@ -233,7 +254,23 @@ impl Collector {
         self.gpu_apis.len() - 1
     }
 
-    fn note_access(&mut self, api_idx: usize, object: ObjectId, read: bool, write: bool, via: AccessVia) {
+    fn note_access(
+        &mut self,
+        api_idx: usize,
+        object: ObjectId,
+        read: bool,
+        write: bool,
+        via: AccessVia,
+    ) {
+        // A faulting run can deliver kernel-end callbacks with no matching
+        // trace entry; drop the attribution rather than panic.
+        let Some(api) = self.gpu_apis.get_mut(api_idx) else {
+            self.degradations.push(DegradationRecord::new(
+                "collector",
+                format!("dropped access to object {object:?}: no GPU API at index {api_idx}"),
+            ));
+            return;
+        };
         self.accesses.push(RawAccess {
             api_idx,
             object,
@@ -241,7 +278,7 @@ impl Collector {
             write,
             via,
         });
-        let v = &mut self.gpu_apis[api_idx].vertex;
+        let v = &mut api.vertex;
         if read {
             v.reads.push(object);
         }
@@ -289,7 +326,10 @@ impl Collector {
                 .lifetime_freq
                 .get_or_insert_with(|| FreqMap::new(size, elem_size));
             // One bulk access counts once per touched element.
-            lf.record(offset, u32::try_from(len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX));
+            lf.record(
+                offset,
+                u32::try_from(len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+            );
         }
     }
 
@@ -380,6 +420,14 @@ impl SanitizerHooks for Collector {
             ApiKind::Free { ptr, size, label } => {
                 let api_idx = self.gpu_apis.len();
                 let freed = self.registry.on_free(*ptr, api_idx);
+                // A FREE of a pointer with no live object (spurious or
+                // double free) must not corrupt the usage curve.
+                if freed.is_none() {
+                    self.degradations.push(DegradationRecord::new(
+                        "collector",
+                        format!("FREE of unknown pointer ({label}) ignored in usage accounting"),
+                    ));
+                }
                 self.push_api(
                     event,
                     label.clone(),
@@ -389,7 +437,9 @@ impl SanitizerHooks for Collector {
                         ..Default::default()
                     },
                 );
-                self.in_use_bytes = self.in_use_bytes.saturating_sub(*size);
+                if freed.is_some() {
+                    self.in_use_bytes = self.in_use_bytes.saturating_sub(*size);
+                }
                 self.record_usage();
             }
             ApiKind::MemcpyH2D { dst, size } => {
@@ -522,7 +572,7 @@ impl SanitizerHooks for Collector {
                 })
                 .sum();
             let data_bytes = self.in_use_bytes;
-            let side = if map_bytes + data_bytes <= self.device_capacity {
+            let side = if !self.force_cpu_maps && map_bytes + data_bytes <= self.device_capacity {
                 MapSide::Gpu
             } else {
                 MapSide::Cpu
@@ -555,11 +605,7 @@ impl SanitizerHooks for Collector {
                 AccessKind::Write => entry.1 = true,
             }
             if self.monitors_intra(obj) {
-                let size = self
-                    .registry
-                    .get(obj)
-                    .map(|o| o.size())
-                    .unwrap_or_default();
+                let size = self.registry.get(obj).map(|o| o.size()).unwrap_or_default();
                 let st = self
                     .intra
                     .entry(obj)
@@ -568,9 +614,7 @@ impl SanitizerHooks for Collector {
                 st.current_ranges.insert(off, off + u64::from(r.size));
                 // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
                 // created at the kernel's first touch of the object.
-                let freq = st
-                    .freq
-                    .get_or_insert_with(|| FreqMap::new(size, elem_size));
+                let freq = st.freq.get_or_insert_with(|| FreqMap::new(size, elem_size));
                 freq.record(off, r.size);
                 st.data
                     .lifetime_freq
@@ -588,6 +632,22 @@ impl SanitizerHooks for Collector {
         _counters: &KernelCounters,
     ) {
         self.finish_kernel(touched);
+    }
+
+    fn on_alloc_failure(&mut self, requested: u64, label: &str, error: &SimError) {
+        // Degraded mode (tied to Sec. 5.5): once the device refuses memory,
+        // keep profiling but pin all future access maps to CPU-side storage
+        // so the profiler itself never competes for exhausted device memory.
+        if !self.force_cpu_maps {
+            self.force_cpu_maps = true;
+            self.degradations.push(DegradationRecord::new(
+                "collector",
+                format!(
+                    "device allocation of {requested} bytes ({label}) failed ({error}); \
+                     access maps pinned to CPU-side storage for the rest of the run"
+                ),
+            ));
+        }
     }
 
     fn on_page_migration(&mut self, migration: &PageMigration) {
@@ -705,13 +765,18 @@ mod tests {
         let a = ctx.malloc(64, "a").unwrap();
         let b = ctx.malloc(64, "b").unwrap();
         ctx.memset(a, 1, 64).unwrap();
-        ctx.launch("copy", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < 16 {
-                let v = t.load_f32(a + i * 4);
-                t.store_f32(b + i * 4, v);
-            }
-        })
+        ctx.launch(
+            "copy",
+            LaunchConfig::cover(16, 16),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    let v = t.load_f32(a + i * 4);
+                    t.store_f32(b + i * 4, v);
+                }
+            },
+        )
         .unwrap();
         let col = c.lock();
         let kernel_accesses: Vec<&RawAccess> = col
@@ -731,12 +796,17 @@ mod tests {
         let c = attach(&mut ctx, ProfilerOptions::intra_object());
         let a = ctx.malloc(1000, "a").unwrap();
         // Kernel touches only the first 100 bytes (25 f32 elements).
-        ctx.launch("partial", LaunchConfig::cover(25, 32), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < 25 {
-                t.store_f32(a + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "partial",
+            LaunchConfig::cover(25, 32),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < 25 {
+                    t.store_f32(a + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         let col = c.lock();
         let intra = col.intra_data();
@@ -827,12 +897,17 @@ mod tests {
         let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
         pool.register_observer(c.clone());
         let t = pool.alloc(&mut ctx, 256, "tensor").unwrap();
-        ctx.launch("use", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |tc| {
-            let i = tc.global_x();
-            if i < 4 {
-                tc.store_f32(t + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "use",
+            LaunchConfig::cover(4, 4),
+            StreamId::DEFAULT,
+            move |tc| {
+                let i = tc.global_x();
+                if i < 4 {
+                    tc.store_f32(t + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         pool.free(t).unwrap();
         let col = c.lock();

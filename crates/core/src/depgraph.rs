@@ -308,7 +308,11 @@ mod tests {
         let mut r2 = v(2);
         r2.reads.push(o(1));
         let g = DependencyGraph::build(&[w, r1, r2]);
-        let raw: Vec<&Edge> = g.edges().iter().filter(|e| e.kind == EdgeKind::Raw).collect();
+        let raw: Vec<&Edge> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Raw)
+            .collect();
         assert_eq!(raw.len(), 2);
         assert_eq!(g.timestamps(), &[0, 1, 1], "independent reads share a wave");
     }

@@ -1,0 +1,168 @@
+//! Typed errors for the profiler pipeline.
+//!
+//! The profiler must keep producing *some* report even when the profiled
+//! application misbehaves or a saved trace is damaged, so hot paths return
+//! these errors (or degrade and record it) instead of panicking. The
+//! taxonomy separates trace-format problems ([`TraceError`]) — which have a
+//! salvage path — from analysis problems ([`ProfilerError`]), which are
+//! isolated per detector.
+
+use std::fmt;
+
+/// Errors loading a saved trace (see [`crate::trace_io`]).
+///
+/// Every variant names the section it arose in, so a salvage pass can drop
+/// exactly the damaged data and keep the rest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// The input does not start with the trace header line.
+    MissingHeader,
+    /// The header declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// A section's framed payload extends past the end of the input.
+    Truncated {
+        /// Name of the truncated section.
+        section: String,
+        /// Bytes the frame header promised.
+        expected: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A section's payload does not match its recorded checksum.
+    ChecksumMismatch {
+        /// Name of the damaged section.
+        section: String,
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// A section frame or payload could not be parsed.
+    Malformed {
+        /// Name of the section (or `"frame"` for framing errors).
+        section: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A record points at an API index or object id that does not exist.
+    BadReference {
+        /// Name of the referencing section.
+        section: String,
+        /// What dangled, e.g. `"access #3 api_idx 17 >= 5 apis"`.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MissingHeader => {
+                write!(f, "not a DrGPUM trace: missing header line")
+            }
+            TraceError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported trace format version {found} (this build reads \
+                 version {supported})"
+            ),
+            TraceError::Truncated {
+                section,
+                expected,
+                available,
+            } => write!(
+                f,
+                "trace truncated in section `{section}`: frame promises \
+                 {expected} bytes, {available} available"
+            ),
+            TraceError::ChecksumMismatch {
+                section,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch in section `{section}`: header says \
+                 {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            TraceError::Malformed { section, reason } => {
+                write!(f, "malformed section `{section}`: {reason}")
+            }
+            TraceError::BadReference { section, reason } => {
+                write!(f, "dangling reference in section `{section}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Top-level profiler failure taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProfilerError {
+    /// Loading or validating a saved trace failed.
+    Trace(TraceError),
+    /// A pattern detector panicked; its findings were dropped but the rest
+    /// of the report survived (see the report's detector statuses).
+    DetectorFailed {
+        /// Name of the detector family.
+        detector: String,
+        /// Panic message, if one could be recovered.
+        message: String,
+    },
+}
+
+impl fmt::Display for ProfilerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfilerError::Trace(e) => write!(f, "trace error: {e}"),
+            ProfilerError::DetectorFailed { detector, message } => {
+                write!(f, "detector `{detector}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfilerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfilerError::Trace(e) => Some(e),
+            ProfilerError::DetectorFailed { .. } => None,
+        }
+    }
+}
+
+impl From<TraceError> for ProfilerError {
+    fn from(e: TraceError) -> Self {
+        ProfilerError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TraceError::UnsupportedVersion {
+            found: 9,
+            supported: 2,
+        };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('2'));
+        let p = ProfilerError::from(e.clone());
+        assert!(p.to_string().contains("unsupported"));
+        assert_eq!(p, ProfilerError::Trace(e));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<TraceError>();
+        check::<ProfilerError>();
+    }
+}

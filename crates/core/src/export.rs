@@ -6,7 +6,7 @@
 
 use crate::guidance::OverallocGuidance;
 use crate::patterns::{NuafScope, PatternEvidence};
-use crate::report::{Finding, Report};
+use crate::report::{DetectorOutcome, DetectorStatus, Finding, Report};
 use serde_json::{json, Value};
 
 fn guidance_str(g: OverallocGuidance) -> &'static str {
@@ -129,11 +129,37 @@ fn finding_json(f: &Finding) -> Value {
     })
 }
 
+fn detector_json(d: &DetectorStatus) -> Value {
+    match &d.outcome {
+        DetectorOutcome::Ok { findings } => json!({
+            "name": d.name,
+            "status": "ok",
+            "findings": findings,
+        }),
+        DetectorOutcome::Failed { message } => json!({
+            "name": d.name,
+            "status": "failed",
+            "message": message,
+        }),
+        DetectorOutcome::Skipped { reason } => json!({
+            "name": d.name,
+            "status": "skipped",
+            "reason": reason,
+        }),
+    }
+}
+
 /// Serializes a report to stable JSON.
 pub fn report_json(report: &Report) -> Value {
     json!({
         "tool": "drgpum",
         "platform": report.platform,
+        "degraded": report.is_degraded(),
+        "detectors": report.detectors.iter().map(detector_json).collect::<Vec<_>>(),
+        "degradations": report.degradations.iter().map(|d| json!({
+            "stage": d.stage,
+            "detail": d.detail,
+        })).collect::<Vec<_>>(),
         "stats": {
             "gpu_apis": report.stats.gpu_apis,
             "objects": report.stats.objects,
@@ -166,12 +192,17 @@ mod tests {
         let big = ctx.malloc(100_000, "big").unwrap();
         let small = ctx.malloc(64, "small").unwrap();
         ctx.memset(small, 0, 64).unwrap();
-        ctx.launch("touch", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < 4 {
-                t.store_f32(big + i * 4, 0.0);
-            }
-        })
+        ctx.launch(
+            "touch",
+            LaunchConfig::cover(4, 4),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < 4 {
+                    t.store_f32(big + i * 4, 0.0);
+                }
+            },
+        )
         .unwrap();
         ctx.free(big).unwrap();
         // `small` leaks.
@@ -272,6 +303,8 @@ mod tests {
                 .collect(),
             peaks: vec![],
             stats: Default::default(),
+            detectors: vec![],
+            degradations: vec![],
         };
         let v = report_json(&report);
         assert_eq!(v["findings"].as_array().unwrap().len(), 10);
@@ -281,6 +314,9 @@ mod tests {
             .iter()
             .map(|f| f["code"].as_str().unwrap())
             .collect();
-        assert_eq!(codes, ["EA", "LD", "RA", "UA", "ML", "TI", "DW", "OA", "NUAF", "SA"]);
+        assert_eq!(
+            codes,
+            ["EA", "LD", "RA", "UA", "ML", "TI", "DW", "OA", "NUAF", "SA"]
+        );
     }
 }

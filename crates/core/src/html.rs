@@ -20,7 +20,12 @@ pub fn usage_svg(usage: &[UsageSample], peaks: &[(usize, u64)]) -> String {
         return String::new();
     }
     let (w, h, pad) = (640.0f64, 180.0f64, 24.0f64);
-    let max_bytes = usage.iter().map(|s| s.bytes_in_use).max().unwrap_or(1).max(1) as f64;
+    let max_bytes = usage
+        .iter()
+        .map(|s| s.bytes_in_use)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
     let max_idx = usage.last().map(|s| s.api_idx).unwrap_or(0).max(1) as f64;
     let x = |idx: usize| pad + (idx as f64 / max_idx) * (w - 2.0 * pad);
     let y = |bytes: u64| h - pad - (bytes as f64 / max_bytes) * (h - 2.0 * pad);
@@ -90,7 +95,11 @@ peak memory <strong>{peak} bytes</strong>{leaks}</p>
             String::new()
         },
     );
-    let _ = write!(html, "<h2>Memory usage</h2>\n{}\n", usage_svg(usage, &peaks));
+    let _ = write!(
+        html,
+        "<h2>Memory usage</h2>\n{}\n",
+        usage_svg(usage, &peaks)
+    );
     for (i, p) in report.peaks.iter().enumerate() {
         let objs: Vec<String> = p
             .objects

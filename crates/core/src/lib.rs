@@ -57,6 +57,7 @@ pub mod advisor;
 pub mod analyzer;
 pub mod collector;
 pub mod depgraph;
+pub mod error;
 pub mod export;
 pub mod guidance;
 pub mod html;
@@ -73,10 +74,11 @@ pub mod trace_io;
 pub use advisor::{estimate as estimate_savings, SavingsEstimate};
 pub use analyzer::{analyze, build_trace_view};
 pub use collector::Collector;
+pub use error::{ProfilerError, TraceError};
 pub use guidance::OverallocGuidance;
 pub use object::{DataObject, ObjectId, ObjectRegistry, ObjectSource};
 pub use options::{AnalysisLevel, ProfilerOptions, SamplingPolicy, Thresholds};
 pub use patterns::{PatternEvidence, PatternFinding, PatternKind};
 pub use profiler::Profiler;
-pub use report::{Finding, Report};
+pub use report::{DegradationRecord, DetectorOutcome, DetectorStatus, Finding, Report};
 pub use trace_io::SavedTrace;

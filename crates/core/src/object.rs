@@ -244,7 +244,14 @@ mod tests {
     }
 
     fn alloc(reg: &mut ObjectRegistry, label: &str, base: u64, len: u64, api: usize) -> ObjectId {
-        reg.on_alloc(label, range(base, len), ObjectSource::Cuda, api, true, CallPath::empty())
+        reg.on_alloc(
+            label,
+            range(base, len),
+            ObjectSource::Cuda,
+            api,
+            true,
+            CallPath::empty(),
+        )
     }
 
     #[test]

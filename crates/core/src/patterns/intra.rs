@@ -141,9 +141,7 @@ pub fn detect_structured_access(
         }
         let covered: u64 = slices.iter().map(|rs| rs.covered()).sum();
         let max_slice = slices.iter().map(|rs| rs.covered()).max().unwrap_or(0);
-        let better = best
-            .map(|(c, _, _, _)| covered > c)
-            .unwrap_or(true);
+        let better = best.map(|(c, _, _, _)| covered > c).unwrap_or(true);
         if better {
             best = Some((covered, slices.len(), kernel, max_slice));
         }
@@ -289,8 +287,9 @@ mod tests {
     /// disjoint slice of `R_gpu`.
     #[test]
     fn gramschmidt_style_structured_access() {
-        let slices: Vec<(usize, u64, u64)> =
-            (0..8).map(|i| (i, i as u64 * 128, (i as u64 + 1) * 128)).collect();
+        let slices: Vec<(usize, u64, u64)> = (0..8)
+            .map(|i| (i, i as u64 * 128, (i as u64 + 1) * 128))
+            .collect();
         let d = data_with_accesses(1024, &slices);
         let tv = kernel_trace(8);
         let f = detect_structured_access(&d, &tv, &Thresholds::default()).expect("SA");
@@ -380,7 +379,9 @@ mod tests {
         d.nuaf_peak = Some((1, 58.0, vec![(1, 10), (5, 2)]));
         let f = detect_nuaf(&d, &tv, &Thresholds::default()).expect("NUAF");
         match f.evidence {
-            PatternEvidence::NonUniformAccessFrequency { cov_pct, at_api, .. } => {
+            PatternEvidence::NonUniformAccessFrequency {
+                cov_pct, at_api, ..
+            } => {
                 assert_eq!(cov_pct, 58.0);
                 assert_eq!(at_api.idx, 1);
             }

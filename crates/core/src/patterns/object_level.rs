@@ -19,7 +19,11 @@ pub fn detect_all(trace: &TraceView, thresholds: &Thresholds) -> Vec<PatternFind
         findings.extend(detect_late_deallocation(trace, obj));
         findings.extend(detect_unused_allocation(obj));
         findings.extend(detect_memory_leak(obj));
-        findings.extend(detect_temporary_idleness(trace, obj, thresholds.idleness_min_apis));
+        findings.extend(detect_temporary_idleness(
+            trace,
+            obj,
+            thresholds.idleness_min_apis,
+        ));
         findings.extend(detect_dead_writes(obj));
     }
     findings
@@ -171,7 +175,13 @@ mod tests {
         trace.api_ref(idx)
     }
 
-    fn access(trace: &TraceView, idx: usize, read: bool, write: bool, via: AccessVia) -> ObjectAccess {
+    fn access(
+        trace: &TraceView,
+        idx: usize,
+        read: bool,
+        write: bool,
+        via: AccessVia,
+    ) -> ObjectAccess {
         ObjectAccess {
             api: api(trace, idx),
             read,

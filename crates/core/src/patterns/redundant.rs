@@ -114,8 +114,10 @@ pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<Pat
                     let me = ev.obj;
                     let my_size = candidates[me].size;
                     let partner = events[..pos].iter().rev().find_map(|left| {
-                        let partner_progress =
-                            progress.get(&left.obj).copied().unwrap_or(Progress::NotVisited);
+                        let partner_progress = progress
+                            .get(&left.obj)
+                            .copied()
+                            .unwrap_or(Progress::NotVisited);
                         if left.obj != me
                             && partner_progress == Progress::NotVisited
                             && !reused[left.obj]

@@ -75,6 +75,71 @@ pub struct PeakSummary {
     pub objects: Vec<(String, u64)>,
 }
 
+/// How one pattern-detector family fared during analysis.
+///
+/// Detectors run isolated from each other: a panicking detector loses its
+/// own findings but nothing else (the analyzer catches the unwind and
+/// records it here). A report therefore always carries one status per
+/// detector family, so consumers can tell "no findings" from "detector
+/// died".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectorStatus {
+    /// Detector family name (`"object_level"`, `"redundant"`, `"intra"`,
+    /// `"unified"`).
+    pub name: String,
+    /// What happened.
+    pub outcome: DetectorOutcome,
+}
+
+/// Outcome of one detector family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DetectorOutcome {
+    /// Ran to completion.
+    Ok {
+        /// Number of raw findings it produced.
+        findings: usize,
+    },
+    /// Panicked; its findings were dropped.
+    Failed {
+        /// Recovered panic message.
+        message: String,
+    },
+    /// Not run, e.g. its input section was lost to trace salvage.
+    Skipped {
+        /// Why it was skipped.
+        reason: String,
+    },
+}
+
+impl DetectorStatus {
+    /// `true` if the detector ran to completion.
+    pub fn is_ok(&self) -> bool {
+        matches!(self.outcome, DetectorOutcome::Ok { .. })
+    }
+}
+
+/// One recorded loss of fidelity somewhere in the pipeline — degraded
+/// collection after an allocation failure, data dropped by trace salvage,
+/// a tolerated spurious API. The report stays honest about what it could
+/// not see.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationRecord {
+    /// Pipeline stage that degraded (`"collector"`, `"trace-salvage"`, …).
+    pub stage: String,
+    /// Human-readable description of what was lost or downgraded.
+    pub detail: String,
+}
+
+impl DegradationRecord {
+    /// Convenience constructor.
+    pub fn new(stage: impl Into<String>, detail: impl Into<String>) -> Self {
+        DegradationRecord {
+            stage: stage.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
 /// Aggregate run statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReportStats {
@@ -101,12 +166,28 @@ pub struct Report {
     pub peaks: Vec<PeakSummary>,
     /// Aggregate statistics.
     pub stats: ReportStats,
+    /// Per-detector execution status — one entry per detector family, even
+    /// (especially) when a detector failed.
+    pub detectors: Vec<DetectorStatus>,
+    /// Fidelity losses recorded along the pipeline; empty for a clean run.
+    pub degradations: Vec<DegradationRecord>,
 }
 
 impl Report {
     /// The set of distinct patterns found — one program's row of Table 1.
     pub fn patterns_present(&self) -> BTreeSet<PatternKind> {
         self.findings.iter().map(Finding::kind).collect()
+    }
+
+    /// `true` if anything along the pipeline degraded: a detector failed or
+    /// was skipped, or a degradation was recorded.
+    pub fn is_degraded(&self) -> bool {
+        !self.degradations.is_empty() || self.detectors.iter().any(|d| !d.is_ok())
+    }
+
+    /// The status of the named detector family, if present.
+    pub fn detector(&self, name: &str) -> Option<&DetectorStatus> {
+        self.detectors.iter().find(|d| d.name == name)
     }
 
     /// Returns `true` if any finding has the given pattern.
@@ -137,6 +218,20 @@ impl Report {
                 "  {} leaked objects ({} bytes)",
                 self.stats.leaked_objects, self.stats.leaked_bytes
             );
+        }
+        for d in &self.detectors {
+            match &d.outcome {
+                DetectorOutcome::Ok { .. } => {}
+                DetectorOutcome::Failed { message } => {
+                    let _ = writeln!(out, "  detector {} FAILED: {message}", d.name);
+                }
+                DetectorOutcome::Skipped { reason } => {
+                    let _ = writeln!(out, "  detector {} skipped: {reason}", d.name);
+                }
+            }
+        }
+        for deg in &self.degradations {
+            let _ = writeln!(out, "  degraded [{}]: {}", deg.stage, deg.detail);
         }
         for (i, peak) in self.peaks.iter().enumerate() {
             let _ = writeln!(
@@ -203,7 +298,9 @@ impl Report {
                          fragmentation, {wasted_bytes} wasted bytes — {guidance}"
                     );
                 }
-                PatternEvidence::NonUniformAccessFrequency { cov_pct, at_api, .. } => {
+                PatternEvidence::NonUniformAccessFrequency {
+                    cov_pct, at_api, ..
+                } => {
                     let _ = writeln!(
                         out,
                         "      access-frequency variance {cov_pct:.1}% at {}",
@@ -237,26 +334,30 @@ pub fn suggestion_for(finding: &PatternFinding, object_label: &str) -> String {
             "free {object_label} immediately after its last-touch GPU API {}",
             last_access.name
         ),
-        PatternEvidence::RedundantAllocation { reuse_label, .. } => format!(
-            "reuse the memory of {reuse_label} instead of allocating {object_label}"
-        ),
+        PatternEvidence::RedundantAllocation { reuse_label, .. } => {
+            format!("reuse the memory of {reuse_label} instead of allocating {object_label}")
+        }
         PatternEvidence::UnusedAllocation => format!(
             "{object_label} is never accessed by GPU APIs; remove or \
              conditionally bypass its allocation"
         ),
-        PatternEvidence::MemoryLeak => format!(
-            "{object_label} is never deallocated; pair its allocation with a free"
-        ),
+        PatternEvidence::MemoryLeak => {
+            format!("{object_label} is never deallocated; pair its allocation with a free")
+        }
         PatternEvidence::TemporaryIdleness { spans } => {
-            let longest = spans
-                .iter()
-                .max_by_key(|s| s.intervening)
-                .expect("TI evidence has at least one span");
-            format!(
-                "free or offload {object_label} to the CPU just before {} and \
-                 bring it back just before {}",
-                longest.from.name, longest.to.name
-            )
+            match spans.iter().max_by_key(|s| s.intervening) {
+                Some(longest) => format!(
+                    "free or offload {object_label} to the CPU just before {} \
+                     and bring it back just before {}",
+                    longest.from.name, longest.to.name
+                ),
+                // Defensive: evidence should carry spans, but a salvaged
+                // trace may have lost them.
+                None => format!(
+                    "free or offload {object_label} to the CPU during its \
+                     idle phases"
+                ),
+            }
         }
         PatternEvidence::DeadWrite { first, second } => format!(
             "the write to {object_label} at {} is overwritten by {} without \
@@ -313,9 +414,9 @@ pub fn wasted_bytes_estimate(finding: &PatternFinding, object_size: u64) -> u64 
         | PatternEvidence::LateDeallocation { .. }
         | PatternEvidence::TemporaryIdleness { .. }
         | PatternEvidence::RedundantAllocation { .. } => object_size,
-        PatternEvidence::StructuredAccess { max_slice_bytes, .. } => {
-            object_size.saturating_sub(*max_slice_bytes)
-        }
+        PatternEvidence::StructuredAccess {
+            max_slice_bytes, ..
+        } => object_size.saturating_sub(*max_slice_bytes),
         // Dead writes, NUAF, and page traffic waste time, not bytes.
         PatternEvidence::DeadWrite { .. }
         | PatternEvidence::NonUniformAccessFrequency { .. }
@@ -392,6 +493,8 @@ mod tests {
             }],
             peaks: vec![],
             stats: ReportStats::default(),
+            detectors: vec![],
+            degradations: vec![],
         };
         assert!(report.has_pattern(PatternKind::MemoryLeak));
         assert!(!report.has_pattern(PatternKind::DeadWrite));
@@ -423,6 +526,8 @@ mod tests {
                 leaked_objects: 0,
                 leaked_bytes: 0,
             },
+            detectors: vec![],
+            degradations: vec![],
         };
         let text = report.render_text();
         assert!(text.contains("[UA] backup"));

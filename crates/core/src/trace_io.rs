@@ -1,4 +1,4 @@
-//! Saving and re-analyzing traces offline.
+//! Saving, loading, and re-analyzing traces offline — resiliently.
 //!
 //! DrGPUM's workflow splits online collection from offline analysis
 //! (Fig. 1). This module makes that split durable: [`save`] serializes
@@ -8,25 +8,55 @@
 //! the detectors on the saved data, possibly with *different thresholds*,
 //! without re-running the program. That is how a user tunes the paper's
 //! user-tunable `X` parameters (Sec. 3) interactively over one recording.
+//!
+//! # On-disk format (version 2)
+//!
+//! Traces written by crashing or fault-injected runs are routinely cut
+//! short, so the format is framed for damage containment:
+//!
+//! ```text
+//! DRGPUM-TRACE 2
+//! section meta <byte-len> <crc32>
+//! {...json payload, exactly byte-len bytes...}
+//! section apis <byte-len> <crc32>
+//! [...]
+//! ...
+//! end
+//! ```
+//!
+//! Every section carries its own length and CRC-32, so a reader can tell
+//! exactly which sections of a damaged file are intact. Two readers exist:
+//!
+//! * [`load`] is **strict**: any framing damage, checksum mismatch, version
+//!   skew, or dangling cross-reference is a typed [`TraceError`].
+//! * [`salvage`] **never fails**: it keeps every section that checks out,
+//!   drops damaged sections and dangling records, and reports what was
+//!   lost as [`DegradationRecord`]s so a partial report is honest about
+//!   being partial.
 
 use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use crate::analyzer::{self, ObjectMeta};
 use crate::collector::Collector;
 use crate::depgraph::{DependencyGraph, VertexAccess};
+use crate::error::TraceError;
 use crate::object::{ObjectId, ObjectSource};
 use crate::options::Thresholds;
-use crate::patterns::intra::IntraObjectData;
+use crate::patterns::intra::{IntraObjectData, NuafObservation};
 use crate::patterns::unified::UnifiedPageStats;
 use crate::patterns::{ApiRef, ObjectAccess, ObjectView, TraceView};
 use crate::peaks::UsageSample;
-use crate::report::Report;
+use crate::report::{DegradationRecord, Report};
 use gpu_sim::{FrameTable, StreamId};
-use serde::{Deserialize, Serialize};
+use serde_json::{Map, ToJson, Value};
+use std::collections::{HashMap, HashSet};
 
-/// Serialization format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Serialization format version this build writes and reads strictly.
+pub const FORMAT_VERSION: u32 = 2;
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Magic word opening every trace file.
+const MAGIC: &str = "DRGPUM-TRACE";
+
+#[derive(Debug, Clone)]
 struct SavedApi {
     name: String,
     detail: String,
@@ -35,14 +65,13 @@ struct SavedApi {
     reads: Vec<u64>,
     writes: Vec<u64>,
     frees: Vec<u64>,
-    #[serde(default)]
     after: Vec<usize>,
     start_ns: u64,
     end_ns: u64,
     call_path: Vec<String>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct SavedAccess {
     api_idx: usize,
     object: u64,
@@ -51,7 +80,7 @@ struct SavedAccess {
     via: String,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct SavedObject {
     id: u64,
     label: String,
@@ -64,21 +93,30 @@ struct SavedObject {
     alloc_path: Vec<String>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct SavedIntra {
     object: u64,
     size: u64,
     /// Accessed byte ranges (the bitmap, run-length encoded).
     accessed_ranges: Vec<(u64, u64)>,
     per_api: Vec<(usize, Vec<(u64, u64)>)>,
-    nuaf_peak: Option<crate::patterns::intra::NuafObservation>,
+    nuaf_peak: Option<NuafObservation>,
     lifetime_elem_size: Option<u32>,
     /// Sparse nonzero lifetime counts `(element index, count)`.
     lifetime_counts: Vec<(u64, u32)>,
 }
 
+#[derive(Debug, Clone)]
+struct SavedUnifiedPage {
+    object: u64,
+    page_index: u32,
+    migrations: u64,
+    host_ranges: Vec<(u64, u64)>,
+    device_ranges: Vec<(u64, u64)>,
+}
+
 /// A complete, self-contained recording of one profiled run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SavedTrace {
     /// Format version ([`FORMAT_VERSION`]).
     pub version: u32,
@@ -89,17 +127,7 @@ pub struct SavedTrace {
     objects: Vec<SavedObject>,
     usage: Vec<(usize, u64)>,
     intra: Vec<SavedIntra>,
-    #[serde(default)]
     unified: Vec<SavedUnifiedPage>,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct SavedUnifiedPage {
-    object: u64,
-    page_index: u32,
-    migrations: u64,
-    host_ranges: Vec<(u64, u64)>,
-    device_ranges: Vec<(u64, u64)>,
 }
 
 fn via_str(via: crate::patterns::AccessVia) -> &'static str {
@@ -263,6 +291,872 @@ pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> Saved
     }
 }
 
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn pairs_value(pairs: &[(u64, u64)]) -> Value {
+    Value::Array(
+        pairs
+            .iter()
+            .map(|&(a, b)| Value::Array(vec![a.to_json(), b.to_json()]))
+            .collect(),
+    )
+}
+
+fn api_value(a: &SavedApi) -> Value {
+    let mut m = Map::new();
+    m.insert("name".into(), a.name.to_json());
+    m.insert("detail".into(), a.detail.to_json());
+    m.insert("mnemonic".into(), a.mnemonic.to_json());
+    m.insert("stream".into(), a.stream.to_json());
+    m.insert("reads".into(), a.reads.to_json());
+    m.insert("writes".into(), a.writes.to_json());
+    m.insert("frees".into(), a.frees.to_json());
+    m.insert("after".into(), a.after.to_json());
+    m.insert("start_ns".into(), a.start_ns.to_json());
+    m.insert("end_ns".into(), a.end_ns.to_json());
+    m.insert("call_path".into(), a.call_path.to_json());
+    Value::Object(m)
+}
+
+fn access_value(a: &SavedAccess) -> Value {
+    Value::Array(vec![
+        a.api_idx.to_json(),
+        a.object.to_json(),
+        a.read.to_json(),
+        a.write.to_json(),
+        a.via.to_json(),
+    ])
+}
+
+fn object_value(o: &SavedObject) -> Value {
+    let mut m = Map::new();
+    m.insert("id".into(), o.id.to_json());
+    m.insert("label".into(), o.label.to_json());
+    m.insert("size".into(), o.size.to_json());
+    m.insert("source".into(), o.source.to_json());
+    m.insert("alloc_api".into(), o.alloc_api.to_json());
+    m.insert("alloc_is_api".into(), o.alloc_is_api.to_json());
+    m.insert("free_api".into(), o.free_api.to_json());
+    m.insert("free_is_api".into(), o.free_is_api.to_json());
+    m.insert("alloc_path".into(), o.alloc_path.to_json());
+    Value::Object(m)
+}
+
+fn intra_value(s: &SavedIntra) -> Value {
+    let mut m = Map::new();
+    m.insert("object".into(), s.object.to_json());
+    m.insert("size".into(), s.size.to_json());
+    m.insert("accessed_ranges".into(), pairs_value(&s.accessed_ranges));
+    m.insert(
+        "per_api".into(),
+        Value::Array(
+            s.per_api
+                .iter()
+                .map(|(idx, ranges)| Value::Array(vec![idx.to_json(), pairs_value(ranges)]))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "nuaf_peak".into(),
+        match &s.nuaf_peak {
+            Some((idx, cov, hist)) => Value::Array(vec![
+                idx.to_json(),
+                cov.to_json(),
+                Value::Array(
+                    hist.iter()
+                        .map(|&(c, n)| Value::Array(vec![c.to_json(), n.to_json()]))
+                        .collect(),
+                ),
+            ]),
+            None => Value::Null,
+        },
+    );
+    m.insert("lifetime_elem_size".into(), s.lifetime_elem_size.to_json());
+    m.insert(
+        "lifetime_counts".into(),
+        Value::Array(
+            s.lifetime_counts
+                .iter()
+                .map(|&(i, c)| Value::Array(vec![i.to_json(), c.to_json()]))
+                .collect(),
+        ),
+    );
+    Value::Object(m)
+}
+
+fn unified_value(p: &SavedUnifiedPage) -> Value {
+    let mut m = Map::new();
+    m.insert("object".into(), p.object.to_json());
+    m.insert("page_index".into(), p.page_index.to_json());
+    m.insert("migrations".into(), p.migrations.to_json());
+    m.insert("host_ranges".into(), pairs_value(&p.host_ranges));
+    m.insert("device_ranges".into(), pairs_value(&p.device_ranges));
+    Value::Object(m)
+}
+
+fn write_section(out: &mut String, name: &str, payload: &Value) {
+    let text =
+        serde_json::to_string(payload).expect("serializing an in-memory JSON value cannot fail");
+    out.push_str(&format!(
+        "section {name} {} {}\n",
+        text.len(),
+        crc32(text.as_bytes())
+    ));
+    out.push_str(&text);
+    out.push('\n');
+}
+
+// ---------------------------------------------------------------------------
+// Decoding helpers (shape checks over parsed JSON)
+// ---------------------------------------------------------------------------
+
+fn need<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, String> {
+    need(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("`{key}` is not a non-negative integer"))
+}
+
+fn get_u32(v: &Value, key: &str) -> Result<u32, String> {
+    u32::try_from(get_u64(v, key)?).map_err(|_| format!("`{key}` exceeds u32"))
+}
+
+fn get_usize(v: &Value, key: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(v, key)?).map_err(|_| format!("`{key}` exceeds usize"))
+}
+
+fn get_str(v: &Value, key: &str) -> Result<String, String> {
+    need(v, key)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| format!("`{key}` is not a string"))
+}
+
+fn get_bool(v: &Value, key: &str) -> Result<bool, String> {
+    need(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("`{key}` is not a boolean"))
+}
+
+fn get_arr<'a>(v: &'a Value, key: &str) -> Result<&'a Vec<Value>, String> {
+    need(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("`{key}` is not an array"))
+}
+
+fn as_u64_item(v: &Value, what: &str) -> Result<u64, String> {
+    v.as_u64()
+        .ok_or_else(|| format!("{what} is not a non-negative integer"))
+}
+
+fn get_u64_vec(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| as_u64_item(x, key))
+        .collect()
+}
+
+fn get_usize_vec(v: &Value, key: &str) -> Result<Vec<usize>, String> {
+    get_u64_vec(v, key)?
+        .into_iter()
+        .map(|x| usize::try_from(x).map_err(|_| format!("`{key}` element exceeds usize")))
+        .collect()
+}
+
+fn get_string_vec(v: &Value, key: &str) -> Result<Vec<String>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("`{key}` element is not a string"))
+        })
+        .collect()
+}
+
+fn parse_pair(v: &Value, what: &str) -> Result<(u64, u64), String> {
+    let arr = v
+        .as_array()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| format!("{what} is not a two-element array"))?;
+    Ok((as_u64_item(&arr[0], what)?, as_u64_item(&arr[1], what)?))
+}
+
+fn get_pairs(v: &Value, key: &str) -> Result<Vec<(u64, u64)>, String> {
+    get_arr(v, key)?
+        .iter()
+        .map(|x| parse_pair(x, key))
+        .collect()
+}
+
+fn parse_api(v: &Value) -> Result<SavedApi, String> {
+    Ok(SavedApi {
+        name: get_str(v, "name")?,
+        detail: get_str(v, "detail")?,
+        mnemonic: get_str(v, "mnemonic")?,
+        stream: get_u32(v, "stream")?,
+        reads: get_u64_vec(v, "reads")?,
+        writes: get_u64_vec(v, "writes")?,
+        frees: get_u64_vec(v, "frees")?,
+        after: get_usize_vec(v, "after")?,
+        start_ns: get_u64(v, "start_ns")?,
+        end_ns: get_u64(v, "end_ns")?,
+        call_path: get_string_vec(v, "call_path")?,
+    })
+}
+
+fn parse_access(v: &Value) -> Result<SavedAccess, String> {
+    let arr = v
+        .as_array()
+        .filter(|a| a.len() == 5)
+        .ok_or("access is not a five-element array")?;
+    Ok(SavedAccess {
+        api_idx: usize::try_from(as_u64_item(&arr[0], "api_idx")?)
+            .map_err(|_| "api_idx exceeds usize".to_owned())?,
+        object: as_u64_item(&arr[1], "object")?,
+        read: arr[2].as_bool().ok_or("read is not a boolean")?,
+        write: arr[3].as_bool().ok_or("write is not a boolean")?,
+        via: arr[4].as_str().ok_or("via is not a string")?.to_owned(),
+    })
+}
+
+fn parse_object(v: &Value) -> Result<SavedObject, String> {
+    let free_api = match need(v, "free_api")? {
+        Value::Null => None,
+        other => Some(
+            other
+                .as_u64()
+                .and_then(|x| usize::try_from(x).ok())
+                .ok_or("`free_api` is not an index or null")?,
+        ),
+    };
+    Ok(SavedObject {
+        id: get_u64(v, "id")?,
+        label: get_str(v, "label")?,
+        size: get_u64(v, "size")?,
+        source: get_str(v, "source")?,
+        alloc_api: get_usize(v, "alloc_api")?,
+        alloc_is_api: get_bool(v, "alloc_is_api")?,
+        free_api,
+        free_is_api: get_bool(v, "free_is_api")?,
+        alloc_path: get_string_vec(v, "alloc_path")?,
+    })
+}
+
+fn parse_intra(v: &Value) -> Result<SavedIntra, String> {
+    let per_api = get_arr(v, "per_api")?
+        .iter()
+        .map(|entry| {
+            let arr = entry
+                .as_array()
+                .filter(|a| a.len() == 2)
+                .ok_or("per_api entry is not a two-element array")?;
+            let idx = usize::try_from(as_u64_item(&arr[0], "per_api idx")?)
+                .map_err(|_| "per_api idx exceeds usize".to_owned())?;
+            let ranges = arr[1]
+                .as_array()
+                .ok_or("per_api ranges is not an array")?
+                .iter()
+                .map(|p| parse_pair(p, "per_api range"))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok::<_, String>((idx, ranges))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let nuaf_peak = match need(v, "nuaf_peak")? {
+        Value::Null => None,
+        other => {
+            let arr = other
+                .as_array()
+                .filter(|a| a.len() == 3)
+                .ok_or("nuaf_peak is not a three-element array")?;
+            let idx = usize::try_from(as_u64_item(&arr[0], "nuaf_peak idx")?)
+                .map_err(|_| "nuaf_peak idx exceeds usize".to_owned())?;
+            let cov = arr[1].as_f64().ok_or("nuaf_peak cov is not a number")?;
+            let hist = arr[2]
+                .as_array()
+                .ok_or("nuaf_peak histogram is not an array")?
+                .iter()
+                .map(|p| {
+                    let (c, n) = parse_pair(p, "nuaf_peak histogram entry")?;
+                    Ok::<_, String>((
+                        u32::try_from(c).map_err(|_| "histogram count exceeds u32".to_owned())?,
+                        usize::try_from(n)
+                            .map_err(|_| "histogram bucket exceeds usize".to_owned())?,
+                    ))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Some((idx, cov, hist))
+        }
+    };
+    let lifetime_elem_size = match need(v, "lifetime_elem_size")? {
+        Value::Null => None,
+        other => Some(
+            other
+                .as_u64()
+                .and_then(|x| u32::try_from(x).ok())
+                .ok_or("`lifetime_elem_size` is not a u32 or null")?,
+        ),
+    };
+    let lifetime_counts = get_arr(v, "lifetime_counts")?
+        .iter()
+        .map(|p| {
+            let (i, c) = parse_pair(p, "lifetime_counts entry")?;
+            Ok::<_, String>((
+                i,
+                u32::try_from(c).map_err(|_| "lifetime count exceeds u32".to_owned())?,
+            ))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SavedIntra {
+        object: get_u64(v, "object")?,
+        size: get_u64(v, "size")?,
+        accessed_ranges: get_pairs(v, "accessed_ranges")?,
+        per_api,
+        nuaf_peak,
+        lifetime_elem_size,
+        lifetime_counts,
+    })
+}
+
+fn parse_unified(v: &Value) -> Result<SavedUnifiedPage, String> {
+    Ok(SavedUnifiedPage {
+        object: get_u64(v, "object")?,
+        page_index: get_u32(v, "page_index")?,
+        migrations: get_u64(v, "migrations")?,
+        host_ranges: get_pairs(v, "host_ranges")?,
+        device_ranges: get_pairs(v, "device_ranges")?,
+    })
+}
+
+fn parse_list<T>(
+    section: &str,
+    v: &Value,
+    item: impl Fn(&Value) -> Result<T, String>,
+) -> Result<Vec<T>, TraceError> {
+    let arr = v.as_array().ok_or_else(|| TraceError::Malformed {
+        section: section.to_owned(),
+        reason: "payload is not an array".to_owned(),
+    })?;
+    arr.iter()
+        .enumerate()
+        .map(|(i, x)| {
+            item(x).map_err(|reason| TraceError::Malformed {
+                section: section.to_owned(),
+                reason: format!("record #{i}: {reason}"),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// One successfully framed section: name plus parsed JSON payload.
+type Frames = HashMap<String, Value>;
+
+/// Reads the next `\n`-terminated line as bytes, advancing `pos`.
+fn read_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    if *pos >= bytes.len() {
+        return None;
+    }
+    let start = *pos;
+    match bytes[start..].iter().position(|&b| b == b'\n') {
+        Some(i) => {
+            *pos = start + i + 1;
+            Some(&bytes[start..start + i])
+        }
+        None => {
+            *pos = bytes.len();
+            Some(&bytes[start..])
+        }
+    }
+}
+
+/// Parses the header line, returning the declared version.
+fn parse_header(line: Option<&[u8]>) -> Result<u32, TraceError> {
+    let line = line.ok_or(TraceError::MissingHeader)?;
+    let text = std::str::from_utf8(line).map_err(|_| TraceError::MissingHeader)?;
+    let mut words = text.split_ascii_whitespace();
+    if words.next() != Some(MAGIC) {
+        return Err(TraceError::MissingHeader);
+    }
+    words
+        .next()
+        .and_then(|w| w.parse::<u32>().ok())
+        .ok_or(TraceError::MissingHeader)
+}
+
+/// One step of the frame walk: either a parsed section, the `end` marker,
+/// or a framing error naming the section it occurred in.
+enum FrameStep {
+    Section(String, Value),
+    End,
+}
+
+fn next_frame(bytes: &[u8], pos: &mut usize) -> Result<FrameStep, TraceError> {
+    let malformed = |reason: &str| TraceError::Malformed {
+        section: "frame".to_owned(),
+        reason: reason.to_owned(),
+    };
+    let Some(line) = read_line(bytes, pos) else {
+        return Err(malformed("missing `end` marker"));
+    };
+    let text = std::str::from_utf8(line).map_err(|_| malformed("frame line is not UTF-8"))?;
+    let words: Vec<&str> = text.split_ascii_whitespace().collect();
+    match words.as_slice() {
+        ["end"] => Ok(FrameStep::End),
+        ["section", name, len, crc] => {
+            let name = (*name).to_owned();
+            let len: usize = len
+                .parse()
+                .map_err(|_| malformed("section length is not a number"))?;
+            let expected_crc: u32 = crc
+                .parse()
+                .map_err(|_| malformed("section checksum is not a number"))?;
+            let available = bytes.len().saturating_sub(*pos);
+            if len > available {
+                return Err(TraceError::Truncated {
+                    section: name,
+                    expected: len,
+                    available,
+                });
+            }
+            let payload = &bytes[*pos..*pos + len];
+            *pos += len;
+            // Consume the newline separating payload from the next frame.
+            if bytes.get(*pos) == Some(&b'\n') {
+                *pos += 1;
+            }
+            let actual = crc32(payload);
+            if actual != expected_crc {
+                return Err(TraceError::ChecksumMismatch {
+                    section: name,
+                    expected: expected_crc,
+                    actual,
+                });
+            }
+            let text = std::str::from_utf8(payload).map_err(|_| TraceError::Malformed {
+                section: name.clone(),
+                reason: "payload is not UTF-8".to_owned(),
+            })?;
+            let value = serde_json::from_str(text).map_err(|e| TraceError::Malformed {
+                section: name.clone(),
+                reason: e.to_string(),
+            })?;
+            Ok(FrameStep::Section(name, value))
+        }
+        [] => Ok(FrameStep::End), // tolerate a trailing blank line
+        _ => Err(malformed("unrecognized frame line")),
+    }
+}
+
+fn decode_sections(frames: &Frames) -> Result<SavedTrace, TraceError> {
+    let section = |name: &str| -> Result<&Value, TraceError> {
+        frames.get(name).ok_or_else(|| TraceError::Malformed {
+            section: name.to_owned(),
+            reason: "section missing".to_owned(),
+        })
+    };
+    let meta = section("meta")?;
+    let platform = get_str(meta, "platform").map_err(|reason| TraceError::Malformed {
+        section: "meta".to_owned(),
+        reason,
+    })?;
+    Ok(SavedTrace {
+        version: FORMAT_VERSION,
+        platform,
+        apis: parse_list("apis", section("apis")?, parse_api)?,
+        accesses: parse_list("accesses", section("accesses")?, parse_access)?,
+        objects: parse_list("objects", section("objects")?, parse_object)?,
+        usage: parse_list("usage", section("usage")?, |v| {
+            let (idx, bytes) = parse_pair(v, "usage sample")?;
+            Ok((
+                usize::try_from(idx).map_err(|_| "usage api_idx exceeds usize".to_owned())?,
+                bytes,
+            ))
+        })?,
+        intra: parse_list("intra", section("intra")?, parse_intra)?,
+        unified: parse_list("unified", section("unified")?, parse_unified)?,
+    })
+}
+
+/// Validates every cross-reference in the trace, strictly.
+fn validate(t: &SavedTrace) -> Result<(), TraceError> {
+    let bad = |section: &str, reason: String| TraceError::BadReference {
+        section: section.to_owned(),
+        reason,
+    };
+    let n = t.apis.len();
+    let ids: HashSet<u64> = t.objects.iter().map(|o| o.id).collect();
+    for (i, a) in t.apis.iter().enumerate() {
+        for &dep in &a.after {
+            if dep >= n {
+                return Err(bad("apis", format!("api #{i} after {dep} >= {n} apis")));
+            }
+        }
+        for obj in a.reads.iter().chain(&a.writes).chain(&a.frees) {
+            if !ids.contains(obj) {
+                return Err(bad(
+                    "apis",
+                    format!("api #{i} references unknown object {obj}"),
+                ));
+            }
+        }
+    }
+    for (i, a) in t.accesses.iter().enumerate() {
+        if a.api_idx >= n {
+            return Err(bad(
+                "accesses",
+                format!("access #{i} api_idx {} >= {n} apis", a.api_idx),
+            ));
+        }
+        if !ids.contains(&a.object) {
+            return Err(bad(
+                "accesses",
+                format!("access #{i} references unknown object {}", a.object),
+            ));
+        }
+    }
+    for (i, o) in t.objects.iter().enumerate() {
+        if o.alloc_api > n {
+            return Err(bad(
+                "objects",
+                format!("object #{i} alloc_api {} > {n} apis", o.alloc_api),
+            ));
+        }
+        if let Some(f) = o.free_api {
+            if f > n {
+                return Err(bad(
+                    "objects",
+                    format!("object #{i} free_api {f} > {n} apis"),
+                ));
+            }
+        }
+    }
+    for (i, &(idx, _)) in t.usage.iter().enumerate() {
+        if idx >= n {
+            return Err(bad(
+                "usage",
+                format!("sample #{i} api_idx {idx} >= {n} apis"),
+            ));
+        }
+    }
+    for (i, s) in t.intra.iter().enumerate() {
+        if !ids.contains(&s.object) {
+            return Err(bad(
+                "intra",
+                format!("entry #{i} references unknown object {}", s.object),
+            ));
+        }
+        for &(idx, _) in &s.per_api {
+            if idx >= n {
+                return Err(bad(
+                    "intra",
+                    format!("entry #{i} per_api index {idx} >= {n} apis"),
+                ));
+            }
+        }
+        if let Some((idx, _, _)) = &s.nuaf_peak {
+            if *idx >= n {
+                return Err(bad(
+                    "intra",
+                    format!("entry #{i} nuaf_peak index {idx} >= {n} apis"),
+                ));
+            }
+        }
+    }
+    for (i, p) in t.unified.iter().enumerate() {
+        if !ids.contains(&p.object) {
+            return Err(bad(
+                "unified",
+                format!("page #{i} references unknown object {}", p.object),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Drops every dangling record from the trace, returning human-readable
+/// notes about what was removed. Used by [`salvage`].
+fn scrub(t: &mut SavedTrace) -> Vec<String> {
+    let mut notes = Vec::new();
+    let n = t.apis.len();
+    let ids: HashSet<u64> = t.objects.iter().map(|o| o.id).collect();
+    let mut clamped_objects = 0usize;
+    for o in &mut t.objects {
+        if o.alloc_api > n || o.free_api.map(|f| f > n).unwrap_or(false) {
+            o.alloc_api = o.alloc_api.min(n);
+            o.free_api = o.free_api.map(|f| f.min(n));
+            clamped_objects += 1;
+        }
+    }
+    if clamped_objects > 0 {
+        notes.push(format!(
+            "clamped {clamped_objects} object lifetime anchor(s) past the end of the API trace"
+        ));
+    }
+    let mut dropped_edges = 0usize;
+    for a in &mut t.apis {
+        let before = a.after.len() + a.reads.len() + a.writes.len() + a.frees.len();
+        a.after.retain(|&dep| dep < n);
+        a.reads.retain(|obj| ids.contains(obj));
+        a.writes.retain(|obj| ids.contains(obj));
+        a.frees.retain(|obj| ids.contains(obj));
+        dropped_edges += before - (a.after.len() + a.reads.len() + a.writes.len() + a.frees.len());
+    }
+    if dropped_edges > 0 {
+        notes.push(format!(
+            "dropped {dropped_edges} dangling dependency edge(s)"
+        ));
+    }
+    let before = t.accesses.len();
+    t.accesses
+        .retain(|a| a.api_idx < n && ids.contains(&a.object));
+    if t.accesses.len() < before {
+        notes.push(format!(
+            "dropped {} dangling access record(s)",
+            before - t.accesses.len()
+        ));
+    }
+    let before = t.usage.len();
+    t.usage.retain(|&(idx, _)| idx < n);
+    if t.usage.len() < before {
+        notes.push(format!(
+            "dropped {} dangling usage sample(s)",
+            before - t.usage.len()
+        ));
+    }
+    let before = t.intra.len();
+    t.intra.retain(|s| ids.contains(&s.object));
+    if t.intra.len() < before {
+        notes.push(format!(
+            "dropped {} orphaned intra-object map(s)",
+            before - t.intra.len()
+        ));
+    }
+    let mut dropped_intra_refs = 0usize;
+    for s in &mut t.intra {
+        let before = s.per_api.len();
+        s.per_api.retain(|&(idx, _)| idx < n);
+        dropped_intra_refs += before - s.per_api.len();
+        if s.nuaf_peak
+            .as_ref()
+            .map(|(idx, _, _)| *idx >= n)
+            .unwrap_or(false)
+        {
+            s.nuaf_peak = None;
+            dropped_intra_refs += 1;
+        }
+    }
+    if dropped_intra_refs > 0 {
+        notes.push(format!(
+            "dropped {dropped_intra_refs} dangling intra-object record(s)"
+        ));
+    }
+    let before = t.unified.len();
+    t.unified.retain(|p| ids.contains(&p.object));
+    if t.unified.len() < before {
+        notes.push(format!(
+            "dropped {} orphaned unified-memory page(s)",
+            before - t.unified.len()
+        ));
+    }
+    notes
+}
+
+const SECTION_ORDER: [&str; 7] = [
+    "meta", "apis", "accesses", "objects", "usage", "intra", "unified",
+];
+
+/// Strictly loads a trace from its text serialization.
+///
+/// # Errors
+///
+/// Returns a typed [`TraceError`] for a missing or foreign header, a
+/// version this build does not read, truncation, checksum mismatches,
+/// malformed payloads, and dangling cross-references (an access pointing
+/// at a GPU API or object that does not exist). Use [`salvage`] to read
+/// as much as possible of a damaged trace instead.
+pub fn load(text: &str) -> Result<SavedTrace, TraceError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let version = parse_header(read_line(bytes, &mut pos))?;
+    if version != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let mut frames = Frames::new();
+    while let FrameStep::Section(name, value) = next_frame(bytes, &mut pos)? {
+        frames.insert(name, value);
+    }
+    let trace = decode_sections(&frames)?;
+    validate(&trace)?;
+    Ok(trace)
+}
+
+/// What a [`salvage`] pass lost.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Human-readable notes, one per loss or repair (empty = lossless).
+    pub notes: Vec<String>,
+}
+
+impl SalvageReport {
+    /// `true` if the trace was read back without any loss.
+    pub fn is_lossless(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// Converts the losses into report degradation records.
+    pub fn to_degradations(&self) -> Vec<DegradationRecord> {
+        self.notes
+            .iter()
+            .map(|n| DegradationRecord::new("trace-salvage", n.clone()))
+            .collect()
+    }
+}
+
+/// Reads as much of a (possibly damaged) trace as possible. Never fails.
+///
+/// Sections that frame and checksum correctly are kept; damaged sections
+/// are dropped whole; records that reference data lost with a damaged
+/// section are dropped individually. Everything dropped is described in
+/// the returned [`SalvageReport`] so the eventual report can carry
+/// explicit [`DegradationRecord`]s instead of silently analyzing less.
+pub fn salvage(text: &str) -> (SavedTrace, SalvageReport) {
+    let mut notes = Vec::new();
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    match parse_header(read_line(bytes, &mut pos)) {
+        Ok(v) if v == FORMAT_VERSION => {}
+        Ok(v) => notes.push(format!(
+            "trace declares format version {v} (this build writes {FORMAT_VERSION}); \
+             attempting best-effort read"
+        )),
+        Err(_) => {
+            notes.push("missing trace header; nothing could be recovered".to_owned());
+            return (empty_trace(), SalvageReport { notes });
+        }
+    }
+    let mut frames = Frames::new();
+    loop {
+        match next_frame(bytes, &mut pos) {
+            Ok(FrameStep::Section(name, value)) => {
+                frames.insert(name, value);
+            }
+            Ok(FrameStep::End) => break,
+            Err(e) => {
+                let boundary_lost = matches!(e, TraceError::Truncated { .. })
+                    || matches!(&e, TraceError::Malformed { section, .. } if section == "frame");
+                if boundary_lost {
+                    // Without an intact frame header + length we cannot find
+                    // the next frame boundary: stop at the longest valid
+                    // prefix.
+                    notes.push(format!("stopped at damaged framing: {e}"));
+                    break;
+                }
+                // The frame itself was intact (length known), so the payload
+                // was skipped in full; later sections are still reachable.
+                notes.push(format!("dropped section: {e}"));
+            }
+        }
+    }
+    for name in SECTION_ORDER {
+        if !frames.contains_key(name) && !notes.iter().any(|n| n.contains(&format!("`{name}`"))) {
+            notes.push(format!("section `{name}` absent; treated as empty"));
+        }
+    }
+    let mut trace = salvage_decode(&frames, &mut notes);
+    notes.extend(scrub(&mut trace));
+    (trace, SalvageReport { notes })
+}
+
+fn empty_trace() -> SavedTrace {
+    SavedTrace {
+        version: FORMAT_VERSION,
+        platform: "<unknown>".to_owned(),
+        apis: Vec::new(),
+        accesses: Vec::new(),
+        objects: Vec::new(),
+        usage: Vec::new(),
+        intra: Vec::new(),
+        unified: Vec::new(),
+    }
+}
+
+/// Decodes whatever sections survived framing, treating each decode
+/// failure as one more loss instead of an error.
+fn salvage_decode(frames: &Frames, notes: &mut Vec<String>) -> SavedTrace {
+    fn take<T>(
+        frames: &Frames,
+        notes: &mut Vec<String>,
+        name: &str,
+        item: impl Fn(&Value) -> Result<T, String>,
+    ) -> Vec<T> {
+        let Some(v) = frames.get(name) else {
+            return Vec::new();
+        };
+        match parse_list(name, v, item) {
+            Ok(list) => list,
+            Err(e) => {
+                notes.push(format!("dropped section: {e}"));
+                Vec::new()
+            }
+        }
+    }
+    let platform = frames
+        .get("meta")
+        .and_then(|m| get_str(m, "platform").ok())
+        .unwrap_or_else(|| {
+            notes.push("platform name lost with the meta section".to_owned());
+            "<unknown>".to_owned()
+        });
+    SavedTrace {
+        version: FORMAT_VERSION,
+        platform,
+        apis: take(frames, notes, "apis", parse_api),
+        accesses: take(frames, notes, "accesses", parse_access),
+        objects: take(frames, notes, "objects", parse_object),
+        usage: take(frames, notes, "usage", |v| {
+            let (idx, bytes) = parse_pair(v, "usage sample")?;
+            Ok((
+                usize::try_from(idx).map_err(|_| "usage api_idx exceeds usize".to_owned())?,
+                bytes,
+            ))
+        }),
+        intra: take(frames, notes, "intra", parse_intra),
+        unified: take(frames, notes, "unified", parse_unified),
+    }
+}
+
+/// Salvages a damaged trace and re-analyzes what survived; the report's
+/// degradation records describe everything that was lost.
+pub fn reanalyze_salvaged(text: &str, thresholds: &Thresholds) -> Report {
+    let (trace, losses) = salvage(text);
+    trace.reanalyze_with(thresholds, losses.to_degradations())
+}
+
 impl SavedTrace {
     /// Number of GPU APIs in the recording.
     pub fn api_count(&self) -> usize {
@@ -274,9 +1168,61 @@ impl SavedTrace {
         self.objects.len()
     }
 
+    /// Serializes to the framed, checksummed text format.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("{MAGIC} {}\n", self.version);
+        let mut meta = Map::new();
+        meta.insert("platform".into(), self.platform.to_json());
+        write_section(&mut out, "meta", &Value::Object(meta));
+        write_section(
+            &mut out,
+            "apis",
+            &Value::Array(self.apis.iter().map(api_value).collect()),
+        );
+        write_section(
+            &mut out,
+            "accesses",
+            &Value::Array(self.accesses.iter().map(access_value).collect()),
+        );
+        write_section(
+            &mut out,
+            "objects",
+            &Value::Array(self.objects.iter().map(object_value).collect()),
+        );
+        write_section(
+            &mut out,
+            "usage",
+            &Value::Array(
+                self.usage
+                    .iter()
+                    .map(|&(idx, bytes)| Value::Array(vec![idx.to_json(), bytes.to_json()]))
+                    .collect(),
+            ),
+        );
+        write_section(
+            &mut out,
+            "intra",
+            &Value::Array(self.intra.iter().map(intra_value).collect()),
+        );
+        write_section(
+            &mut out,
+            "unified",
+            &Value::Array(self.unified.iter().map(unified_value).collect()),
+        );
+        out.push_str("end\n");
+        out
+    }
+
     /// Rebuilds the trace view (with fresh topological timestamps) from
     /// the recording.
-    fn rebuild(&self) -> (TraceView, Vec<IntraObjectData>, Vec<UsageSample>, Vec<ObjectMeta>) {
+    fn rebuild(
+        &self,
+    ) -> (
+        TraceView,
+        Vec<IntraObjectData>,
+        Vec<UsageSample>,
+        Vec<ObjectMeta>,
+    ) {
         let vertices: Vec<VertexAccess> = self
             .apis
             .iter()
@@ -298,19 +1244,27 @@ impl SavedTrace {
             .collect();
         let api_is_dealloc: Vec<bool> = self.apis.iter().map(|a| a.mnemonic == "FREE").collect();
 
-        let mut per_object: std::collections::HashMap<u64, Vec<ObjectAccess>> =
-            std::collections::HashMap::new();
+        let mut per_object: HashMap<u64, Vec<ObjectAccess>> = HashMap::new();
         for acc in &self.accesses {
-            per_object.entry(acc.object).or_default().push(ObjectAccess {
-                api: ApiRef {
-                    idx: acc.api_idx,
-                    ts: api_ts[acc.api_idx],
-                    name: api_names[acc.api_idx].clone(),
-                },
-                read: acc.read,
-                write: acc.write,
-                via: via_parse(&acc.via),
-            });
+            // Loaded traces are validated, but a hand-built or salvaged one
+            // could still dangle: drop, don't panic.
+            let (Some(&ts), Some(name)) = (api_ts.get(acc.api_idx), api_names.get(acc.api_idx))
+            else {
+                continue;
+            };
+            per_object
+                .entry(acc.object)
+                .or_default()
+                .push(ObjectAccess {
+                    api: ApiRef {
+                        idx: acc.api_idx,
+                        ts,
+                        name: name.clone(),
+                    },
+                    read: acc.read,
+                    write: acc.write,
+                    via: via_parse(&acc.via),
+                });
         }
         let objects: Vec<ObjectView> = self
             .objects
@@ -320,8 +1274,11 @@ impl SavedTrace {
                 accesses.sort_by_key(|a| (a.api.ts, a.api.idx));
                 let mk_ref = |idx: usize| ApiRef {
                     idx,
-                    ts: api_ts[idx],
-                    name: api_names[idx].clone(),
+                    ts: api_ts.get(idx).copied().unwrap_or(0),
+                    name: api_names
+                        .get(idx)
+                        .cloned()
+                        .unwrap_or_else(|| format!("<api {idx}>")),
                 };
                 let source = source_parse(&o.source);
                 ObjectView {
@@ -415,6 +1372,16 @@ impl SavedTrace {
     /// Re-runs the full offline analysis on the recording, with arbitrary
     /// thresholds — no program re-run needed.
     pub fn reanalyze(&self, thresholds: &Thresholds) -> Report {
+        self.reanalyze_with(thresholds, Vec::new())
+    }
+
+    /// Like [`SavedTrace::reanalyze`], but carrying degradation records
+    /// (e.g. from a [`salvage`] pass) into the produced report.
+    pub fn reanalyze_with(
+        &self,
+        thresholds: &Thresholds,
+        degradations: Vec<DegradationRecord>,
+    ) -> Report {
         let (trace, intra, usage, metas) = self.rebuild();
         let unified: Vec<UnifiedPageStats> = self
             .unified
@@ -427,26 +1394,16 @@ impl SavedTrace {
                 device_ranges: p.device_ranges.iter().copied().collect(),
             })
             .collect();
-        analyzer::assemble_report(&trace, &intra, &usage, &metas, &unified, thresholds, &self.platform)
-    }
-
-    /// Serializes to a JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns a serialization error (never expected for valid traces).
-    pub fn to_json(&self) -> serde_json::Result<String> {
-        serde_json::to_string(self)
-    }
-
-    /// Deserializes from a JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns a parse error on malformed input or a future format version.
-    pub fn from_json(text: &str) -> serde_json::Result<Self> {
-        let t: SavedTrace = serde_json::from_str(text)?;
-        Ok(t)
+        analyzer::assemble_report(
+            &trace,
+            &intra,
+            &usage,
+            &metas,
+            &unified,
+            thresholds,
+            &self.platform,
+            degradations,
+        )
     }
 }
 
@@ -464,12 +1421,17 @@ mod tests {
         let other = ctx.malloc(4096, "other").unwrap();
         ctx.memset(other, 0, 4096).unwrap();
         ctx.memset(other, 1, 4096).unwrap();
-        ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < 16 {
-                t.store_f32(early + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "k",
+            LaunchConfig::cover(16, 16),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    t.store_f32(early + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         ctx.free(other).unwrap();
         // `early` leaks.
@@ -495,10 +1457,10 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn text_round_trip() {
         let (saved, _) = record();
-        let text = saved.to_json().unwrap();
-        let back = SavedTrace::from_json(&text).unwrap();
+        let text = saved.to_text();
+        let back = load(&text).expect("clean trace loads");
         assert_eq!(back.api_count(), saved.api_count());
         assert_eq!(back.object_count(), saved.object_count());
         let a = saved.reanalyze(&Thresholds::default());
@@ -527,7 +1489,115 @@ mod tests {
     fn version_is_stamped() {
         let (saved, _) = record();
         assert_eq!(saved.version, FORMAT_VERSION);
-        let text = saved.to_json().unwrap();
-        assert!(text.contains("\"version\":1"));
+        let text = saved.to_text();
+        assert!(text.starts_with("DRGPUM-TRACE 2\n"));
+    }
+
+    #[test]
+    fn load_rejects_unknown_version() {
+        let (saved, _) = record();
+        let text = saved.to_text().replace("DRGPUM-TRACE 2", "DRGPUM-TRACE 99");
+        match load(&text) {
+            Err(TraceError::UnsupportedVersion {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_missing_header() {
+        assert!(matches!(load(""), Err(TraceError::MissingHeader)));
+        assert!(matches!(
+            load("not a trace\n"),
+            Err(TraceError::MissingHeader)
+        ));
+    }
+
+    #[test]
+    fn load_rejects_corrupted_payload() {
+        let (saved, _) = record();
+        let text = saved.to_text();
+        // Flip one character inside the apis payload (its label `"early"`),
+        // keeping the byte length identical.
+        let corrupted = text.replacen("rtx3090", "rtx0000", 1);
+        assert_ne!(text, corrupted);
+        match load(&corrupted) {
+            Err(TraceError::ChecksumMismatch { section, .. }) => assert_eq!(section, "meta"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_truncation() {
+        let (saved, _) = record();
+        let text = saved.to_text();
+        let cut = &text[..text.len() / 2];
+        match load(cut) {
+            Err(TraceError::Truncated { .. }) | Err(TraceError::Malformed { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn load_rejects_dangling_references() {
+        let (saved, _) = record();
+        let mut broken = saved.clone();
+        broken.accesses.push(SavedAccess {
+            api_idx: 9999,
+            object: 0,
+            read: true,
+            write: false,
+            via: "kernel".to_owned(),
+        });
+        let text = broken.to_text();
+        match load(&text) {
+            Err(TraceError::BadReference { section, reason }) => {
+                assert_eq!(section, "accesses");
+                assert!(reason.contains("9999"), "{reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn salvage_of_clean_trace_is_lossless() {
+        let (saved, _) = record();
+        let (back, report) = salvage(&saved.to_text());
+        assert!(report.is_lossless(), "notes: {:?}", report.notes);
+        assert_eq!(back.api_count(), saved.api_count());
+        assert_eq!(back.object_count(), saved.object_count());
+    }
+
+    #[test]
+    fn salvage_survives_truncation_and_reports_losses() {
+        let (saved, _) = record();
+        let text = saved.to_text();
+        for cut in [0, 1, text.len() / 4, text.len() / 2, text.len() - 1] {
+            let (trace, report) = salvage(&text[..cut]);
+            if cut < text.len() - 1 {
+                assert!(!report.is_lossless(), "cut {cut} must lose something");
+            }
+            // Whatever survived must re-analyze without panicking, and the
+            // report must carry the losses.
+            let r = trace.reanalyze_with(&Thresholds::default(), report.to_degradations());
+            assert_eq!(r.is_degraded(), !report.is_lossless());
+        }
+    }
+
+    #[test]
+    fn salvage_skips_damaged_section_but_keeps_the_rest() {
+        let (saved, _) = record();
+        // Damage only the meta payload (same length, wrong bytes).
+        let text = saved.to_text().replacen("rtx3090", "rtx0000", 1);
+        let (trace, report) = salvage(&text);
+        assert!(!report.is_lossless());
+        assert_eq!(trace.platform, "<unknown>");
+        // Later sections survived the damaged one.
+        assert_eq!(trace.api_count(), saved.api_count());
+        assert_eq!(trace.object_count(), saved.object_count());
     }
 }

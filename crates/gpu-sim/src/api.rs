@@ -8,6 +8,7 @@
 use crate::callstack::{CallPath, CallStack, SourceLoc};
 use crate::config::PlatformConfig;
 use crate::error::{Result, SimError};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, RetryPolicy};
 use crate::kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
 use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
 use crate::sanitizer::{AccessSink, KernelInfo, PatchMode, Sanitizer};
@@ -219,7 +220,12 @@ pub struct DeviceContext {
     kernel_instances: HashMap<String, u64>,
     labels: HashMap<DevicePtr, String>,
     stats: ContextStats,
+    fault: Option<FaultInjector>,
 }
+
+/// How long an injected [`FaultKind::StreamStall`] pushes a stream's tail
+/// into the future.
+const STREAM_STALL_NS: u64 = 1_000_000;
 
 impl fmt::Debug for DeviceContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -248,6 +254,7 @@ impl DeviceContext {
             kernel_instances: HashMap::new(),
             labels: HashMap::new(),
             stats: ContextStats::default(),
+            fault: None,
         }
     }
 
@@ -324,7 +331,14 @@ impl DeviceContext {
         r
     }
 
-    fn emit(&mut self, stream: StreamId, ordinal: u64, kind: ApiKind, start: SimTime, end: SimTime) {
+    fn emit(
+        &mut self,
+        stream: StreamId,
+        ordinal: u64,
+        kind: ApiKind,
+        start: SimTime,
+        end: SimTime,
+    ) {
         if kind.is_gpu_api() {
             self.stats.gpu_api_calls += 1;
         }
@@ -342,6 +356,52 @@ impl DeviceContext {
         self.log.push(event);
     }
 
+    // --------------------------------------------------------- fault injection
+
+    /// Installs a [`FaultPlan`]; subsequent operations consult it and may
+    /// fail, stall, or misbehave as the plan dictates. Replaces any
+    /// previously installed plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(FaultInjector::new(plan));
+    }
+
+    /// Removes the installed fault plan, if any. The log of already-injected
+    /// faults is discarded with it.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// Every fault injected so far, in firing order (empty when no plan is
+    /// installed).
+    pub fn fault_log(&self) -> &[InjectedFault] {
+        self.fault.as_ref().map(FaultInjector::log).unwrap_or(&[])
+    }
+
+    /// Consults the installed injector (if any) for `kind` at the current
+    /// API sequence number.
+    fn fault_fires(&mut self, kind: FaultKind) -> bool {
+        match self.fault.as_mut() {
+            Some(inj) => inj.should_inject(kind, self.seq),
+            None => false,
+        }
+    }
+
+    /// Applies stream-level faults before an operation is enqueued on
+    /// `stream`: rejects aborted streams, delivers pending stalls/aborts.
+    fn apply_stream_faults(&mut self, stream: StreamId) -> Result<()> {
+        if self.streams.is_aborted(stream) {
+            return Err(SimError::StreamAborted(stream.0));
+        }
+        if self.fault_fires(FaultKind::StreamStall) {
+            self.streams.stall_stream(stream, STREAM_STALL_NS)?;
+        }
+        if self.fault_fires(FaultKind::StreamAbort) {
+            self.streams.abort_stream(stream)?;
+            return Err(SimError::StreamAborted(stream.0));
+        }
+        Ok(())
+    }
+
     // ----------------------------------------------------------------- memory
 
     /// Allocates `size` bytes of device memory (`cudaMalloc`).
@@ -350,12 +410,34 @@ impl DeviceContext {
     /// names from call paths; the simulator lets programs pass them
     /// directly while *also* recording the call path).
     ///
+    /// On failure — real or injected — registered sanitizer tools are
+    /// notified via
+    /// [`SanitizerHooks::on_alloc_failure`](crate::SanitizerHooks::on_alloc_failure)
+    /// before the error is returned, so profilers can degrade gracefully.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::OutOfMemory`] or [`SimError::ZeroSizedAllocation`].
     pub fn malloc(&mut self, size: u64, label: impl Into<String>) -> Result<DevicePtr> {
-        let info = self.alloc.malloc(size)?;
         let label = label.into();
+        if self.fault_fires(FaultKind::AllocFail) {
+            let err = SimError::OutOfMemory {
+                requested: size,
+                largest_free: self.alloc.largest_free(),
+                total_free: self.alloc.total_free(),
+            };
+            self.sanitizer.dispatch_alloc_failure(size, &label, &err);
+            return Err(err);
+        }
+        let info = match self.alloc.malloc(size) {
+            Ok(info) => info,
+            Err(err) => {
+                if matches!(err, SimError::OutOfMemory { .. }) {
+                    self.sanitizer.dispatch_alloc_failure(size, &label, &err);
+                }
+                return Err(err);
+            }
+        };
         self.labels.insert(info.ptr, label.clone());
         let dur = self.config.malloc_overhead_ns;
         let (start, end, ordinal) = self.streams.enqueue_sync(StreamId::DEFAULT, dur)?;
@@ -373,6 +455,41 @@ impl DeviceContext {
         Ok(info.ptr)
     }
 
+    /// Allocates like [`DeviceContext::malloc`], but treats out-of-memory as
+    /// transient: each retry charges exponential backoff to the simulated
+    /// host clock and may shrink the request per `policy` — the
+    /// shrink-and-retry loop real caching allocators run under memory
+    /// pressure.
+    ///
+    /// Returns the pointer and the size actually granted (which is `size`
+    /// unless the policy shrank the request).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last [`SimError::OutOfMemory`] once retries are
+    /// exhausted; any other error is returned immediately without retrying.
+    pub fn malloc_with_retry(
+        &mut self,
+        size: u64,
+        label: impl Into<String>,
+        policy: RetryPolicy,
+    ) -> Result<(DevicePtr, u64)> {
+        let label = label.into();
+        let mut request = size;
+        let mut attempt = 0u32;
+        loop {
+            match self.malloc(request, label.clone()) {
+                Ok(ptr) => return Ok((ptr, request)),
+                Err(SimError::OutOfMemory { .. }) if attempt < policy.max_retries => {
+                    attempt += 1;
+                    self.streams.advance_host(policy.backoff_for(attempt));
+                    request = policy.shrink(request);
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
     /// Frees a device allocation (`cudaFree`).
     ///
     /// # Errors
@@ -385,6 +502,8 @@ impl DeviceContext {
         self.mem.discard(info.ptr, info.size);
         let label = self.labels.remove(&ptr).unwrap_or_default();
         let dur = self.config.free_overhead_ns;
+        // Decide before emitting, while `seq` is still this FREE's number.
+        let spurious = self.fault_fires(FaultKind::SpuriousFree);
         let (start, end, ordinal) = self.streams.enqueue_sync(StreamId::DEFAULT, dur)?;
         self.emit(
             StreamId::DEFAULT,
@@ -392,11 +511,28 @@ impl DeviceContext {
             ApiKind::Free {
                 ptr,
                 size: info.size,
-                label,
+                label: label.clone(),
             },
             start,
             end,
         );
+        if spurious {
+            // A misbehaving application frees the pointer a second time. The
+            // allocation is already dead, so only the API event is replayed;
+            // instrumentation must tolerate a FREE with no live object.
+            let (start, end, ordinal) = self.streams.enqueue_sync(StreamId::DEFAULT, dur)?;
+            self.emit(
+                StreamId::DEFAULT,
+                ordinal,
+                ApiKind::Free {
+                    ptr,
+                    size: info.size,
+                    label,
+                },
+                start,
+                end,
+            );
+        }
         Ok(())
     }
 
@@ -516,6 +652,7 @@ impl DeviceContext {
     /// Returns [`SimError::OutOfBounds`] for an invalid destination range or
     /// [`SimError::UnknownStream`].
     pub fn memcpy_h2d_on(&mut self, dst: DevicePtr, data: &[u8], stream: StreamId) -> Result<()> {
+        self.apply_stream_faults(stream)?;
         let size = data.len() as u64;
         self.check_device_range(dst, size)?;
         self.mem.write_bytes(dst, data);
@@ -525,7 +662,13 @@ impl DeviceContext {
         } else {
             self.streams.enqueue(stream, dur)?
         };
-        self.emit(stream, ordinal, ApiKind::MemcpyH2D { dst, size }, start, end);
+        self.emit(
+            stream,
+            ordinal,
+            ApiKind::MemcpyH2D { dst, size },
+            start,
+            end,
+        );
         Ok(())
     }
 
@@ -544,7 +687,13 @@ impl DeviceContext {
     ///
     /// Returns [`SimError::OutOfBounds`] for an invalid source range or
     /// [`SimError::UnknownStream`].
-    pub fn memcpy_d2h_on(&mut self, out: &mut [u8], src: DevicePtr, stream: StreamId) -> Result<()> {
+    pub fn memcpy_d2h_on(
+        &mut self,
+        out: &mut [u8],
+        src: DevicePtr,
+        stream: StreamId,
+    ) -> Result<()> {
+        self.apply_stream_faults(stream)?;
         let size = out.len() as u64;
         self.check_device_range(src, size)?;
         self.mem.read_bytes(src, out);
@@ -554,7 +703,13 @@ impl DeviceContext {
         } else {
             self.streams.enqueue(stream, dur)?
         };
-        self.emit(stream, ordinal, ApiKind::MemcpyD2H { src, size }, start, end);
+        self.emit(
+            stream,
+            ordinal,
+            ApiKind::MemcpyD2H { src, size },
+            start,
+            end,
+        );
         Ok(())
     }
 
@@ -580,6 +735,7 @@ impl DeviceContext {
         size: u64,
         stream: StreamId,
     ) -> Result<()> {
+        self.apply_stream_faults(stream)?;
         self.check_device_range(src, size)?;
         self.check_device_range(dst, size)?;
         self.mem.copy_within(dst, src, size);
@@ -610,12 +766,25 @@ impl DeviceContext {
     ///
     /// Returns [`SimError::OutOfBounds`] for an invalid range or
     /// [`SimError::UnknownStream`].
-    pub fn memset_on(&mut self, dst: DevicePtr, value: u8, size: u64, stream: StreamId) -> Result<()> {
+    pub fn memset_on(
+        &mut self,
+        dst: DevicePtr,
+        value: u8,
+        size: u64,
+        stream: StreamId,
+    ) -> Result<()> {
+        self.apply_stream_faults(stream)?;
         self.check_device_range(dst, size)?;
         self.mem.fill(dst, size, value);
         let dur = self.config.device_stream_ns(size);
         let (start, end, ordinal) = self.streams.enqueue(stream, dur)?;
-        self.emit(stream, ordinal, ApiKind::Memset { dst, size, value }, start, end);
+        self.emit(
+            stream,
+            ordinal,
+            ApiKind::Memset { dst, size, value },
+            start,
+            end,
+        );
         Ok(())
     }
 
@@ -740,13 +909,17 @@ impl DeviceContext {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::EmptyLaunch`] for an empty grid/block and
-    /// [`SimError::UnknownStream`] for a bad stream id.
+    /// Returns [`SimError::EmptyLaunch`] for an empty grid/block,
+    /// [`SimError::UnknownStream`] for a bad stream id, and
+    /// [`SimError::StreamAborted`] for a stream killed by fault injection.
     ///
-    /// # Panics
+    /// # Device faults
     ///
-    /// Panics (like a device memory fault) if the kernel accesses memory
-    /// outside any live allocation.
+    /// If the kernel accesses memory outside any live allocation (or the
+    /// fault injector forces an out-of-bounds access or mid-execution kill),
+    /// the launch still emits its API event and delivers whatever partial
+    /// results completed — then returns [`SimError::KernelFaulted`]. The
+    /// faulting access itself is skipped, not performed.
     pub fn launch<F>(
         &mut self,
         name: &str,
@@ -766,6 +939,9 @@ impl DeviceContext {
         if (stream.0 as usize) >= self.streams.stream_count() {
             return Err(SimError::UnknownStream(stream.0));
         }
+        self.apply_stream_faults(stream)?;
+        let injected_oob = self.fault_fires(FaultKind::KernelOob);
+        let injected_kill = self.fault_fires(FaultKind::KernelKill);
         let instance = {
             let counter = self.kernel_instances.entry(name.to_owned()).or_insert(0);
             let i = *counter;
@@ -785,9 +961,19 @@ impl DeviceContext {
         let mut counters = KernelCounters::default();
         let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
 
+        // A mid-execution kill runs only a prefix of the grid's threads;
+        // everything they wrote is still delivered (partial results).
+        let total_threads = cfg.total_threads();
+        let thread_budget = if injected_kill {
+            total_threads.div_ceil(2)
+        } else {
+            total_threads
+        };
+        let mut executed: u64 = 0;
+
         let grid = cfg.grid;
         let block = cfg.block;
-        for bz in 0..grid.z {
+        'grid: for bz in 0..grid.z {
             for by in 0..grid.y {
                 for bx in 0..grid.x {
                     let block_idx = Dim3::xyz(bx, by, bz);
@@ -795,6 +981,10 @@ impl DeviceContext {
                     for tz in 0..block.z {
                         for ty in 0..block.y {
                             for tx in 0..block.x {
+                                if executed >= thread_budget {
+                                    break 'grid;
+                                }
+                                executed += 1;
                                 let thread_idx = Dim3::xyz(tx, ty, tz);
                                 let flat_thread = grid.flatten(block_idx) * block.count()
                                     + block.flatten(thread_idx);
@@ -821,6 +1011,17 @@ impl DeviceContext {
                 }
             }
         }
+        if injected_oob && sink.fault.is_none() {
+            // Synthesize the access fault the plan asked for: one word just
+            // past the end of device memory.
+            sink.fault = Some(SimError::OutOfBounds {
+                addr: DevicePtr::new(
+                    crate::mem::DEVICE_ADDR_BASE + self.config.device_memory_bytes,
+                ),
+                size: 4,
+            });
+        }
+        let device_fault = sink.fault.take();
         sink.flush(&self.sanitizer, &info);
         let records = sink.records_seen;
         self.stats.instrumented_accesses += records;
@@ -840,7 +1041,25 @@ impl DeviceContext {
             end,
         );
         let touched = sink.take_touched();
-        self.sanitizer.dispatch_kernel_end(&info, &touched, &counters);
+        self.sanitizer
+            .dispatch_kernel_end(&info, &touched, &counters);
+        // Faults are reported only after the API event and all hook
+        // dispatches, so profilers observe the partial execution.
+        if injected_kill {
+            return Err(SimError::KernelFaulted {
+                kernel: name.to_owned(),
+                reason: format!(
+                    "killed mid-execution by fault injection after \
+                     {executed} of {total_threads} threads"
+                ),
+            });
+        }
+        if let Some(fault) = device_fault {
+            return Err(SimError::KernelFaulted {
+                kernel: name.to_owned(),
+                reason: fault.to_string(),
+            });
+        }
         Ok(counters)
     }
 
@@ -930,15 +1149,20 @@ mod tests {
         let p = ctx.malloc(n * 4, "v").unwrap();
         let host: Vec<f32> = (0..n).map(|i| i as f32).collect();
         ctx.h2d_f32(p, &host).unwrap();
-        ctx.launch("scale", LaunchConfig::cover(n, 32), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < n {
-                let a = p + i * 4;
-                let v = t.load_f32(a);
-                t.flop(1);
-                t.store_f32(a, v * 3.0);
-            }
-        })
+        ctx.launch(
+            "scale",
+            LaunchConfig::cover(n, 32),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < n {
+                    let a = p + i * 4;
+                    let v = t.load_f32(a);
+                    t.flop(1);
+                    t.store_f32(a, v * 3.0);
+                }
+            },
+        )
         .unwrap();
         let mut out = vec![0.0f32; n as usize];
         ctx.d2h_f32(&mut out, p).unwrap();
@@ -951,20 +1175,124 @@ mod tests {
         let mut ctx = DeviceContext::new_default();
         let cfg = LaunchConfig::new(Dim3::x(0), Dim3::x(32));
         assert!(matches!(
-            ctx.launch("nop", cfg, StreamId::DEFAULT, |_| {}).unwrap_err(),
+            ctx.launch("nop", cfg, StreamId::DEFAULT, |_| {})
+                .unwrap_err(),
             SimError::EmptyLaunch { .. }
         ));
     }
 
     #[test]
-    #[should_panic(expected = "out-of-bounds device access")]
     fn kernel_oob_access_faults() {
         let mut ctx = DeviceContext::new_default();
         let p = ctx.malloc(4, "tiny").unwrap();
-        ctx.launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, |t| {
-            t.store_f32(p + 4, 1.0);
-        })
-        .unwrap();
+        let err = ctx
+            .launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, |t| {
+                t.store_f32(p + 4, 1.0);
+            })
+            .unwrap_err();
+        match err {
+            SimError::KernelFaulted { kernel, reason } => {
+                assert_eq!(kernel, "bad");
+                assert!(reason.contains("out-of-bounds"), "reason: {reason}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The launch still produced its API event despite the fault.
+        assert_eq!(ctx.api_log().last().unwrap().kind.mnemonic(), "KERL");
+    }
+
+    #[test]
+    fn injected_alloc_failure_is_transient_and_retryable() {
+        use crate::fault::{FaultKind, FaultPlan, RetryPolicy};
+        let mut ctx = DeviceContext::new_default();
+        // seq 0 is the first malloc.
+        ctx.set_fault_plan(FaultPlan::new(1).at_api(0, FaultKind::AllocFail));
+        let err = ctx.malloc(64, "a").unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+        // The failed call consumed no sequence number; a plain retry works.
+        let p = ctx.malloc(64, "a").unwrap();
+        ctx.free(p).unwrap();
+        assert_eq!(ctx.fault_log().len(), 1);
+
+        // And malloc_with_retry hides the transient failure entirely.
+        let mut ctx = DeviceContext::new_default();
+        ctx.set_fault_plan(FaultPlan::new(1).at_api(0, FaultKind::AllocFail));
+        let before = ctx.now().as_ns();
+        let (p, granted) = ctx
+            .malloc_with_retry(1024, "b", RetryPolicy::default())
+            .unwrap();
+        assert_eq!(granted, 512, "one shrink step before success");
+        assert!(ctx.now().as_ns() > before, "backoff charged host time");
+        ctx.free(p).unwrap();
+    }
+
+    #[test]
+    fn injected_spurious_free_duplicates_the_event() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(32, "x").unwrap();
+        // The FREE is API seq 1.
+        ctx.set_fault_plan(FaultPlan::new(0).at_api(1, FaultKind::SpuriousFree));
+        ctx.free(p).unwrap();
+        let frees: Vec<_> = ctx
+            .api_log()
+            .iter()
+            .filter(|e| matches!(e.kind, ApiKind::Free { .. }))
+            .collect();
+        assert_eq!(frees.len(), 2, "one real free + one spurious event");
+        assert_eq!(ctx.allocator().stats().live_allocations, 0);
+    }
+
+    #[test]
+    fn injected_kernel_kill_delivers_partial_results() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut ctx = DeviceContext::new_default();
+        let n = 64u64;
+        let p = ctx.malloc(n * 4, "v").unwrap();
+        ctx.memset(p, 0, n * 4).unwrap();
+        // seqs: 0 = malloc, 1 = memset, 2 = launch.
+        ctx.set_fault_plan(FaultPlan::new(0).at_api(2, FaultKind::KernelKill));
+        let err = ctx
+            .launch("half", LaunchConfig::cover(n, 32), StreamId::DEFAULT, |t| {
+                let i = t.global_x();
+                if i < n {
+                    t.store_f32(p + i * 4, 1.0);
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimError::KernelFaulted { .. }));
+        let mut out = vec![0.0f32; n as usize];
+        ctx.d2h_f32(&mut out, p).unwrap();
+        let written = out.iter().filter(|&&v| v == 1.0).count();
+        assert!(written > 0 && written < n as usize, "partial: {written}");
+    }
+
+    #[test]
+    fn injected_stream_abort_rejects_current_and_later_work() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(64, "p").unwrap();
+        let s = ctx.create_stream();
+        // seqs: 0 = malloc, 1 = stream create, 2 = first memset.
+        ctx.set_fault_plan(FaultPlan::new(0).at_api(2, FaultKind::StreamAbort));
+        let err = ctx.memset_on(p, 0, 64, s).unwrap_err();
+        assert!(matches!(err, SimError::StreamAborted(_)));
+        let err = ctx.memset_on(p, 0, 64, s).unwrap_err();
+        assert!(matches!(err, SimError::StreamAborted(_)), "abort is sticky");
+        // The default stream is unaffected.
+        ctx.memset(p, 0, 64).unwrap();
+    }
+
+    #[test]
+    fn injected_stream_stall_delays_the_stream() {
+        use crate::fault::{FaultKind, FaultPlan};
+        let mut ctx = DeviceContext::new_default();
+        let p = ctx.malloc(64, "p").unwrap();
+        let s = ctx.create_stream();
+        ctx.set_fault_plan(FaultPlan::new(0).at_api(2, FaultKind::StreamStall));
+        ctx.memset_on(p, 0, 64, s).unwrap();
+        let stalled = ctx.api_log().last().unwrap().start.as_ns();
+        assert!(stalled >= STREAM_STALL_NS, "start at {stalled}");
     }
 
     /// A hook that records everything it sees, for asserting on the
@@ -1006,13 +1334,18 @@ mod tests {
         let a = ctx.malloc(64, "a").unwrap();
         let b = ctx.malloc(64, "b").unwrap();
         ctx.memset(a, 0, 64).unwrap();
-        ctx.launch("reader", LaunchConfig::cover(4, 4), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < 4 {
-                let v = t.load_f32(a + i * 4);
-                t.store_f32(b + i * 4, v + 1.0);
-            }
-        })
+        ctx.launch(
+            "reader",
+            LaunchConfig::cover(4, 4),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < 4 {
+                    let v = t.load_f32(a + i * 4);
+                    t.store_f32(b + i * 4, v + 1.0);
+                }
+            },
+        )
         .unwrap();
         ctx.free(a).unwrap();
 
@@ -1069,12 +1402,17 @@ mod tests {
                 ctx.sanitizer_mut().register(rec);
             }
             let a = ctx.malloc(4096 * 4, "a").unwrap();
-            ctx.launch("k", LaunchConfig::cover(4096, 128), StreamId::DEFAULT, |t| {
-                let i = t.global_x();
-                if i < 4096 {
-                    t.store_f32(a + i * 4, i as f32);
-                }
-            })
+            ctx.launch(
+                "k",
+                LaunchConfig::cover(4096, 128),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < 4096 {
+                        t.store_f32(a + i * 4, i as f32);
+                    }
+                },
+            )
             .unwrap();
             ctx.sync_device().as_ns()
         };
@@ -1119,11 +1457,19 @@ mod tests {
                 t.store_f32(b + i * 4, 0.0);
             }
         };
-        ctx.launch("ka", LaunchConfig::cover(1024, 128), s1, body_a).unwrap();
-        ctx.launch("kb", LaunchConfig::cover(1024, 128), s2, body_b).unwrap();
+        ctx.launch("ka", LaunchConfig::cover(1024, 128), s1, body_a)
+            .unwrap();
+        ctx.launch("kb", LaunchConfig::cover(1024, 128), s2, body_b)
+            .unwrap();
         let log = ctx.api_log();
-        let ka = log.iter().find(|e| e.display_name() == "KERL(1, 0)").unwrap();
-        let kb = log.iter().find(|e| e.display_name() == "KERL(2, 0)").unwrap();
+        let ka = log
+            .iter()
+            .find(|e| e.display_name() == "KERL(1, 0)")
+            .unwrap();
+        let kb = log
+            .iter()
+            .find(|e| e.display_name() == "KERL(2, 0)")
+            .unwrap();
         assert_eq!(ka.start, kb.start, "independent streams start together");
     }
 

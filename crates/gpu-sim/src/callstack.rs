@@ -7,13 +7,12 @@
 //! offline analyzer resolves them back to source locations through the
 //! [`FrameTable`] — the same two-phase structure as the real tool.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// A source location: function, file, and line.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SourceLoc {
     /// Function (or method) name.
     pub function: String,
@@ -41,7 +40,7 @@ impl fmt::Display for SourceLoc {
 }
 
 /// Interned id of one call-stack frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FrameId(pub u32);
 
 /// An interned call path: outermost frame first.
@@ -158,7 +157,9 @@ impl CallStack {
     /// Panics if the stack is empty (unbalanced push/pop indicates a bug in
     /// the host program).
     pub fn pop(&mut self) {
-        self.stack.pop().expect("call stack underflow: unbalanced pop");
+        self.stack
+            .pop()
+            .expect("call stack underflow: unbalanced pop");
     }
 
     /// Current depth of the stack.

@@ -6,8 +6,6 @@
 //! latency, host-side speed — through a [`PlatformConfig`] that drives the
 //! simulated-time cost model in [`crate::api::DeviceContext`].
 
-use serde::{Deserialize, Serialize};
-
 /// Cost-model parameters for one simulated GPU platform.
 ///
 /// All latencies are in simulated nanoseconds; bandwidths are in bytes per
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// let rtx = PlatformConfig::rtx3090();
 /// assert!(a100.global_bandwidth_bpns > rtx.global_bandwidth_bpns);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlatformConfig {
     /// Human-readable platform name (e.g. `"rtx3090"`).
     pub name: String,

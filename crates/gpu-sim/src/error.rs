@@ -66,6 +66,19 @@ pub enum SimError {
         /// Provided number of bytes.
         actual: u64,
     },
+    /// A kernel terminated abnormally: a device-side access fault, or a
+    /// mid-execution kill injected by the fault harness. The API event for
+    /// the launch is still emitted (with whatever partial work completed)
+    /// before this error is returned.
+    KernelFaulted {
+        /// Name of the faulted kernel.
+        kernel: String,
+        /// Human-readable fault description.
+        reason: String,
+    },
+    /// An operation was issued to a stream that has aborted; it and all
+    /// later work on that stream are rejected.
+    StreamAborted(u32),
 }
 
 impl fmt::Display for SimError {
@@ -81,13 +94,15 @@ impl fmt::Display for SimError {
                  region {largest_free} bytes, total free {total_free} bytes"
             ),
             SimError::InvalidFree(ptr) => {
-                write!(f, "invalid free of {ptr}: not the base of a live allocation")
+                write!(
+                    f,
+                    "invalid free of {ptr}: not the base of a live allocation"
+                )
             }
             SimError::DoubleFree(ptr) => write!(f, "double free of {ptr}"),
-            SimError::OutOfBounds { addr, size } => write!(
-                f,
-                "out-of-bounds device access at {addr} of {size} bytes"
-            ),
+            SimError::OutOfBounds { addr, size } => {
+                write!(f, "out-of-bounds device access at {addr} of {size} bytes")
+            }
             SimError::ZeroSizedAllocation => write!(f, "zero-sized device allocation"),
             SimError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
             SimError::UnknownEvent(id) => write!(f, "unknown event id {id}"),
@@ -98,6 +113,12 @@ impl fmt::Display for SimError {
                 f,
                 "size mismatch: expected {expected} bytes, got {actual} bytes"
             ),
+            SimError::KernelFaulted { kernel, reason } => {
+                write!(f, "kernel `{kernel}` faulted: {reason}")
+            }
+            SimError::StreamAborted(id) => {
+                write!(f, "stream {id} aborted: further operations are rejected")
+            }
         }
     }
 }

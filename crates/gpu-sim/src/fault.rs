@@ -1,0 +1,366 @@
+//! Deterministic fault injection for the simulated GPU runtime.
+//!
+//! Production profilers must keep working when the profiled application
+//! misbehaves: allocations fail, pointers are freed twice, kernels access
+//! memory out of bounds, streams wedge. This module lets tests and chaos
+//! harnesses reproduce those conditions *deterministically*: a [`FaultPlan`]
+//! names which faults to inject, either at exact API sequence numbers or
+//! probabilistically from a seeded PRNG, and the [`FaultInjector`] built from
+//! it is consulted by [`DeviceContext`](crate::DeviceContext) on every
+//! fault-capable operation.
+//!
+//! Injected faults surface as ordinary [`SimError`](crate::SimError) values
+//! (plus synthetic API events for spurious frees), so everything downstream —
+//! profilers, collectors, retry loops — exercises exactly the code paths a
+//! real failure would.
+
+use std::fmt;
+
+/// A tiny, fast, seedable PRNG (SplitMix64).
+///
+/// Used for probabilistic fault triggers and available to tests that need
+/// reproducible randomness without an external dependency.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal sequences.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// The kinds of fault the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// `malloc` fails with a forced `OutOfMemory`.
+    AllocFail,
+    /// A successful `free` is followed by a synthetic duplicate `FREE`
+    /// API event for the same (now dead) pointer.
+    SpuriousFree,
+    /// A launched kernel faults with an out-of-bounds access mid-execution.
+    KernelOob,
+    /// A launched kernel is killed mid-execution (only a prefix of its
+    /// threads run).
+    KernelKill,
+    /// The target stream stalls: its tail jumps far into the future before
+    /// the operation is enqueued.
+    StreamStall,
+    /// The target stream aborts: this and every later operation on it is
+    /// rejected with `StreamAborted`.
+    StreamAbort,
+}
+
+impl FaultKind {
+    /// Every injectable fault kind, for matrix-style sweeps in tests.
+    pub const ALL: [FaultKind; 6] = [
+        FaultKind::AllocFail,
+        FaultKind::SpuriousFree,
+        FaultKind::KernelOob,
+        FaultKind::KernelKill,
+        FaultKind::StreamStall,
+        FaultKind::StreamAbort,
+    ];
+
+    /// Stable lowercase name, used in logs and degradation records.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::AllocFail => "alloc_fail",
+            FaultKind::SpuriousFree => "spurious_free",
+            FaultKind::KernelOob => "kernel_oob",
+            FaultKind::KernelKill => "kernel_kill",
+            FaultKind::StreamStall => "stream_stall",
+            FaultKind::StreamAbort => "stream_abort",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// When a fault rule fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultTrigger {
+    /// Fire exactly once, at the API whose global sequence number matches.
+    ///
+    /// Because the faulted call does not consume a sequence number, a retry
+    /// of the same call sees the rule already spent — which is what makes
+    /// `AtApiIndex` allocation failures *transient* and retryable.
+    AtApiIndex(u64),
+    /// Fire with this probability at every opportunity (seeded, so still
+    /// deterministic for a given plan and program).
+    Probability(f64),
+}
+
+#[derive(Debug, Clone)]
+struct FaultRule {
+    kind: FaultKind,
+    trigger: FaultTrigger,
+    spent: bool,
+}
+
+/// A declarative description of the faults to inject into one run.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new(42)
+///     .at_api(3, FaultKind::AllocFail)
+///     .probabilistic(FaultKind::KernelKill, 0.1);
+/// assert!(!plan.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the PRNG seed for probabilistic rules.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Injects `kind` once, at the API with global sequence number
+    /// `api_seq`.
+    pub fn at_api(mut self, api_seq: u64, kind: FaultKind) -> Self {
+        self.rules.push(FaultRule {
+            kind,
+            trigger: FaultTrigger::AtApiIndex(api_seq),
+            spent: false,
+        });
+        self
+    }
+
+    /// Injects `kind` with probability `p` at every opportunity.
+    pub fn probabilistic(mut self, kind: FaultKind, p: f64) -> Self {
+        self.rules.push(FaultRule {
+            kind,
+            trigger: FaultTrigger::Probability(p.clamp(0.0, 1.0)),
+            spent: false,
+        });
+        self
+    }
+
+    /// `true` if the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// One fault the injector actually delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Global API sequence number current when the fault fired.
+    pub api_seq: u64,
+}
+
+/// The runtime side of a [`FaultPlan`]: consulted by the device context at
+/// every fault-capable operation, records everything it injects.
+#[derive(Debug)]
+pub struct FaultInjector {
+    rules: Vec<FaultRule>,
+    rng: SplitMix64,
+    log: Vec<InjectedFault>,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            rng: SplitMix64::new(plan.seed),
+            rules: plan.rules,
+            log: Vec::new(),
+        }
+    }
+
+    /// Decides whether a fault of `kind` fires at the operation with global
+    /// sequence number `api_seq`, consuming one-shot rules and logging every
+    /// injection.
+    pub fn should_inject(&mut self, kind: FaultKind, api_seq: u64) -> bool {
+        let mut fired = false;
+        for rule in &mut self.rules {
+            if rule.kind != kind || rule.spent {
+                continue;
+            }
+            match rule.trigger {
+                FaultTrigger::AtApiIndex(idx) => {
+                    if idx == api_seq {
+                        rule.spent = true;
+                        fired = true;
+                    }
+                }
+                FaultTrigger::Probability(p) => {
+                    if self.rng.chance(p) {
+                        fired = true;
+                    }
+                }
+            }
+        }
+        if fired {
+            self.log.push(InjectedFault { kind, api_seq });
+        }
+        fired
+    }
+
+    /// Everything injected so far, in firing order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+}
+
+/// Bounded retry-with-backoff policy for transient allocation failures,
+/// modelling the shrink-and-retry loops of real CUDA applications (e.g.
+/// PyTorch's caching allocator halving its slab request on OOM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first failure.
+    pub max_retries: u32,
+    /// Base backoff charged to the simulated host clock; doubles per retry.
+    pub backoff_ns: u64,
+    /// Multiplier applied to the request size before each retry
+    /// (`1.0` retries the original size; `0.5` halves it each time).
+    pub shrink_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            backoff_ns: 1_000,
+            shrink_factor: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff for the `attempt`-th retry (1-based), with exponential growth.
+    pub fn backoff_for(&self, attempt: u32) -> u64 {
+        self.backoff_ns
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(20))
+    }
+
+    /// The next (possibly shrunk) request size; never below one byte.
+    pub fn shrink(&self, request: u64) -> u64 {
+        let shrunk = (request as f64 * self.shrink_factor) as u64;
+        shrunk.clamp(1, request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_spread() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w[0] != w[1]));
+        let mut c = SplitMix64::new(8);
+        assert_ne!(xs[0], c.next_u64());
+    }
+
+    #[test]
+    fn chance_respects_bounds() {
+        let mut r = SplitMix64::new(1);
+        assert!((0..100).all(|_| !r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn at_api_rules_fire_once() {
+        let plan = FaultPlan::new(0).at_api(5, FaultKind::AllocFail);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.should_inject(FaultKind::AllocFail, 4));
+        assert!(inj.should_inject(FaultKind::AllocFail, 5));
+        assert!(!inj.should_inject(FaultKind::AllocFail, 5), "one-shot");
+        assert_eq!(
+            inj.log(),
+            &[InjectedFault {
+                kind: FaultKind::AllocFail,
+                api_seq: 5,
+            }]
+        );
+    }
+
+    #[test]
+    fn kinds_do_not_cross_trigger() {
+        let plan = FaultPlan::new(0).at_api(2, FaultKind::KernelKill);
+        let mut inj = FaultInjector::new(plan);
+        assert!(!inj.should_inject(FaultKind::AllocFail, 2));
+        assert!(inj.should_inject(FaultKind::KernelKill, 2));
+    }
+
+    #[test]
+    fn probabilistic_rules_are_seed_deterministic() {
+        let fire_seqs = |seed: u64| -> Vec<u64> {
+            let mut inj =
+                FaultInjector::new(FaultPlan::new(seed).probabilistic(FaultKind::KernelOob, 0.5));
+            (0..64)
+                .filter(|&s| inj.should_inject(FaultKind::KernelOob, s))
+                .collect()
+        };
+        assert_eq!(fire_seqs(3), fire_seqs(3));
+        assert_ne!(fire_seqs(3), fire_seqs(4));
+        let n = fire_seqs(3).len();
+        assert!(n > 8 && n < 56, "p=0.5 over 64 draws, got {n}");
+    }
+
+    #[test]
+    fn retry_policy_shrinks_and_backs_off() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.shrink(1000), 500);
+        assert_eq!(p.shrink(1), 1);
+        assert_eq!(p.backoff_for(1), 1_000);
+        assert_eq!(p.backoff_for(3), 4_000);
+        let flat = RetryPolicy {
+            shrink_factor: 1.0,
+            ..p
+        };
+        assert_eq!(flat.shrink(1000), 1000);
+    }
+}

@@ -8,11 +8,10 @@
 use crate::error::SimError;
 use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
 use crate::sanitizer::{AccessKind, AccessSink, KernelInfo, Sanitizer};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A three-dimensional launch extent or index, like CUDA's `dim3`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Dim3 {
     /// Extent/index along x.
     pub x: u32,
@@ -82,7 +81,7 @@ impl From<(u32, u32, u32)> for Dim3 {
 }
 
 /// Grid/block geometry plus dynamic shared-memory size for one launch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaunchConfig {
     /// Number of blocks in the grid.
     pub grid: Dim3,
@@ -156,11 +155,14 @@ impl KernelCounters {
 /// typed global-memory accessors that are observed by the instrumentation,
 /// per-block shared memory, and a `flop` counter for the timing model.
 ///
-/// # Panics
+/// # Device faults
 ///
-/// All global accessors panic with an out-of-bounds diagnostic if the access
-/// does not fall inside a live device allocation — the simulator's equivalent
-/// of a memory fault under `compute-sanitizer`.
+/// A global access that does not fall inside a live device allocation is a
+/// *device fault*: the access is skipped (loads return zero, stores are
+/// dropped) and recorded, and the launch returns
+/// [`SimError::KernelFaulted`] once the kernel's partial results have been
+/// delivered to the instrumentation — the simulator's equivalent of a
+/// memory fault under `compute-sanitizer`, without aborting the host.
 pub struct ThreadCtx<'a> {
     pub(crate) mem: &'a mut PagedStore,
     pub(crate) alloc: &'a DeviceAllocator,
@@ -209,23 +211,26 @@ impl ThreadCtx<'_> {
         u64::from(self.block_idx.y) * u64::from(self.block_dim.y) + u64::from(self.thread_idx.y)
     }
 
-    fn access(&mut self, addr: DevicePtr, size: u32, kind: AccessKind) {
+    /// Validates and records one access; returns `false` (and captures the
+    /// fault) if it lies outside every live allocation, in which case the
+    /// caller must skip the memory side effect.
+    fn access(&mut self, addr: DevicePtr, size: u32, kind: AccessKind) -> bool {
         if !self.alloc.is_valid_access(addr, u64::from(size)) {
-            panic!(
-                "{}",
-                SimError::OutOfBounds {
+            if self.sink.fault.is_none() {
+                self.sink.fault = Some(SimError::OutOfBounds {
                     addr,
                     size: u64::from(size),
-                }
-            );
+                });
+            }
+            return false;
         }
         let pc = self.pc_counter;
         self.pc_counter += 1;
         // Unified memory: a device access to host-resident pages faults
         // them over (expensive; observed by the instrumentation).
-        for migration in self
-            .unified
-            .ensure_resident(addr, u64::from(size), crate::unified::Side::Device)
+        for migration in
+            self.unified
+                .ensure_resident(addr, u64::from(size), crate::unified::Side::Device)
         {
             self.counters.page_migrations += 1;
             self.sanitizer.dispatch_page_migration(&migration);
@@ -245,68 +250,89 @@ impl ThreadCtx<'_> {
             self.flat_thread,
             pc,
         );
+        true
     }
 
     /// Reads an `f32` from global memory.
     pub fn load_f32(&mut self, addr: DevicePtr) -> f32 {
-        self.access(addr, 4, AccessKind::Read);
-        self.mem.read_f32(addr)
+        if self.access(addr, 4, AccessKind::Read) {
+            self.mem.read_f32(addr)
+        } else {
+            0.0
+        }
     }
 
     /// Writes an `f32` to global memory.
     pub fn store_f32(&mut self, addr: DevicePtr, v: f32) {
-        self.access(addr, 4, AccessKind::Write);
-        self.mem.write_f32(addr, v);
+        if self.access(addr, 4, AccessKind::Write) {
+            self.mem.write_f32(addr, v);
+        }
     }
 
     /// Reads an `f64` from global memory.
     pub fn load_f64(&mut self, addr: DevicePtr) -> f64 {
-        self.access(addr, 8, AccessKind::Read);
-        self.mem.read_f64(addr)
+        if self.access(addr, 8, AccessKind::Read) {
+            self.mem.read_f64(addr)
+        } else {
+            0.0
+        }
     }
 
     /// Writes an `f64` to global memory.
     pub fn store_f64(&mut self, addr: DevicePtr, v: f64) {
-        self.access(addr, 8, AccessKind::Write);
-        self.mem.write_f64(addr, v);
+        if self.access(addr, 8, AccessKind::Write) {
+            self.mem.write_f64(addr, v);
+        }
     }
 
     /// Reads a `u32` from global memory.
     pub fn load_u32(&mut self, addr: DevicePtr) -> u32 {
-        self.access(addr, 4, AccessKind::Read);
-        self.mem.read_u32(addr)
+        if self.access(addr, 4, AccessKind::Read) {
+            self.mem.read_u32(addr)
+        } else {
+            0
+        }
     }
 
     /// Writes a `u32` to global memory.
     pub fn store_u32(&mut self, addr: DevicePtr, v: u32) {
-        self.access(addr, 4, AccessKind::Write);
-        self.mem.write_u32(addr, v);
+        if self.access(addr, 4, AccessKind::Write) {
+            self.mem.write_u32(addr, v);
+        }
     }
 
     /// Reads a `u64` from global memory.
     pub fn load_u64(&mut self, addr: DevicePtr) -> u64 {
-        self.access(addr, 8, AccessKind::Read);
-        self.mem.read_u64(addr)
+        if self.access(addr, 8, AccessKind::Read) {
+            self.mem.read_u64(addr)
+        } else {
+            0
+        }
     }
 
     /// Writes a `u64` to global memory.
     pub fn store_u64(&mut self, addr: DevicePtr, v: u64) {
-        self.access(addr, 8, AccessKind::Write);
-        self.mem.write_u64(addr, v);
+        if self.access(addr, 8, AccessKind::Write) {
+            self.mem.write_u64(addr, v);
+        }
     }
 
     /// Reads a single byte from global memory.
     pub fn load_u8(&mut self, addr: DevicePtr) -> u8 {
-        self.access(addr, 1, AccessKind::Read);
-        let mut b = [0u8; 1];
-        self.mem.read_bytes(addr, &mut b);
-        b[0]
+        if self.access(addr, 1, AccessKind::Read) {
+            let mut b = [0u8; 1];
+            self.mem.read_bytes(addr, &mut b);
+            b[0]
+        } else {
+            0
+        }
     }
 
     /// Writes a single byte to global memory.
     pub fn store_u8(&mut self, addr: DevicePtr, v: u8) {
-        self.access(addr, 1, AccessKind::Write);
-        self.mem.write_bytes(addr, &[v]);
+        if self.access(addr, 1, AccessKind::Write) {
+            self.mem.write_bytes(addr, &[v]);
+        }
     }
 
     /// Reads an `f32` from per-block shared memory at byte offset `offset`.

@@ -21,7 +21,10 @@
 //! * a caching memory pool with a profiling observer, reproducing
 //!   deep-learning frameworks' custom allocators ([`pool`]);
 //! * a simulated-time cost model parameterized by platform configurations
-//!   modelled after the paper's two machines ([`PlatformConfig`]).
+//!   modelled after the paper's two machines ([`PlatformConfig`]);
+//! * deterministic fault injection — forced allocation failures, spurious
+//!   frees, kernel faults/kills, stream stalls/aborts — for exercising
+//!   profiler robustness ([`fault`]).
 //!
 //! # Quick start
 //!
@@ -53,6 +56,7 @@ pub mod api;
 pub mod callstack;
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod mem;
 pub mod pool;
@@ -64,6 +68,9 @@ pub use api::{ApiEvent, ApiKind, ContextStats, DeviceContext};
 pub use callstack::{CallPath, CallStack, FrameId, FrameTable, SourceLoc};
 pub use config::PlatformConfig;
 pub use error::{Result, SimError};
+pub use fault::{
+    FaultInjector, FaultKind, FaultPlan, FaultTrigger, InjectedFault, RetryPolicy, SplitMix64,
+};
 pub use kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
 pub use mem::{AddrRange, DevicePtr};
 pub use sanitizer::{

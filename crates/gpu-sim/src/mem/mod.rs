@@ -14,7 +14,6 @@ mod paged;
 pub use allocator::{AllocationInfo, AllocatorStats, DeviceAllocator, ALLOC_ALIGN};
 pub use paged::{PagedStore, PAGE_SIZE};
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, Sub};
 
@@ -38,7 +37,7 @@ pub const DEVICE_ADDR_BASE: u64 = 0x7f00_0000_0000;
 /// assert_eq!(p.addr(), 0x7f00_0000_1000);
 /// assert_eq!((p + 16).addr() - p.addr(), 16);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DevicePtr(u64);
 
 impl DevicePtr {
@@ -115,7 +114,7 @@ impl From<DevicePtr> for u64 {
 }
 
 /// A half-open device address range `[start, start + len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AddrRange {
     /// First address in the range.
     pub start: DevicePtr,

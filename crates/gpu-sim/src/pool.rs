@@ -12,6 +12,7 @@
 use crate::api::DeviceContext;
 use crate::callstack::CallPath;
 use crate::error::{Result, SimError};
+use crate::fault::RetryPolicy;
 use crate::mem::DevicePtr;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -130,6 +131,35 @@ impl CachingPool {
         })
     }
 
+    /// Like [`CachingPool::reserve`], but retries transient out-of-memory
+    /// failures with backoff, shrinking the slab request per `policy` — the
+    /// degraded-but-working path frameworks take under memory pressure. The
+    /// pool is built over whatever slab size was actually granted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfMemory`] once retries are exhausted.
+    pub fn reserve_with_retry(
+        ctx: &mut DeviceContext,
+        slab_size: u64,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
+        let (slab, granted) = ctx.malloc_with_retry(slab_size, "memory_pool_slab", policy)?;
+        let mut free = BTreeMap::new();
+        free.insert(0, granted);
+        Ok(CachingPool {
+            slab,
+            slab_size: granted,
+            free,
+            live: BTreeMap::new(),
+            stats: PoolStats {
+                reserved_bytes: granted,
+                ..PoolStats::default()
+            },
+            observers: Vec::new(),
+        })
+    }
+
     /// Registers a pool observer (DrGPUM's Sec. 5.4 profiling interface).
     pub fn register_observer(&mut self, observer: SharedPoolObserver) {
         self.observers.push(observer);
@@ -183,8 +213,10 @@ impl CachingPool {
         }
         self.live.insert(start, size);
         self.stats.allocated_bytes += size;
-        self.stats.peak_allocated_bytes =
-            self.stats.peak_allocated_bytes.max(self.stats.allocated_bytes);
+        self.stats.peak_allocated_bytes = self
+            .stats
+            .peak_allocated_bytes
+            .max(self.stats.allocated_bytes);
         self.stats.live_tensors = self.live.len();
         let ptr = self.slab + start;
         self.notify(&PoolEvent::Alloc {

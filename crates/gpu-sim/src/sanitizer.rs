@@ -17,17 +17,17 @@
 //!   work counters.
 
 use crate::api::ApiEvent;
+use crate::error::SimError;
 use crate::kernel::{Dim3, KernelCounters};
 use crate::mem::{DeviceAllocator, DevicePtr};
 use crate::stream::StreamId;
 use crate::unified::PageMigration;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Whether a memory instruction read or wrote global memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A global-memory load.
     Read,
@@ -36,7 +36,7 @@ pub enum AccessKind {
 }
 
 /// One instrumented memory instruction execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemAccessRecord {
     /// First byte touched.
     pub addr: DevicePtr,
@@ -52,7 +52,7 @@ pub struct MemAccessRecord {
 }
 
 /// Identity and geometry of a launched kernel.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelInfo {
     /// Kernel name.
     pub name: String,
@@ -73,7 +73,7 @@ pub struct KernelInfo {
 ///
 /// Ordered by cost: `None < HitFlags < Full`. When several tools are
 /// registered the most demanding request wins.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum PatchMode {
     /// Do not observe memory instructions at all.
     None,
@@ -85,7 +85,7 @@ pub enum PatchMode {
 }
 
 /// Read/write summary for one data object touched by a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TouchedObject {
     /// Base address of the allocation.
     pub base: DevicePtr,
@@ -127,6 +127,12 @@ pub trait SanitizerHooks {
     /// page-thrashing and page-level false-sharing analysis — the paper's
     /// future-work extension, Sec. 8).
     fn on_page_migration(&mut self, _migration: &PageMigration) {}
+
+    /// Called when a device allocation request fails (out of memory, whether
+    /// real or injected). No API event is emitted for the failed call; this
+    /// hook is how tools learn about it and can downgrade to cheaper
+    /// collection modes instead of losing the run.
+    fn on_alloc_failure(&mut self, _requested: u64, _label: &str, _error: &SimError) {}
 }
 
 /// A shared, lockable hook registration.
@@ -137,7 +143,7 @@ pub type SharedHooks = Arc<Mutex<dyn SanitizerHooks>>;
 /// These constants drive the *simulated* overhead of profiling; the paper's
 /// Figure 6 wall-clock overheads are measured separately by the benchmark
 /// harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadModel {
     /// Extra ns per access in [`PatchMode::Full`].
     pub full_access_ns: f64,
@@ -269,6 +275,12 @@ impl Sanitizer {
             h.lock().on_page_migration(migration);
         }
     }
+
+    pub(crate) fn dispatch_alloc_failure(&self, requested: u64, label: &str, error: &SimError) {
+        for h in &self.hooks {
+            h.lock().on_alloc_failure(requested, label, error);
+        }
+    }
 }
 
 /// Collects memory-access observations during one kernel execution and
@@ -286,6 +298,11 @@ pub struct AccessSink {
     pub(crate) flushes: u64,
     /// Number of records observed (for the cost model).
     pub(crate) records_seen: u64,
+    /// First device-side access fault observed during the kernel. Faulting
+    /// accesses are skipped (no memory side effect); the launch converts
+    /// this into [`SimError::KernelFaulted`] after the partial results have
+    /// been delivered to the tools.
+    pub(crate) fault: Option<SimError>,
 }
 
 impl std::fmt::Debug for AccessSink {
@@ -308,6 +325,7 @@ impl AccessSink {
             touched: BTreeMap::new(),
             flushes: 0,
             records_seen: 0,
+            fault: None,
         }
     }
 

@@ -8,13 +8,10 @@
 //! `cudaStreamWaitEvent`.
 
 use crate::error::{Result, SimError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Simulated time in nanoseconds since context creation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
 
 impl SimTime {
@@ -44,9 +41,7 @@ impl fmt::Display for SimTime {
 }
 
 /// Identifier of a stream. Stream 0 is the default stream.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct StreamId(pub u32);
 
 impl StreamId {
@@ -61,7 +56,7 @@ impl fmt::Display for StreamId {
 }
 
 /// Identifier of an event created with [`StreamSet::create_event`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(pub u32);
 
 #[derive(Debug, Clone)]
@@ -70,6 +65,8 @@ struct StreamState {
     /// Number of operations enqueued on this stream so far, used to derive
     /// per-stream API ordinals (the paper's `ALLOC(i, j)` naming in Fig. 7).
     ops: u64,
+    /// Set by fault injection: an aborted stream rejects all further work.
+    aborted: bool,
 }
 
 /// The set of streams and events owned by a device context.
@@ -93,6 +90,7 @@ impl StreamSet {
             streams: vec![StreamState {
                 tail: SimTime::ZERO,
                 ops: 0,
+                aborted: false,
             }],
             events: Vec::new(),
             host_now: SimTime::ZERO,
@@ -105,6 +103,7 @@ impl StreamSet {
         self.streams.push(StreamState {
             tail: self.host_now,
             ops: 0,
+            aborted: false,
         });
         id
     }
@@ -151,9 +150,16 @@ impl StreamSet {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownStream`] for an id not created by this set.
-    pub fn enqueue(&mut self, stream: StreamId, duration_ns: u64) -> Result<(SimTime, SimTime, u64)> {
+    pub fn enqueue(
+        &mut self,
+        stream: StreamId,
+        duration_ns: u64,
+    ) -> Result<(SimTime, SimTime, u64)> {
         let host_now = self.host_now;
         let st = self.state_mut(stream)?;
+        if st.aborted {
+            return Err(SimError::StreamAborted(stream.0));
+        }
         let start = st.tail.max(host_now);
         let end = start.advance(duration_ns);
         st.tail = end;
@@ -172,6 +178,28 @@ impl StreamSet {
         let (start, end, ordinal) = self.enqueue(stream, duration_ns)?;
         self.host_now = self.host_now.max(end);
         Ok((start, end, ordinal))
+    }
+
+    /// Fault injection: stalls `stream` by pushing its tail `ns` into the
+    /// future. Later operations on the stream (and host syncs against it)
+    /// observe the delay.
+    pub fn stall_stream(&mut self, stream: StreamId, ns: u64) -> Result<()> {
+        let host_now = self.host_now;
+        let st = self.state_mut(stream)?;
+        st.tail = st.tail.max(host_now).advance(ns);
+        Ok(())
+    }
+
+    /// Fault injection: marks `stream` aborted; every subsequent enqueue on
+    /// it fails with [`SimError::StreamAborted`].
+    pub fn abort_stream(&mut self, stream: StreamId) -> Result<()> {
+        self.state_mut(stream)?.aborted = true;
+        Ok(())
+    }
+
+    /// `true` if `stream` has been aborted by fault injection.
+    pub fn is_aborted(&self, stream: StreamId) -> bool {
+        self.state(stream).map(|s| s.aborted).unwrap_or(false)
     }
 
     /// Records `event` at the current tail of `stream`

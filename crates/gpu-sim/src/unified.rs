@@ -11,12 +11,11 @@
 //! page-thrashing and false-sharing analysis.
 
 use crate::mem::{DevicePtr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// Which processor a page currently resides with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     /// Resident in host (CPU) memory.
     Host,
@@ -44,7 +43,7 @@ impl fmt::Display for Side {
 }
 
 /// One page migration event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageMigration {
     /// Base address of the managed region the page belongs to.
     pub region_base: DevicePtr,
@@ -159,8 +158,7 @@ impl UnifiedManager {
                     page_index: u32::try_from(page).expect("page index fits"),
                     to: side,
                     cause_addr: addr,
-                    cause_size: u32::try_from(size.min(u64::from(u32::MAX)))
-                        .unwrap_or(u32::MAX),
+                    cause_size: u32::try_from(size.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
                 });
             }
         }

@@ -3,8 +3,8 @@
 
 use gpu_sim::sanitizer::{KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks};
 use gpu_sim::{
-    ApiKind, DeviceContext, Dim3, KernelCounters, LaunchConfig, PlatformConfig, SimError,
-    StreamId, TouchedObject,
+    ApiKind, DeviceContext, Dim3, KernelCounters, LaunchConfig, PlatformConfig, SimError, StreamId,
+    TouchedObject,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -52,12 +52,17 @@ fn record_buffers_are_chunked_at_capacity() {
     ctx.sanitizer_mut().set_buffer_capacity(100);
     let n = 512u64;
     let a = ctx.malloc(n * 4, "a").unwrap();
-    ctx.launch("w", LaunchConfig::cover(n, 64), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            t.store_f32(a + i * 4, 0.0);
-        }
-    })
+    ctx.launch(
+        "w",
+        LaunchConfig::cover(n, 64),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                t.store_f32(a + i * 4, 0.0);
+            }
+        },
+    )
     .unwrap();
     let p = p.lock();
     // 512 records in ≤100-record chunks: five full + one remainder.
@@ -74,12 +79,17 @@ fn most_demanding_patch_mode_wins_across_tools() {
     ctx.sanitizer_mut().register(lazy.clone());
     ctx.sanitizer_mut().register(eager.clone());
     let a = ctx.malloc(64, "a").unwrap();
-    ctx.launch("k", LaunchConfig::cover(4, 4), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < 4 {
-            t.store_f32(a + i * 4, 1.0);
-        }
-    })
+    ctx.launch(
+        "k",
+        LaunchConfig::cover(4, 4),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < 4 {
+                t.store_f32(a + i * 4, 1.0);
+            }
+        },
+    )
     .unwrap();
     // Both tools receive the record stream even though one asked for None.
     assert_eq!(lazy.lock().buffers.iter().sum::<usize>(), 4);
@@ -95,14 +105,19 @@ fn counters_report_exact_work() {
     let a = ctx.malloc(n * 4, "a").unwrap();
     let b = ctx.malloc(n * 4, "b").unwrap();
     ctx.memset(a, 0, n * 4).unwrap();
-    ctx.launch("axpy", LaunchConfig::cover(n, 32), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            let v = t.load_f32(a + i * 4);
-            t.store_f32(b + i * 4, v + 1.0);
-            t.flop(1);
-        }
-    })
+    ctx.launch(
+        "axpy",
+        LaunchConfig::cover(n, 32),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                let v = t.load_f32(a + i * 4);
+                t.store_f32(b + i * 4, v + 1.0);
+                t.flop(1);
+            }
+        },
+    )
     .unwrap();
     let p = p.lock();
     let c = p.counters[0];
@@ -160,7 +175,10 @@ fn event_chain_orders_three_streams() {
         .filter(|e| matches!(e.kind, ApiKind::Memset { .. }))
         .collect();
     assert_eq!(sets.len(), 3);
-    assert!(sets[0].end <= sets[1].start, "event chains serialize streams");
+    assert!(
+        sets[0].end <= sets[1].start,
+        "event chains serialize streams"
+    );
     assert!(sets[1].end <= sets[2].start);
     // The last write wins in memory.
     let mut out = [0u8; 4];
@@ -173,12 +191,25 @@ fn freed_memory_faults_on_kernel_access() {
     let mut ctx = DeviceContext::new_default();
     let a = ctx.malloc(64, "a").unwrap();
     ctx.free(a).unwrap();
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        ctx.launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
-            t.load_f32(a);
-        })
-    }));
-    assert!(result.is_err(), "use-after-free must fault");
+    let err = ctx
+        .launch(
+            "bad",
+            LaunchConfig::cover(1, 1),
+            StreamId::DEFAULT,
+            move |t| {
+                t.load_f32(a);
+            },
+        )
+        .unwrap_err();
+    match err {
+        SimError::KernelFaulted { reason, .. } => {
+            assert!(
+                reason.contains("out-of-bounds"),
+                "use-after-free must fault: {reason}"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }
 
 #[test]
@@ -198,7 +229,11 @@ fn d2d_copy_moves_data_between_objects() {
         .find(|e| matches!(e.kind, ApiKind::MemcpyD2D { .. }))
         .unwrap();
     match d2d.kind {
-        ApiKind::MemcpyD2D { dst: d, src: s, size } => {
+        ApiKind::MemcpyD2D {
+            dst: d,
+            src: s,
+            size,
+        } => {
             assert_eq!((d, s, size), (dst, src, 1024));
         }
         _ => unreachable!(),
@@ -237,12 +272,17 @@ fn instrumentation_cost_model_is_tunable() {
         ctx.sanitizer_mut().set_overhead_model(model);
         let n = 4096u64;
         let a = ctx.malloc(n * 4, "a").unwrap();
-        ctx.launch("k", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < n {
-                t.store_f32(a + i * 4, 0.0);
-            }
-        })
+        ctx.launch(
+            "k",
+            LaunchConfig::cover(n, 128),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < n {
+                    t.store_f32(a + i * 4, 0.0);
+                }
+            },
+        )
         .unwrap();
         ctx.sync_device().as_ns()
     };

@@ -55,11 +55,7 @@ pub fn in_frame<R>(
 }
 
 /// Uploads `data` as `f32`s to a freshly allocated, labelled device buffer.
-pub fn alloc_and_upload(
-    ctx: &mut DeviceContext,
-    label: &str,
-    data: &[f32],
-) -> Result<DevicePtr> {
+pub fn alloc_and_upload(ctx: &mut DeviceContext, label: &str, data: &[f32]) -> Result<DevicePtr> {
     let ptr = ctx.malloc(data.len() as u64 * 4, label)?;
     ctx.h2d_f32(ptr, data)?;
     Ok(ptr)

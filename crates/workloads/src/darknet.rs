@@ -92,8 +92,9 @@ fn host_conv(input: &[f32], weights: &[f32]) -> Vec<f32> {
 pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
     let act = ACT_LEN as usize;
     let image = synth_data(act, 81);
-    let layer_weights: Vec<Vec<f32>> =
-        (0..LAYERS).map(|l| synth_data(W_LEN as usize, 82 + l as u32)).collect();
+    let layer_weights: Vec<Vec<f32>> = (0..LAYERS)
+        .map(|l| synth_data(W_LEN as usize, 82 + l as u32))
+        .collect();
     let mut reference = image.clone();
     for w in &layer_weights {
         reference = host_conv(&reference, w);
@@ -113,13 +114,19 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
                 let mut deltas = Vec::new();
                 in_frame(ctx, "parse_network_cfg", "parser.c", 1189, |ctx| {
                     for (l, w_host) in layer_weights.iter().enumerate() {
-                        let w = in_frame(ctx, "make_convolutional_layer", "convolutional_layer.c", 473, |ctx| {
-                            let w = ctx.malloc(w_bytes, format!("l{l}.weights_gpu"))?;
-                            // cuda_make_array uploads l.weights immediately —
-                            // the write that turns out to be dead.
-                            ctx.h2d_f32(w, w_host)?;
-                            Ok::<_, gpu_sim::SimError>(w)
-                        })?;
+                        let w = in_frame(
+                            ctx,
+                            "make_convolutional_layer",
+                            "convolutional_layer.c",
+                            473,
+                            |ctx| {
+                                let w = ctx.malloc(w_bytes, format!("l{l}.weights_gpu"))?;
+                                // cuda_make_array uploads l.weights immediately —
+                                // the write that turns out to be dead.
+                                ctx.h2d_f32(w, w_host)?;
+                                Ok::<_, gpu_sim::SimError>(w)
+                            },
+                        )?;
                         weights.push(w);
                         outputs.push(ctx.malloc(act_bytes, format!("l{l}.output_gpu"))?);
                         deltas.push(ctx.malloc(act_bytes, format!("l{l}.delta_gpu"))?);

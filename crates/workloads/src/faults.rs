@@ -1,0 +1,135 @@
+//! Fault-injection demo harness: chaos plans for the registered workloads
+//! plus a small pipeline that *survives* injected allocation failures.
+//!
+//! These helpers deliberately live outside [`crate::registry`] — the
+//! registry mirrors the paper's Table 1 and stays at twelve entries. A
+//! chaos sweep (every [`FaultKind`] crossed with every registered workload)
+//! lives in the `fault_injection` integration test; this module provides the
+//! plan construction it uses and a demonstration of the bounded
+//! shrink-and-retry recovery loop ([`gpu_sim::RetryPolicy`]).
+
+use crate::common::{finish, in_frame, RunOutcome, Variant};
+use crate::registry::{RunConfig, WorkloadSpec};
+use gpu_sim::{DeviceContext, FaultKind, FaultPlan, LaunchConfig, Result, RetryPolicy, StreamId};
+
+/// Builds the standard chaos plan for `kind`: one shot pinned at an early
+/// API sequence number plus a seeded probabilistic drizzle, so both short
+/// and long workloads are likely to get hit at least once.
+///
+/// Whether the pinned shot actually fires depends on the workload's API mix
+/// (an `AllocFail` rule at sequence 3 is a no-op if API 3 is a kernel
+/// launch) — callers asserting on delivered faults should inspect
+/// [`DeviceContext::fault_log`] rather than assume.
+pub fn plan_for(kind: FaultKind, seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .at_api(3, kind)
+        .probabilistic(kind, 0.05)
+}
+
+/// Runs `spec` with [`plan_for`]'s faults installed on `ctx`.
+///
+/// The run may legitimately fail — that is the point of the exercise — so
+/// the raw result is returned and `ctx.fault_log()` records what was
+/// actually injected.
+///
+/// # Errors
+///
+/// Propagates whatever the workload returns under injected faults.
+pub fn run_under_fault(
+    ctx: &mut DeviceContext,
+    spec: &WorkloadSpec,
+    kind: FaultKind,
+    seed: u64,
+    cfg: &RunConfig,
+) -> Result<RunOutcome> {
+    ctx.set_fault_plan(plan_for(kind, seed));
+    (spec.run)(ctx, Variant::Unoptimized, cfg)
+}
+
+/// Elements the resilient pipeline asks for (it may be granted fewer).
+pub const WANT_ELEMS: u64 = 16 * 1024;
+
+/// A demo pipeline built to survive allocation failure: its one allocation
+/// goes through [`DeviceContext::malloc_with_retry`], shrinking the request
+/// on OOM, and the kernel adapts to whatever size was granted — the
+/// degradation path real caching allocators take under memory pressure.
+///
+/// # Errors
+///
+/// Fails only if retries are exhausted or a non-allocation fault is
+/// injected.
+pub fn resilient_pipeline(ctx: &mut DeviceContext) -> Result<RunOutcome> {
+    in_frame(ctx, "resilient_pipeline", "faults.rs", 63, |ctx| {
+        let (buf, granted) =
+            ctx.malloc_with_retry(WANT_ELEMS * 4, "resilient_buf", RetryPolicy::default())?;
+        let n = granted / 4;
+        ctx.memset(buf, 0, granted)?;
+        ctx.launch(
+            "fill",
+            LaunchConfig::cover(n, 256),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < n {
+                    t.store_f32(buf + i * 4, i as f32);
+                }
+            },
+        )?;
+        let mut out = vec![0.0f32; n as usize];
+        ctx.d2h_f32(&mut out, buf)?;
+        ctx.free(buf)?;
+        let checksum: f64 = out.iter().map(|&v| f64::from(v)).sum();
+        Ok(finish(ctx, checksum, None))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resilient_pipeline_survives_forced_alloc_failure() {
+        let mut ctx = DeviceContext::new_default();
+        // Probability 1.0 would starve every retry; a one-shot rule models a
+        // transient failure the retry loop must absorb.
+        ctx.set_fault_plan(FaultPlan::new(0).at_api(0, FaultKind::AllocFail));
+        let out = resilient_pipeline(&mut ctx).expect("retry absorbs a transient OOM");
+        assert!(out.peak_bytes > 0);
+        assert!(
+            !ctx.fault_log().is_empty(),
+            "the pinned AllocFail must have fired"
+        );
+    }
+
+    #[test]
+    fn resilient_pipeline_shrinks_when_memory_stays_scarce() {
+        use gpu_sim::PlatformConfig;
+        // On a 1 MiB device, occupy all but 40 KiB so the 64 KiB request
+        // can only succeed after the policy halves it.
+        let mut ctx = DeviceContext::new(PlatformConfig::test_tiny());
+        let _hog = ctx.malloc((1 << 20) - 40 * 1024, "hog").unwrap();
+        let out = resilient_pipeline(&mut ctx).expect("shrunk request fits");
+        // Half the elements were filled: checksum is sum(0..n) for n = 8192.
+        let n = f64::from(u32::try_from(WANT_ELEMS / 2).unwrap());
+        assert_eq!(out.checksum, n * (n - 1.0) / 2.0);
+    }
+
+    #[test]
+    fn chaos_run_reports_injected_faults() {
+        let spec = crate::by_name("2MM").expect("registered");
+        let mut ctx = DeviceContext::new_default();
+        // Force every allocation to fail: the workload errors out, but the
+        // log shows exactly what was delivered.
+        ctx.set_fault_plan(FaultPlan::new(1).probabilistic(FaultKind::AllocFail, 1.0));
+        let result = (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default());
+        assert!(
+            result.is_err(),
+            "unretried allocations cannot survive p=1.0"
+        );
+        assert!(!ctx.fault_log().is_empty());
+        assert!(ctx
+            .fault_log()
+            .iter()
+            .all(|f| f.kind == FaultKind::AllocFail));
+    }
+}

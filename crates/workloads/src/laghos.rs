@@ -34,23 +34,29 @@ fn update_quadrature_data(
     q_dx: DevicePtr,
     q_dy: DevicePtr,
 ) -> Result<()> {
-    in_frame(ctx, "QUpdate::UpdateQuadratureData", "laghos_assembly.cpp", 986, |ctx| {
-        ctx.launch(
-            "qupdate_kernel",
-            LaunchConfig::cover(Q_LEN, 128),
-            StreamId::DEFAULT,
-            move |t| {
-                let i = t.global_x();
-                if i < Q_LEN {
-                    let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
-                    t.store_f32(q_dx + i * 4, m * 2.0);
-                    t.store_f32(q_dy + i * 4, m * 0.5 + 1.0);
-                    t.flop(3);
-                }
-            },
-        )?;
-        Ok(())
-    })
+    in_frame(
+        ctx,
+        "QUpdate::UpdateQuadratureData",
+        "laghos_assembly.cpp",
+        986,
+        |ctx| {
+            ctx.launch(
+                "qupdate_kernel",
+                LaunchConfig::cover(Q_LEN, 128),
+                StreamId::DEFAULT,
+                move |t| {
+                    let i = t.global_x();
+                    if i < Q_LEN {
+                        let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
+                        t.store_f32(q_dx + i * 4, m * 2.0);
+                        t.store_f32(q_dy + i * 4, m * 0.5 + 1.0);
+                        t.flop(3);
+                    }
+                },
+            )?;
+            Ok(())
+        },
+    )
 }
 
 fn solver_step(
@@ -59,43 +65,49 @@ fn solver_step(
     w1: DevicePtr,
     w2: DevicePtr,
 ) -> Result<()> {
-    in_frame(ctx, "LagrangianHydroOperator::Mult", "laghos_solver.cpp", 410, |ctx| {
-        ctx.launch(
-            "force_kernel",
-            LaunchConfig::cover(W2_LEN, 128),
-            StreamId::DEFAULT,
-            move |t| {
-                let i = t.global_x();
-                if i < W2_LEN {
-                    let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
-                    if i < W1_LEN {
-                        t.store_f32(w1 + i * 4, m + 3.0);
+    in_frame(
+        ctx,
+        "LagrangianHydroOperator::Mult",
+        "laghos_solver.cpp",
+        410,
+        |ctx| {
+            ctx.launch(
+                "force_kernel",
+                LaunchConfig::cover(W2_LEN, 128),
+                StreamId::DEFAULT,
+                move |t| {
+                    let i = t.global_x();
+                    if i < W2_LEN {
+                        let m = t.load_f32(mesh + (i % MESH_LEN) * 4);
+                        if i < W1_LEN {
+                            t.store_f32(w1 + i * 4, m + 3.0);
+                        }
+                        t.store_f32(w2 + i * 4, m * m);
+                        t.flop(3);
                     }
-                    t.store_f32(w2 + i * 4, m * m);
-                    t.flop(3);
-                }
-            },
-        )?;
-        ctx.launch(
-            "energy_kernel",
-            LaunchConfig::cover(W2_LEN, 128),
-            StreamId::DEFAULT,
-            move |t| {
-                let i = t.global_x();
-                if i < W2_LEN {
-                    let v = t.load_f32(w2 + i * 4);
-                    let w = if i < W1_LEN {
-                        t.load_f32(w1 + i * 4)
-                    } else {
-                        1.0
-                    };
-                    t.store_f32(w2 + i * 4, v + w);
-                    t.flop(2);
-                }
-            },
-        )?;
-        Ok(())
-    })
+                },
+            )?;
+            ctx.launch(
+                "energy_kernel",
+                LaunchConfig::cover(W2_LEN, 128),
+                StreamId::DEFAULT,
+                move |t| {
+                    let i = t.global_x();
+                    if i < W2_LEN {
+                        let v = t.load_f32(w2 + i * 4);
+                        let w = if i < W1_LEN {
+                            t.load_f32(w1 + i * 4)
+                        } else {
+                            1.0
+                        };
+                        t.store_f32(w2 + i * 4, v + w);
+                        t.flop(2);
+                    }
+                },
+            )?;
+            Ok(())
+        },
+    )
 }
 
 /// Runs the Laghos workload.
@@ -124,13 +136,14 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
         // Dead write: zeroed, then immediately overwritten by the upload.
         ctx.memset(mesh, 0, MESH_LEN * 4)?;
         ctx.h2d_f32(mesh, &mesh_host)?;
-        let (q_dx, q_dy, q_e) = in_frame(ctx, "QUpdate::QUpdate", "laghos_assembly.cpp", 950, |ctx| {
-            Ok::<_, gpu_sim::SimError>((
-                ctx.malloc(Q_LEN * 4, "q_dx")?,
-                ctx.malloc(Q_LEN * 4, "q_dy")?,
-                ctx.malloc(QE_LEN * 4, "q_e")?,
-            ))
-        })?;
+        let (q_dx, q_dy, q_e) =
+            in_frame(ctx, "QUpdate::QUpdate", "laghos_assembly.cpp", 950, |ctx| {
+                Ok::<_, gpu_sim::SimError>((
+                    ctx.malloc(Q_LEN * 4, "q_dx")?,
+                    ctx.malloc(Q_LEN * 4, "q_dy")?,
+                    ctx.malloc(QE_LEN * 4, "q_e")?,
+                ))
+            })?;
         update_quadrature_data(ctx, mesh, q_dx, q_dy)?;
         if variant.is_optimized() {
             // The paper's fix: release the quadrature buffers right after

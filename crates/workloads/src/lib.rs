@@ -35,6 +35,7 @@
 
 pub mod common;
 pub mod darknet;
+pub mod faults;
 pub mod laghos;
 pub mod minimdock;
 pub mod polybench;

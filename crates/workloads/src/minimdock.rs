@@ -132,39 +132,50 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
     let grids_host = synth_data(GRIDS_LEN as usize, 112);
     let reference = host_reference(&atoms_host, &grids_host);
 
-    let out = in_frame(ctx, "main", "host/src/main.cpp", 80, |ctx| -> Result<Vec<f32>> {
-        // setup_gpu: eager batch allocation of everything.
-        let (conf, atoms, grids, energies, angles) =
-            in_frame(ctx, "setup_gpu", "host/src/performdocking.cpp", 244, |ctx| {
-                let conf_bytes = if variant.is_optimized() {
-                    // The fix: size by the run's actual population.
-                    CONF_USED_ELEMS * 4
-                } else {
-                    CONF_MAX_BYTES
-                };
-                Ok::<_, gpu_sim::SimError>((
-                    ctx.malloc(conf_bytes, "pMem_conformations")?,
-                    ctx.malloc(ATOMS_LEN * 4, "pMem_atoms")?,
-                    ctx.malloc(GRIDS_LEN * 4, "pMem_grids")?,
-                    ctx.malloc(ENERGY_LEN * 4, "pMem_energies")?,
-                    ctx.malloc(ANGLES_LEN * 4, "pMem_angles")?,
-                ))
-            })?;
-        ctx.h2d_f32(atoms, &atoms_host)?;
-        ctx.h2d_f32(grids, &grids_host)?;
-        for _generation in 0..GENERATIONS {
-            docking_kernel(ctx, atoms, grids, energies)?;
-            sort_kernel(ctx, energies)?;
-            gen_kernel(ctx, energies, conf)?;
-        }
-        let mut out = vec![0.0f32; CONF_USED_ELEMS as usize];
-        ctx.d2h_f32(&mut out, conf)?;
-        // Lazy batch deallocation.
-        for ptr in [conf, atoms, grids, energies, angles] {
-            ctx.free(ptr)?;
-        }
-        Ok(out)
-    })?;
+    let out = in_frame(
+        ctx,
+        "main",
+        "host/src/main.cpp",
+        80,
+        |ctx| -> Result<Vec<f32>> {
+            // setup_gpu: eager batch allocation of everything.
+            let (conf, atoms, grids, energies, angles) = in_frame(
+                ctx,
+                "setup_gpu",
+                "host/src/performdocking.cpp",
+                244,
+                |ctx| {
+                    let conf_bytes = if variant.is_optimized() {
+                        // The fix: size by the run's actual population.
+                        CONF_USED_ELEMS * 4
+                    } else {
+                        CONF_MAX_BYTES
+                    };
+                    Ok::<_, gpu_sim::SimError>((
+                        ctx.malloc(conf_bytes, "pMem_conformations")?,
+                        ctx.malloc(ATOMS_LEN * 4, "pMem_atoms")?,
+                        ctx.malloc(GRIDS_LEN * 4, "pMem_grids")?,
+                        ctx.malloc(ENERGY_LEN * 4, "pMem_energies")?,
+                        ctx.malloc(ANGLES_LEN * 4, "pMem_angles")?,
+                    ))
+                },
+            )?;
+            ctx.h2d_f32(atoms, &atoms_host)?;
+            ctx.h2d_f32(grids, &grids_host)?;
+            for _generation in 0..GENERATIONS {
+                docking_kernel(ctx, atoms, grids, energies)?;
+                sort_kernel(ctx, energies)?;
+                gen_kernel(ctx, energies, conf)?;
+            }
+            let mut out = vec![0.0f32; CONF_USED_ELEMS as usize];
+            ctx.d2h_f32(&mut out, conf)?;
+            // Lazy batch deallocation.
+            for ptr in [conf, atoms, grids, energies, angles] {
+                ctx.free(ptr)?;
+            }
+            Ok(out)
+        },
+    )?;
 
     assert_eq!(out, reference, "conformations must match host reference");
     let sum: f64 = out.iter().map(|&v| f64::from(v)).sum();

@@ -160,50 +160,56 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
     let s = m * m * 4;
     let host_a = synth_data(n * n, 41);
 
-    let q_host = in_frame(ctx, "main", "gramschmidt.cu", 140, |ctx| -> Result<Vec<f32>> {
-        let a = ctx.malloc(s, "A_gpu")?;
-        let q = ctx.malloc(s, "Q_gpu")?;
-        ctx.h2d_f32(a, &host_a)?;
-        ctx.memset(q, 0, s)?;
-        match variant {
-            Variant::Unoptimized => {
-                // One big R for the whole run (the structured-access victim).
-                let r = ctx.malloc(s, "R_gpu")?;
-                for k in 0..m {
-                    kernel1(ctx, a, at(r, k, k), k)?;
-                    kernel2(ctx, a, q, at(r, k, k), k)?;
-                    kernel3(ctx, a, q, move |j| at(r, k, j), k, false)?;
+    let q_host = in_frame(
+        ctx,
+        "main",
+        "gramschmidt.cu",
+        140,
+        |ctx| -> Result<Vec<f32>> {
+            let a = ctx.malloc(s, "A_gpu")?;
+            let q = ctx.malloc(s, "Q_gpu")?;
+            ctx.h2d_f32(a, &host_a)?;
+            ctx.memset(q, 0, s)?;
+            match variant {
+                Variant::Unoptimized => {
+                    // One big R for the whole run (the structured-access victim).
+                    let r = ctx.malloc(s, "R_gpu")?;
+                    for k in 0..m {
+                        kernel1(ctx, a, at(r, k, k), k)?;
+                        kernel2(ctx, a, q, at(r, k, k), k)?;
+                        kernel3(ctx, a, q, move |j| at(r, k, j), k, false)?;
+                    }
+                    let mut out = vec![0.0f32; n * n];
+                    ctx.d2h_f32(&mut out, q)?;
+                    ctx.free(r)?;
+                    ctx.free(q)?;
+                    ctx.free(a)?;
+                    Ok(out)
                 }
-                let mut out = vec![0.0f32; n * n];
-                ctx.d2h_f32(&mut out, q)?;
-                ctx.free(r)?;
-                ctx.free(q)?;
-                ctx.free(a)?;
-                Ok(out)
-            }
-            Variant::Optimized => {
-                // One row-sized slice, reused across every kernel3 instance.
-                let row_bytes = u64::from(ROW_BYTES);
-                let r_row = ctx.malloc(row_bytes, "R_row")?;
-                let mut r_host = vec![0.0f32; n * n];
-                for k in 0..m {
-                    kernel1(ctx, a, r_row + k * 4, k)?;
-                    kernel2(ctx, a, q, r_row + k * 4, k)?;
-                    kernel3(ctx, a, q, move |j| r_row + j * 4, k, true)?;
-                    // Persist the finished row on the host.
-                    let mut row = vec![0.0f32; n];
-                    ctx.d2h_f32(&mut row, r_row)?;
-                    r_host[k as usize * n..(k as usize + 1) * n].copy_from_slice(&row);
+                Variant::Optimized => {
+                    // One row-sized slice, reused across every kernel3 instance.
+                    let row_bytes = u64::from(ROW_BYTES);
+                    let r_row = ctx.malloc(row_bytes, "R_row")?;
+                    let mut r_host = vec![0.0f32; n * n];
+                    for k in 0..m {
+                        kernel1(ctx, a, r_row + k * 4, k)?;
+                        kernel2(ctx, a, q, r_row + k * 4, k)?;
+                        kernel3(ctx, a, q, move |j| r_row + j * 4, k, true)?;
+                        // Persist the finished row on the host.
+                        let mut row = vec![0.0f32; n];
+                        ctx.d2h_f32(&mut row, r_row)?;
+                        r_host[k as usize * n..(k as usize + 1) * n].copy_from_slice(&row);
+                    }
+                    let mut out = vec![0.0f32; n * n];
+                    ctx.d2h_f32(&mut out, q)?;
+                    ctx.free(r_row)?;
+                    ctx.free(q)?;
+                    ctx.free(a)?;
+                    Ok(out)
                 }
-                let mut out = vec![0.0f32; n * n];
-                ctx.d2h_f32(&mut out, q)?;
-                ctx.free(r_row)?;
-                ctx.free(q)?;
-                ctx.free(a)?;
-                Ok(out)
             }
-        }
-    })?;
+        },
+    )?;
 
     // Validation: Q must be orthonormal.
     for c1 in 0..n {

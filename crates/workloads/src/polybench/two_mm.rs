@@ -31,21 +31,26 @@ pub(crate) fn device_matmul(
 ) -> Result<()> {
     let total = u64::from(n) * u64::from(n);
     let n64 = u64::from(n);
-    ctx.launch(name, LaunchConfig::cover(total, 64), StreamId::DEFAULT, move |t| {
-        let idx = t.global_x();
-        if idx < total {
-            let i = idx / n64;
-            let j = idx % n64;
-            let mut acc = 0.0f32;
-            for k in 0..n64 {
-                let av = t.load_f32(a + (i * n64 + k) * 4);
-                let bv = t.load_f32(b + (k * n64 + j) * 4);
-                acc += av * bv;
-                t.flop(2);
+    ctx.launch(
+        name,
+        LaunchConfig::cover(total, 64),
+        StreamId::DEFAULT,
+        move |t| {
+            let idx = t.global_x();
+            if idx < total {
+                let i = idx / n64;
+                let j = idx % n64;
+                let mut acc = 0.0f32;
+                for k in 0..n64 {
+                    let av = t.load_f32(a + (i * n64 + k) * 4);
+                    let bv = t.load_f32(b + (k * n64 + j) * 4);
+                    acc += av * bv;
+                    t.flop(2);
+                }
+                t.store_f32(c + idx * 4, acc);
             }
-            t.store_f32(c + idx * 4, acc);
-        }
-    })?;
+        },
+    )?;
     Ok(())
 }
 

@@ -92,8 +92,9 @@ fn host_conv(x: &[f32], w: &[f32]) -> Vec<f32> {
 /// Panics if the final activation disagrees with the host reference.
 pub fn run(ctx: &mut DeviceContext, variant: Variant, cfg: &RunConfig) -> Result<RunOutcome> {
     let image = synth_data(ACT_LEN as usize, 121);
-    let weights: Vec<Vec<f32>> =
-        (0..LAYERS).map(|l| synth_data(W_LEN as usize, 122 + l as u32)).collect();
+    let weights: Vec<Vec<f32>> = (0..LAYERS)
+        .map(|l| synth_data(W_LEN as usize, 122 + l as u32))
+        .collect();
     let mut reference = image.clone();
     for w in &weights {
         reference = host_conv(&reference, w);
@@ -105,60 +106,88 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, cfg: &RunConfig) -> Result
         pool.register_observer(observer.clone());
     }
 
-    let out = in_frame(ctx, "resnet50_forward", "torchvision/resnet.py", 285, |ctx| -> Result<Vec<f32>> {
-        // Model build: all weight and batch-norm tensors up front. The
-        // bn running-stats tensors are zero-initialized lazily by the
-        // device and first touched in the forward pass — early allocations.
-        let mut w_tensors = Vec::new();
-        let mut bn_tensors = Vec::new();
-        in_frame(ctx, "Conv2d.__init__", "torch/nn/modules/conv.py", 430, |ctx| {
-            for (l, w_host) in weights.iter().enumerate() {
-                let w = pool.alloc(ctx, W_LEN * 4, format!("conv{l}.weight"))?;
-                ctx.h2d_f32(w, w_host)?;
-                w_tensors.push(w);
-                bn_tensors.push(pool.alloc(ctx, BN_LEN * 4, format!("bn{l}.running_stats"))?);
-            }
-            Ok::<_, gpu_sim::SimError>(())
-        })?;
+    let out = in_frame(
+        ctx,
+        "resnet50_forward",
+        "torchvision/resnet.py",
+        285,
+        |ctx| -> Result<Vec<f32>> {
+            // Model build: all weight and batch-norm tensors up front. The
+            // bn running-stats tensors are zero-initialized lazily by the
+            // device and first touched in the forward pass — early allocations.
+            let mut w_tensors = Vec::new();
+            let mut bn_tensors = Vec::new();
+            in_frame(
+                ctx,
+                "Conv2d.__init__",
+                "torch/nn/modules/conv.py",
+                430,
+                |ctx| {
+                    for (l, w_host) in weights.iter().enumerate() {
+                        let w = pool.alloc(ctx, W_LEN * 4, format!("conv{l}.weight"))?;
+                        ctx.h2d_f32(w, w_host)?;
+                        w_tensors.push(w);
+                        bn_tensors.push(pool.alloc(
+                            ctx,
+                            BN_LEN * 4,
+                            format!("bn{l}.running_stats"),
+                        )?);
+                    }
+                    Ok::<_, gpu_sim::SimError>(())
+                },
+            )?;
 
-        // Forward pass, retaining every activation (as autograd would).
-        let mut acts = Vec::new();
-        let x0 = pool.alloc(ctx, ACT_LEN * 4, "input")?;
-        ctx.h2d_f32(x0, &image)?;
-        acts.push(x0);
-        for l in 0..LAYERS {
-            let y = pool.alloc(ctx, ACT_LEN * 4, format!("act{l}"))?;
-            // The paper's PyTorch inefficiency: `columns` is allocated
-            // unconditionally, even when requires_columns is false.
-            let requires_columns = USES_COLUMNS[l];
-            let columns = if requires_columns || !variant.is_optimized() {
-                Some(in_frame(ctx, "slow_conv2d_forward", "aten/src/ATen/native/ConvolutionMM2d.cpp", 127, |ctx| {
-                    pool.alloc(ctx, COL_LEN * 4, format!("columns{l}"))
-                })?)
-            } else {
-                None
-            };
-            let kernel_columns = if requires_columns { columns } else { None };
-            conv_kernel(ctx, l, acts[l], w_tensors[l], kernel_columns, bn_tensors[l], y)?;
-            if let Some(c) = columns {
-                pool.free(c)?;
+            // Forward pass, retaining every activation (as autograd would).
+            let mut acts = Vec::new();
+            let x0 = pool.alloc(ctx, ACT_LEN * 4, "input")?;
+            ctx.h2d_f32(x0, &image)?;
+            acts.push(x0);
+            for l in 0..LAYERS {
+                let y = pool.alloc(ctx, ACT_LEN * 4, format!("act{l}"))?;
+                // The paper's PyTorch inefficiency: `columns` is allocated
+                // unconditionally, even when requires_columns is false.
+                let requires_columns = USES_COLUMNS[l];
+                let columns = if requires_columns || !variant.is_optimized() {
+                    Some(in_frame(
+                        ctx,
+                        "slow_conv2d_forward",
+                        "aten/src/ATen/native/ConvolutionMM2d.cpp",
+                        127,
+                        |ctx| pool.alloc(ctx, COL_LEN * 4, format!("columns{l}")),
+                    )?)
+                } else {
+                    None
+                };
+                let kernel_columns = if requires_columns { columns } else { None };
+                conv_kernel(
+                    ctx,
+                    l,
+                    acts[l],
+                    w_tensors[l],
+                    kernel_columns,
+                    bn_tensors[l],
+                    y,
+                )?;
+                if let Some(c) = columns {
+                    pool.free(c)?;
+                }
+                acts.push(y);
             }
-            acts.push(y);
-        }
-        let mut out = vec![0.0f32; ACT_LEN as usize];
-        ctx.d2h_f32(&mut out, acts[LAYERS])?;
-        // Teardown: everything released only now (late deallocations).
-        for t in acts {
-            pool.free(t)?;
-        }
-        for w in w_tensors {
-            pool.free(w)?;
-        }
-        for bn in bn_tensors {
-            pool.free(bn)?;
-        }
-        Ok(out)
-    })?;
+            let mut out = vec![0.0f32; ACT_LEN as usize];
+            ctx.d2h_f32(&mut out, acts[LAYERS])?;
+            // Teardown: everything released only now (late deallocations).
+            for t in acts {
+                pool.free(t)?;
+            }
+            for w in w_tensors {
+                pool.free(w)?;
+            }
+            for bn in bn_tensors {
+                pool.free(bn)?;
+            }
+            Ok(out)
+        },
+    )?;
 
     let pool_peak = pool.stats().peak_allocated_bytes;
     pool.release(ctx)?;

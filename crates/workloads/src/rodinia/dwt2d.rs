@@ -19,11 +19,7 @@ pub const PIXELS: u64 = 1024;
 /// Bytes of the never-used `backup` buffer.
 pub const BACKUP_BYTES: u64 = 10 * 1024;
 
-fn split_kernel(
-    ctx: &mut DeviceContext,
-    src: DevicePtr,
-    planes: [DevicePtr; 3],
-) -> Result<()> {
+fn split_kernel(ctx: &mut DeviceContext, src: DevicePtr, planes: [DevicePtr; 3]) -> Result<()> {
     ctx.launch(
         "c_CopySrcToComponents",
         LaunchConfig::cover(PIXELS, 64),
@@ -97,76 +93,82 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
     let src_bytes = PIXELS * 3 * 4;
     let plane_bytes = PIXELS * 4;
 
-    let outs = in_frame(ctx, "main", "dwt2d.cu", 300, |ctx| -> Result<Vec<Vec<f32>>> {
-        match variant {
-            Variant::Unoptimized => {
-                let src = ctx.malloc(src_bytes, "d_src")?;
-                let backup = ctx.malloc(BACKUP_BYTES, "backup")?;
-                let planes = [
-                    ctx.malloc(plane_bytes, "c_r")?,
-                    ctx.malloc(plane_bytes, "c_g")?,
-                    ctx.malloc(plane_bytes, "c_b")?,
-                ];
-                let outs_d = [
-                    ctx.malloc(plane_bytes, "c_r_out")?,
-                    ctx.malloc(plane_bytes, "c_g_out")?,
-                    ctx.malloc(plane_bytes, "c_b_out")?,
-                ];
-                // Dead write: the memset is immediately overwritten by the
-                // image upload with no read in between.
-                ctx.memset(src, 0, src_bytes)?;
-                ctx.h2d_f32(src, &rgb)?;
-                split_kernel(ctx, src, planes)?;
-                for c in 0..3 {
-                    haar_kernel(ctx, "fdwt53Kernel", planes[c], outs_d[c])?;
+    let outs = in_frame(
+        ctx,
+        "main",
+        "dwt2d.cu",
+        300,
+        |ctx| -> Result<Vec<Vec<f32>>> {
+            match variant {
+                Variant::Unoptimized => {
+                    let src = ctx.malloc(src_bytes, "d_src")?;
+                    let backup = ctx.malloc(BACKUP_BYTES, "backup")?;
+                    let planes = [
+                        ctx.malloc(plane_bytes, "c_r")?,
+                        ctx.malloc(plane_bytes, "c_g")?,
+                        ctx.malloc(plane_bytes, "c_b")?,
+                    ];
+                    let outs_d = [
+                        ctx.malloc(plane_bytes, "c_r_out")?,
+                        ctx.malloc(plane_bytes, "c_g_out")?,
+                        ctx.malloc(plane_bytes, "c_b_out")?,
+                    ];
+                    // Dead write: the memset is immediately overwritten by the
+                    // image upload with no read in between.
+                    ctx.memset(src, 0, src_bytes)?;
+                    ctx.h2d_f32(src, &rgb)?;
+                    split_kernel(ctx, src, planes)?;
+                    for c in 0..3 {
+                        haar_kernel(ctx, "fdwt53Kernel", planes[c], outs_d[c])?;
+                    }
+                    let mut results = Vec::new();
+                    for out_d in &outs_d {
+                        let mut out = vec![0.0f32; n];
+                        ctx.d2h_f32(&mut out, *out_d)?;
+                        results.push(out);
+                    }
+                    for ptr in [src, backup, planes[0], planes[1], planes[2]] {
+                        ctx.free(ptr)?;
+                    }
+                    for ptr in outs_d {
+                        ctx.free(ptr)?;
+                    }
+                    Ok(results)
                 }
-                let mut results = Vec::new();
-                for out_d in &outs_d {
-                    let mut out = vec![0.0f32; n];
-                    ctx.d2h_f32(&mut out, *out_d)?;
-                    results.push(out);
+                Variant::Optimized => {
+                    // No backup, no double init, source freed after the split,
+                    // later outputs reuse dead planes.
+                    let src = ctx.malloc(src_bytes, "d_src")?;
+                    ctx.h2d_f32(src, &rgb)?;
+                    let planes = [
+                        ctx.malloc(plane_bytes, "c_r")?,
+                        ctx.malloc(plane_bytes, "c_g")?,
+                        ctx.malloc(plane_bytes, "c_b")?,
+                    ];
+                    split_kernel(ctx, src, planes)?;
+                    ctx.free(src)?;
+                    let mut results = Vec::new();
+                    // Channel r gets a fresh output; channels g and b write into
+                    // the plane freed by the previous channel (RA fix).
+                    let out_r = ctx.malloc(plane_bytes, "c_r_out")?;
+                    haar_kernel(ctx, "fdwt53Kernel", planes[0], out_r)?;
+                    let out_g = planes[0]; // reuse c_r's buffer
+                    haar_kernel(ctx, "fdwt53Kernel", planes[1], out_g)?;
+                    let out_b = planes[1]; // reuse c_g's buffer
+                    haar_kernel(ctx, "fdwt53Kernel", planes[2], out_b)?;
+                    for d in [out_r, out_g, out_b] {
+                        let mut out = vec![0.0f32; n];
+                        ctx.d2h_f32(&mut out, d)?;
+                        results.push(out);
+                    }
+                    for ptr in [out_r, planes[0], planes[1], planes[2]] {
+                        ctx.free(ptr)?;
+                    }
+                    Ok(results)
                 }
-                for ptr in [src, backup, planes[0], planes[1], planes[2]] {
-                    ctx.free(ptr)?;
-                }
-                for ptr in outs_d {
-                    ctx.free(ptr)?;
-                }
-                Ok(results)
             }
-            Variant::Optimized => {
-                // No backup, no double init, source freed after the split,
-                // later outputs reuse dead planes.
-                let src = ctx.malloc(src_bytes, "d_src")?;
-                ctx.h2d_f32(src, &rgb)?;
-                let planes = [
-                    ctx.malloc(plane_bytes, "c_r")?,
-                    ctx.malloc(plane_bytes, "c_g")?,
-                    ctx.malloc(plane_bytes, "c_b")?,
-                ];
-                split_kernel(ctx, src, planes)?;
-                ctx.free(src)?;
-                let mut results = Vec::new();
-                // Channel r gets a fresh output; channels g and b write into
-                // the plane freed by the previous channel (RA fix).
-                let out_r = ctx.malloc(plane_bytes, "c_r_out")?;
-                haar_kernel(ctx, "fdwt53Kernel", planes[0], out_r)?;
-                let out_g = planes[0]; // reuse c_r's buffer
-                haar_kernel(ctx, "fdwt53Kernel", planes[1], out_g)?;
-                let out_b = planes[1]; // reuse c_g's buffer
-                haar_kernel(ctx, "fdwt53Kernel", planes[2], out_b)?;
-                for d in [out_r, out_g, out_b] {
-                    let mut out = vec![0.0f32; n];
-                    ctx.d2h_f32(&mut out, d)?;
-                    results.push(out);
-                }
-                for ptr in [out_r, planes[0], planes[1], planes[2]] {
-                    ctx.free(ptr)?;
-                }
-                Ok(results)
-            }
-        }
-    })?;
+        },
+    )?;
 
     for c in 0..3 {
         assert_eq!(outs[c], plane_ref[c], "channel {c} mismatch");

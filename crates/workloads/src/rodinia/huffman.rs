@@ -30,11 +30,7 @@ fn synth_symbols(n: u64, seed: u32) -> Vec<u32> {
         .collect()
 }
 
-fn histogram_kernel(
-    ctx: &mut DeviceContext,
-    src: DevicePtr,
-    hist: DevicePtr,
-) -> Result<()> {
+fn histogram_kernel(ctx: &mut DeviceContext, src: DevicePtr, hist: DevicePtr) -> Result<()> {
     ctx.launch(
         "vlc_histogram",
         LaunchConfig::cover(SRC_LEN, 64),
@@ -83,7 +79,10 @@ fn host_reference(symbols: &[u32]) -> (Vec<u32>, Vec<u32>) {
     for &s in symbols {
         hist[s as usize] += 1;
     }
-    let table: Vec<u32> = hist.iter().map(|&h| h.wrapping_mul(2654435761) | 1).collect();
+    let table: Vec<u32> = hist
+        .iter()
+        .map(|&h| h.wrapping_mul(2654435761) | 1)
+        .collect();
     let mut enc = vec![0u32; BINS as usize];
     for (i, &s) in symbols.iter().enumerate() {
         let code = table[s as usize];
@@ -108,74 +107,80 @@ pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Resul
     let src_bytes = SRC_LEN * 4;
     let bin_bytes = BINS * 4;
 
-    let enc_out = in_frame(ctx, "main", "main_test_cu.cu", 220, |ctx| -> Result<Vec<u32>> {
-        match variant {
-            Variant::Unoptimized => {
-                // Eager batch allocation, including the never-used d_cw32.
-                let (src, _cw32, hist, table, enc) =
-                    in_frame(ctx, "initParams", "main_test_cu.cu", 64, |ctx| {
-                        Ok::<_, gpu_sim::SimError>((
-                            ctx.malloc(src_bytes, "d_sourceData")?,
-                            ctx.malloc(CW32_BYTES, "d_cw32")?,
-                            ctx.malloc(bin_bytes, "d_histogram")?,
-                            ctx.malloc(bin_bytes, "d_codeTable")?,
-                            ctx.malloc(bin_bytes, "d_encoded")?,
-                        ))
-                    })?;
-                ctx.h2d_u32(src, &symbols)?;
-                ctx.memset(hist, 0, bin_bytes)?;
-                histogram_kernel(ctx, src, hist)?;
-                let mut hist_host = vec![0u32; BINS as usize];
-                ctx.d2h_u32(&mut hist_host, hist)?;
-                // Host builds the codebook from the histogram.
-                let table_host: Vec<u32> = hist_host
-                    .iter()
-                    .map(|&h| h.wrapping_mul(2654435761) | 1)
-                    .collect();
-                ctx.h2d_u32(table, &table_host)?;
-                ctx.memset(enc, 0, bin_bytes)?;
-                encode_kernel(ctx, src, table, enc)?;
-                let mut out = vec![0u32; BINS as usize];
-                ctx.d2h_u32(&mut out, enc)?;
-                // Everything released only at program exit.
-                for ptr in [src, _cw32, hist, table, enc] {
-                    ctx.free(ptr)?;
+    let enc_out = in_frame(
+        ctx,
+        "main",
+        "main_test_cu.cu",
+        220,
+        |ctx| -> Result<Vec<u32>> {
+            match variant {
+                Variant::Unoptimized => {
+                    // Eager batch allocation, including the never-used d_cw32.
+                    let (src, _cw32, hist, table, enc) =
+                        in_frame(ctx, "initParams", "main_test_cu.cu", 64, |ctx| {
+                            Ok::<_, gpu_sim::SimError>((
+                                ctx.malloc(src_bytes, "d_sourceData")?,
+                                ctx.malloc(CW32_BYTES, "d_cw32")?,
+                                ctx.malloc(bin_bytes, "d_histogram")?,
+                                ctx.malloc(bin_bytes, "d_codeTable")?,
+                                ctx.malloc(bin_bytes, "d_encoded")?,
+                            ))
+                        })?;
+                    ctx.h2d_u32(src, &symbols)?;
+                    ctx.memset(hist, 0, bin_bytes)?;
+                    histogram_kernel(ctx, src, hist)?;
+                    let mut hist_host = vec![0u32; BINS as usize];
+                    ctx.d2h_u32(&mut hist_host, hist)?;
+                    // Host builds the codebook from the histogram.
+                    let table_host: Vec<u32> = hist_host
+                        .iter()
+                        .map(|&h| h.wrapping_mul(2654435761) | 1)
+                        .collect();
+                    ctx.h2d_u32(table, &table_host)?;
+                    ctx.memset(enc, 0, bin_bytes)?;
+                    encode_kernel(ctx, src, table, enc)?;
+                    let mut out = vec![0u32; BINS as usize];
+                    ctx.d2h_u32(&mut out, enc)?;
+                    // Everything released only at program exit.
+                    for ptr in [src, _cw32, hist, table, enc] {
+                        ctx.free(ptr)?;
+                    }
+                    assert_eq!(table_host, ref_table);
+                    Ok(out)
                 }
-                assert_eq!(table_host, ref_table);
-                Ok(out)
+                Variant::Optimized => {
+                    // No d_cw32 at all (UA fix); the histogram buffer is freed
+                    // as soon as the host has read it, and the code table and
+                    // encode buffers reuse its space (RA fix).
+                    let src = ctx.malloc(src_bytes, "d_sourceData")?;
+                    ctx.h2d_u32(src, &symbols)?;
+                    let hist = ctx.malloc(bin_bytes, "d_histogram")?;
+                    ctx.memset(hist, 0, bin_bytes)?;
+                    histogram_kernel(ctx, src, hist)?;
+                    let mut hist_host = vec![0u32; BINS as usize];
+                    ctx.d2h_u32(&mut hist_host, hist)?;
+                    ctx.free(hist)?;
+                    let table_host: Vec<u32> = hist_host
+                        .iter()
+                        .map(|&h| h.wrapping_mul(2654435761) | 1)
+                        .collect();
+                    let table = ctx.malloc(bin_bytes, "d_codeTable")?;
+                    ctx.h2d_u32(table, &table_host)?;
+                    let enc = ctx.malloc(bin_bytes, "d_encoded")?;
+                    ctx.memset(enc, 0, bin_bytes)?;
+                    encode_kernel(ctx, src, table, enc)?;
+                    let mut out = vec![0u32; BINS as usize];
+                    ctx.d2h_u32(&mut out, enc)?;
+                    // Free the source right after its last GPU use (LD fix).
+                    ctx.free(src)?;
+                    ctx.free(table)?;
+                    ctx.free(enc)?;
+                    assert_eq!(table_host, ref_table);
+                    Ok(out)
+                }
             }
-            Variant::Optimized => {
-                // No d_cw32 at all (UA fix); the histogram buffer is freed
-                // as soon as the host has read it, and the code table and
-                // encode buffers reuse its space (RA fix).
-                let src = ctx.malloc(src_bytes, "d_sourceData")?;
-                ctx.h2d_u32(src, &symbols)?;
-                let hist = ctx.malloc(bin_bytes, "d_histogram")?;
-                ctx.memset(hist, 0, bin_bytes)?;
-                histogram_kernel(ctx, src, hist)?;
-                let mut hist_host = vec![0u32; BINS as usize];
-                ctx.d2h_u32(&mut hist_host, hist)?;
-                ctx.free(hist)?;
-                let table_host: Vec<u32> = hist_host
-                    .iter()
-                    .map(|&h| h.wrapping_mul(2654435761) | 1)
-                    .collect();
-                let table = ctx.malloc(bin_bytes, "d_codeTable")?;
-                ctx.h2d_u32(table, &table_host)?;
-                let enc = ctx.malloc(bin_bytes, "d_encoded")?;
-                ctx.memset(enc, 0, bin_bytes)?;
-                encode_kernel(ctx, src, table, enc)?;
-                let mut out = vec![0u32; BINS as usize];
-                ctx.d2h_u32(&mut out, enc)?;
-                // Free the source right after its last GPU use (LD fix).
-                ctx.free(src)?;
-                ctx.free(table)?;
-                ctx.free(enc)?;
-                assert_eq!(table_host, ref_table);
-                Ok(out)
-            }
-        }
-    })?;
+        },
+    )?;
 
     assert_eq!(enc_out, ref_enc, "encoded output must match host reference");
     let sum: f64 = enc_out.iter().map(|&v| f64::from(v)).sum();

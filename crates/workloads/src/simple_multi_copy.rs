@@ -63,8 +63,14 @@ fn synth_u32(n: u64, seed: u32) -> Vec<u32> {
 pub fn run(ctx: &mut DeviceContext, variant: Variant, _cfg: &RunConfig) -> Result<RunOutcome> {
     let h_in1 = synth_u32(LEN, 131);
     let h_in2 = synth_u32(LEN, 132);
-    let ref1: Vec<u32> = h_in1.iter().map(|&v| v.wrapping_mul(2).wrapping_add(1)).collect();
-    let ref2: Vec<u32> = h_in2.iter().map(|&v| v.wrapping_mul(2).wrapping_add(1)).collect();
+    let ref1: Vec<u32> = h_in1
+        .iter()
+        .map(|&v| v.wrapping_mul(2).wrapping_add(1))
+        .collect();
+    let ref2: Vec<u32> = h_in2
+        .iter()
+        .map(|&v| v.wrapping_mul(2).wrapping_add(1))
+        .collect();
     let bytes = LEN * 4;
 
     let (out1, out2) = in_frame(ctx, "main", "simpleMultiCopy.cu", 200, |ctx| {

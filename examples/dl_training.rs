@@ -31,32 +31,47 @@ fn main() -> Result<(), SimError> {
     // Inference-only run: the gradient tensor is never touched.
     let _grad = pool.alloc(&mut ctx, bytes, "weight_grad")?;
     ctx.h2d_f32(weight, &vec![0.5f32; n as usize])?;
-    ctx.launch("forward", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            let w = t.load_f32(weight + i * 4);
-            t.store_f32(act + i * 4, w * 3.0);
-        }
-    })?;
+    ctx.launch(
+        "forward",
+        LaunchConfig::cover(n, 128),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                let w = t.load_f32(weight + i * 4);
+                t.store_f32(act + i * 4, w * 3.0);
+            }
+        },
+    )?;
     // Two optimizer-ish steps that do not touch the activation.
     let m1 = pool.alloc(&mut ctx, bytes, "momentum")?;
     ctx.memset(m1, 0, bytes)?;
-    ctx.launch("optimizer_step", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            let w = t.load_f32(weight + i * 4);
-            let m = t.load_f32(m1 + i * 4);
-            t.store_f32(m1 + i * 4, m + w);
-        }
-    })?;
+    ctx.launch(
+        "optimizer_step",
+        LaunchConfig::cover(n, 128),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                let w = t.load_f32(weight + i * 4);
+                let m = t.load_f32(m1 + i * 4);
+                t.store_f32(m1 + i * 4, m + w);
+            }
+        },
+    )?;
     // Backward finally consumes the activation.
-    ctx.launch("backward", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            let a = t.load_f32(act + i * 4);
-            t.store_f32(weight + i * 4, a * 0.1);
-        }
-    })?;
+    ctx.launch(
+        "backward",
+        LaunchConfig::cover(n, 128),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                let a = t.load_f32(act + i * 4);
+                t.store_f32(weight + i * 4, a * 0.1);
+            }
+        },
+    )?;
 
     for t in [act, weight, _grad, m1] {
         pool.free(t)?;
@@ -70,12 +85,16 @@ fn main() -> Result<(), SimError> {
 
     let grad_findings = report.findings_for("weight_grad");
     assert!(
-        grad_findings.iter().any(|f| f.kind() == PatternKind::UnusedAllocation),
+        grad_findings
+            .iter()
+            .any(|f| f.kind() == PatternKind::UnusedAllocation),
         "the gradient tensor is unused in inference"
     );
     let act_findings = report.findings_for("activation");
     assert!(
-        act_findings.iter().any(|f| f.kind() == PatternKind::TemporaryIdleness),
+        act_findings
+            .iter()
+            .any(|f| f.kind() == PatternKind::TemporaryIdleness),
         "the activation idles between forward and backward"
     );
     println!("dl_training: pool tensors analyzed as first-class objects");

@@ -1,0 +1,53 @@
+//! Fault tolerance: inject failures and watch the pipeline degrade
+//! gracefully instead of crashing.
+//!
+//! Demonstrates the two recovery layers:
+//! 1. bounded shrink-and-retry at the allocation site
+//!    ([`gpu_sim::RetryPolicy`] via `malloc_with_retry`), and
+//! 2. the profiler still producing a full report — with per-detector
+//!    status and explicit degradation records — when the workload under
+//!    it dies from injected chaos.
+//!
+//! Run with `cargo run --example fault_tolerance`.
+
+use drgpum::prelude::*;
+use drgpum::sim::{FaultKind, FaultPlan};
+use drgpum::workloads::registry::RunConfig;
+use drgpum::workloads::{self, faults};
+
+fn main() {
+    // --- Layer 1: a transient OOM absorbed by the retry loop. ------------
+    let mut ctx = DeviceContext::new_default();
+    ctx.set_fault_plan(FaultPlan::new(7).at_api(0, FaultKind::AllocFail));
+    let out = faults::resilient_pipeline(&mut ctx).expect("retry absorbs a one-shot OOM");
+    println!("resilient pipeline survived: checksum {}", out.checksum);
+    for f in ctx.fault_log() {
+        println!("  injected: {} at api #{}", f.kind.name(), f.api_seq);
+    }
+
+    // --- Layer 2: chaos under the profiler. ------------------------------
+    // Every allocation fails, so 2MM cannot finish — but the profiler must
+    // still deliver a report with one status per detector family and a
+    // record of what degraded.
+    let spec = workloads::by_name("2MM").expect("registered");
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+    ctx.set_fault_plan(FaultPlan::new(1).probabilistic(FaultKind::AllocFail, 1.0));
+    let result = (spec.run)(
+        &mut ctx,
+        workloads::common::Variant::Unoptimized,
+        &RunConfig::default(),
+    );
+    match result {
+        Ok(out) => println!("\n2MM finished anyway: checksum {}", out.checksum),
+        Err(e) => println!("\n2MM died under chaos (expected): {e}"),
+    }
+    let report = profiler.report(&ctx);
+    println!("report degraded: {}", report.is_degraded());
+    for d in &report.degradations {
+        println!("  degraded [{}]: {}", d.stage, d.detail);
+    }
+    for det in &report.detectors {
+        println!("  detector {:>12}: {:?}", det.name, det.outcome);
+    }
+}

@@ -56,9 +56,6 @@ fn main() -> Result<(), SimError> {
         .iter()
         .find(|f| f.kind() == PatternKind::EarlyAllocation && f.object.label == "b")
         .expect("b is allocated early");
-    println!(
-        "early allocation on `b`: {}",
-        ea.suggestion
-    );
+    println!("early allocation on `b`: {}", ea.suggestion);
     Ok(())
 }

@@ -29,16 +29,21 @@ fn main() -> Result<(), SimError> {
         // The kernel touches all of `input`/`result` but only the first
         // 1 KiB of the megabyte of scratch.
         let n = 16 * 1024u64;
-        ctx.launch("compute", LaunchConfig::cover(n, 128), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < n {
-                let v = t.load_f32(input + i * 4);
-                if i < 256 {
-                    t.store_f32(scratch + i * 4, v * 2.0);
+        ctx.launch(
+            "compute",
+            LaunchConfig::cover(n, 128),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < n {
+                    let v = t.load_f32(input + i * 4);
+                    if i < 256 {
+                        t.store_f32(scratch + i * 4, v * 2.0);
+                    }
+                    t.store_f32(result + i * 4, v + 1.0);
                 }
-                t.store_f32(result + i * 4, v + 1.0);
-            }
-        })?;
+            },
+        )?;
 
         ctx.free(input)?;
         ctx.free(scratch)?;

@@ -35,14 +35,19 @@ fn main() -> Result<(), SimError> {
         ctx.managed_write_f32(shared + 4, (step * 2) as f32)?;
         // …then the GPU reads only the payload half — and the whole page
         // faults over anyway.
-        ctx.launch("consume", LaunchConfig::cover(64, 64), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < 64 {
-                let v = t.load_f32(payload + i * 4);
-                let d = t.load_f32(device_only + i * 4);
-                t.store_f32(device_only + i * 4, v + d);
-            }
-        })?;
+        ctx.launch(
+            "consume",
+            LaunchConfig::cover(64, 64),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < 64 {
+                    let v = t.load_f32(payload + i * 4);
+                    let d = t.load_f32(device_only + i * 4);
+                    t.store_f32(device_only + i * 4, v + d);
+                }
+            },
+        )?;
     }
     ctx.sync_device();
     println!(

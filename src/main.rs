@@ -80,7 +80,10 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     let html_out = take_value(&mut args, "--html")?;
     let platform_name = take_value(&mut args, "--platform")?.unwrap_or_else(|| "rtx3090".into());
     let period: u64 = take_value(&mut args, "--period")?
-        .map(|v| v.parse().map_err(|_| "--period must be a number".to_owned()))
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--period must be a number".to_owned())
+        })
         .transpose()?
         .unwrap_or(1);
     let kernel_whitelist = take_value(&mut args, "--kernel")?;
@@ -133,9 +136,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     println!("{}", report.render_text());
     println!(
         "peak memory {} bytes, simulated time {} us, checksum {:.3}",
-        outcome
-            .pool_peak_bytes
-            .unwrap_or(outcome.peak_bytes),
+        outcome.pool_peak_bytes.unwrap_or(outcome.peak_bytes),
         outcome.elapsed.as_ns() / 1000,
         outcome.checksum
     );
@@ -173,8 +174,7 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         let collector = profiler.collector();
         let collector = collector.lock();
         let saved = trace_io::save(&collector, ctx.call_stack().table(), &ctx.config().name);
-        std::fs::write(&path, saved.to_json().expect("serialize"))
-            .map_err(|e| format!("writing {path}: {e}"))?;
+        std::fs::write(&path, saved.to_text()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("raw trace written to {path} (reanalyze with `drgpum reanalyze`)");
     }
     Ok(ExitCode::SUCCESS)
@@ -201,14 +201,30 @@ fn cmd_reanalyze(mut args: Vec<String>) -> Result<ExitCode, String> {
         return Err("reanalyze: missing trace file".into());
     };
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let saved = SavedTrace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
-    println!(
-        "loaded trace: {} GPU APIs, {} objects, platform {}",
-        saved.api_count(),
-        saved.object_count(),
-        saved.platform
-    );
-    let report = saved.reanalyze(&thresholds);
+    // Strict load first; fall back to salvage so a damaged recording still
+    // yields a (clearly marked) partial report instead of nothing.
+    let report = match trace_io::load(&text) {
+        Ok(saved) => {
+            println!(
+                "loaded trace: {} GPU APIs, {} objects, platform {}",
+                saved.api_count(),
+                saved.object_count(),
+                saved.platform
+            );
+            saved.reanalyze(&thresholds)
+        }
+        Err(e) => {
+            eprintln!("warning: {path} is damaged ({e}); salvaging what remains");
+            let (saved, losses) = trace_io::salvage(&text);
+            println!(
+                "salvaged trace: {} GPU APIs, {} objects, platform {}",
+                saved.api_count(),
+                saved.object_count(),
+                saved.platform
+            );
+            saved.reanalyze_with(&thresholds, losses.to_degradations())
+        }
+    };
     println!("{}", report.render_text());
     if let Some(out) = json_out {
         let v = export::report_json(&report);
@@ -225,7 +241,7 @@ fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
     };
     let load = |path: &String| -> Result<(SavedTrace, Report), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-        let saved = SavedTrace::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+        let saved = trace_io::load(&text).map_err(|e| format!("parsing {path}: {e}"))?;
         let report = saved.reanalyze(&Thresholds::default());
         Ok((saved, report))
     };
@@ -252,15 +268,12 @@ fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
     );
 
     // Per-pattern resolution.
-    let count = |report: &Report, kind| {
-        report
-            .findings
-            .iter()
-            .filter(|f| f.kind() == kind)
-            .count()
-    };
-    println!("
-{:<32} {:>7} {:>7}", "pattern", "before", "after");
+    let count = |report: &Report, kind| report.findings.iter().filter(|f| f.kind() == kind).count();
+    println!(
+        "
+{:<32} {:>7} {:>7}",
+        "pattern", "before", "after"
+    );
     let mut kinds: Vec<PatternKind> = before
         .patterns_present()
         .union(&after.patterns_present())

@@ -48,7 +48,11 @@ fn simple_multi_copy_out1_early_allocation() {
             // The paper counts three APIs (ALLOC, SET, ALLOC); our setup
             // phase has four. The first touch is the stream-1 kernel.
             assert!(*intervening >= 3, "got {intervening}");
-            assert!(first_access.name.starts_with("KERL"), "{}", first_access.name);
+            assert!(
+                first_access.name.starts_with("KERL"),
+                "{}",
+                first_access.name
+            );
         }
         other => panic!("unexpected {other:?}"),
     }
@@ -267,9 +271,6 @@ fn laghos_quadrature_buffers_late_deallocation_details() {
             }
             other => panic!("unexpected {other:?}"),
         }
-        assert!(
-            ld.suggestion.contains(label),
-            "suggestion names the object"
-        );
+        assert!(ld.suggestion.contains(label), "suggestion names the object");
     }
 }

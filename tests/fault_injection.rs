@@ -1,0 +1,116 @@
+//! Chaos matrix: every injectable fault kind crossed with every registered
+//! workload, plus seeded corruption of saved traces. The contract under
+//! test is the robustness pipeline's core guarantee — the profiler always
+//! comes back with a report carrying per-detector status, degraded where
+//! necessary, and never panics.
+
+use drgpum::prelude::*;
+use drgpum::profiler::{trace_io, Thresholds};
+use drgpum::workloads::common::Variant;
+use drgpum::workloads::faults;
+use drgpum::workloads::registry::RunConfig;
+use gpu_sim::{FaultKind, SplitMix64};
+
+#[test]
+fn every_fault_kind_on_every_workload_still_yields_a_report() {
+    for kind in FaultKind::ALL {
+        for spec in drgpum::workloads::all() {
+            let mut ctx = DeviceContext::new_default();
+            let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+            let cfg = RunConfig {
+                pool_observer: spec
+                    .uses_pool
+                    .then(|| profiler.collector() as drgpum::sim::pool::SharedPoolObserver),
+            };
+            let run = faults::run_under_fault(&mut ctx, &spec, kind, 0x00D0_6F00, &cfg);
+            let case = format!("{kind} on {}", spec.name);
+
+            // A failed run is acceptable under injected faults; a panic or
+            // a missing report is not.
+            let report = profiler.report(&ctx);
+            let names: Vec<&str> = report.detectors.iter().map(|d| d.name.as_str()).collect();
+            assert_eq!(
+                names,
+                ["object_level", "redundant", "intra", "unified"],
+                "{case}: every detector family must be accounted for"
+            );
+
+            // An injected allocation failure must surface as an explicit
+            // degradation record, never silence.
+            let oom_injected = ctx
+                .fault_log()
+                .iter()
+                .any(|f| f.kind == FaultKind::AllocFail);
+            if oom_injected {
+                assert!(
+                    report.is_degraded(),
+                    "{case}: injected OOM must mark the report degraded"
+                );
+                assert!(
+                    report.degradations.iter().any(|d| d.stage == "collector"),
+                    "{case}: the collector must record its CPU-side fallback"
+                );
+            }
+
+            // Exports stay well-formed whatever happened.
+            let json = drgpum::profiler::export::report_json(&report);
+            serde_json::to_string(&json).unwrap_or_else(|e| panic!("{case}: export failed: {e}"));
+            if run.is_ok() {
+                assert!(
+                    report.stats.gpu_apis > 0,
+                    "{case}: successful run records APIs"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn salvage_of_corrupted_traces_never_panics_and_reports_losses() {
+    for name in ["2MM", "huffman", "SimpleMultiCopy"] {
+        let spec = drgpum::workloads::by_name(name).expect("registered");
+        let mut ctx = DeviceContext::new_default();
+        let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+        (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default()).expect("clean run");
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        let saved = trace_io::save(&collector, ctx.call_stack().table(), "rtx3090");
+        drop(collector);
+        let text = saved.to_text();
+
+        let mut rng = SplitMix64::new(42);
+        for round in 0..24 {
+            let mut bytes = text.clone().into_bytes();
+            if rng.chance(0.5) {
+                let cut = rng.next_below(bytes.len() as u64) as usize;
+                bytes.truncate(cut);
+            } else {
+                let pos = rng.next_below(bytes.len() as u64) as usize;
+                let bit = rng.next_below(8) as u32;
+                bytes[pos] ^= 1 << bit;
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            let report = trace_io::reanalyze_salvaged(&mutated, &Thresholds::default());
+            assert_eq!(
+                report.detectors.len(),
+                4,
+                "{name} round {round}: salvage must still run every detector"
+            );
+            // Damage that strict loading rejects must be visible as an
+            // explicit degradation, never silently absorbed.
+            if trace_io::load(&mutated).is_err() {
+                assert!(
+                    report.is_degraded(),
+                    "{name} round {round}: salvage losses must be reported"
+                );
+                assert!(
+                    report
+                        .degradations
+                        .iter()
+                        .any(|d| d.stage == "trace-salvage"),
+                    "{name} round {round}: loss records carry the salvage stage"
+                );
+            }
+        }
+    }
+}

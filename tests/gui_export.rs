@@ -68,9 +68,10 @@ fn trace_shows_streams_objects_and_patterns() {
         "Fig. 7 headline: d_data_out1 matches early allocation"
     );
     // Suggestions ride along in the args.
-    assert!(patterns
-        .iter()
-        .all(|p| p["suggestion"].as_str().map(|s| !s.is_empty()).unwrap_or(false)));
+    assert!(patterns.iter().all(|p| p["suggestion"]
+        .as_str()
+        .map(|s| !s.is_empty())
+        .unwrap_or(false)));
 
     // Access instants reference topological timestamps.
     let instants: Vec<&Value> = events
@@ -78,7 +79,9 @@ fn trace_shows_streams_objects_and_patterns() {
         .filter(|e| e["pid"] == 2 && e["ph"] == "i")
         .collect();
     assert!(!instants.is_empty());
-    assert!(instants.iter().all(|e| e["args"]["topological_ts"].is_number()));
+    assert!(instants
+        .iter()
+        .all(|e| e["args"]["topological_ts"].is_number()));
 }
 
 #[test]
@@ -88,8 +91,6 @@ fn api_slices_carry_call_paths_and_topo_order() {
     let with_paths = events
         .iter()
         .filter(|e| e["pid"] == 1 && e["ph"] == "X")
-        .all(|e| {
-            e["args"]["call_path"].is_string() && e["args"]["topological_ts"].is_number()
-        });
+        .all(|e| e["args"]["call_path"].is_string() && e["args"]["topological_ts"].is_number());
     assert!(with_paths);
 }

@@ -86,8 +86,7 @@ fn optimized_variants_fix_the_headline_patterns() {
     let opt = profile(&spec, Variant::Optimized);
     for label in ["q_dx", "q_dy"] {
         assert!(
-            !opt
-                .findings_for(label)
+            !opt.findings_for(label)
                 .iter()
                 .any(|f| f.kind() == PatternKind::LateDeallocation),
             "Laghos: {label} must be freed right after UpdateQuadratureData"
@@ -103,7 +102,10 @@ fn findings_are_prioritized_peak_first() {
     let priorities: Vec<(bool, u64)> = report.findings.iter().map(|f| f.priority()).collect();
     let mut sorted = priorities.clone();
     sorted.sort_by(|a, b| b.cmp(a));
-    assert_eq!(priorities, sorted, "findings must be ranked most-severe first");
+    assert_eq!(
+        priorities, sorted,
+        "findings must be ranked most-severe first"
+    );
 }
 
 #[test]
@@ -114,7 +116,8 @@ fn reports_resolve_call_paths_to_source_lines() {
     assert!(!q_dx.is_empty());
     let path = &q_dx[0].object.alloc_path;
     assert!(
-        path.iter().any(|frame| frame.contains("laghos_assembly.cpp")),
+        path.iter()
+            .any(|frame| frame.contains("laghos_assembly.cpp")),
         "q_dx's allocation call path must point into QUpdate: {path:?}"
     );
 }

@@ -1,7 +1,8 @@
-//! Property-based tests on the core data structures and detector
+//! Property-style tests on the core data structures and detector
 //! invariants, backing the paper's "DrGPUM does not incur false positives"
 //! claim (Sec. 5.6): every finding's evidence is re-checked against a naive
-//! oracle on randomly generated traces.
+//! oracle on randomly generated traces. Inputs come from a seeded
+//! deterministic generator, so every failure is reproducible from its seed.
 
 use drgpum::profiler::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use drgpum::profiler::depgraph::{DependencyGraph, VertexAccess};
@@ -12,8 +13,14 @@ use drgpum::profiler::patterns::{
     TraceView,
 };
 use gpu_sim::mem::DeviceAllocator;
-use gpu_sim::StreamId;
-use proptest::prelude::*;
+use gpu_sim::{SplitMix64, StreamId};
+
+const CASES: u64 = 64;
+
+/// Uniform draw in `[lo, hi)` from the deterministic generator.
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_below(hi - lo)
+}
 
 // ------------------------------------------------------------ allocator
 
@@ -23,21 +30,24 @@ enum AllocOp {
     FreeNth(usize),
 }
 
-fn alloc_ops() -> impl Strategy<Value = Vec<AllocOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (1u64..100_000).prop_map(AllocOp::Malloc),
-            (0usize..64).prop_map(AllocOp::FreeNth),
-        ],
-        1..120,
-    )
+fn alloc_ops(rng: &mut SplitMix64) -> Vec<AllocOp> {
+    let len = range(rng, 1, 120) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.chance(0.5) {
+                AllocOp::Malloc(range(rng, 1, 100_000))
+            } else {
+                AllocOp::FreeNth(range(rng, 0, 64) as usize)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn allocator_invariants(ops in alloc_ops()) {
+#[test]
+fn allocator_invariants() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let ops = alloc_ops(&mut rng);
         let capacity = 4 << 20;
         let mut a = DeviceAllocator::new(capacity);
         let mut live: Vec<(gpu_sim::DevicePtr, u64)> = Vec::new();
@@ -56,108 +66,148 @@ proptest! {
                 }
             }
             // Live allocations never overlap.
-            let mut ranges: Vec<(u64, u64)> = live
-                .iter()
-                .map(|(p, s)| (p.addr(), p.addr() + s))
-                .collect();
+            let mut ranges: Vec<(u64, u64)> =
+                live.iter().map(|(p, s)| (p.addr(), p.addr() + s)).collect();
             ranges.sort_unstable();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "overlapping allocations");
+                assert!(w[0].1 <= w[1].0, "seed {seed}: overlapping allocations");
             }
             // Accounting matches our model.
             let model_in_use: u64 = live.iter().map(|(_, s)| s).sum();
-            prop_assert_eq!(a.stats().in_use_bytes, model_in_use);
-            prop_assert!(a.stats().peak_bytes >= a.stats().in_use_bytes);
-            prop_assert_eq!(a.stats().live_allocations, live.len());
+            assert_eq!(a.stats().in_use_bytes, model_in_use, "seed {seed}");
+            assert!(
+                a.stats().peak_bytes >= a.stats().in_use_bytes,
+                "seed {seed}"
+            );
+            assert_eq!(a.stats().live_allocations, live.len(), "seed {seed}");
         }
         // Free everything: the address space coalesces back to one region.
         for (ptr, _) in live {
             a.free(ptr).expect("valid");
         }
-        prop_assert_eq!(a.largest_free(), capacity);
+        assert_eq!(a.largest_free(), capacity, "seed {seed}");
     }
+}
 
-    // -------------------------------------------------------- access maps
+// -------------------------------------------------------- access maps
 
-    #[test]
-    fn bitmap_matches_boolean_model(
-        ranges in prop::collection::vec((0u64..600, 0u64..80), 0..40),
-        len in 1u64..600,
-    ) {
+#[test]
+fn bitmap_matches_boolean_model() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let len = range(&mut rng, 1, 600);
+        let n_ranges = range(&mut rng, 0, 40) as usize;
         let mut bm = AccessBitmap::new(len);
         let mut model = vec![false; len as usize];
-        for (start, width) in ranges {
+        for _ in 0..n_ranges {
+            let start = range(&mut rng, 0, 600);
+            let width = range(&mut rng, 0, 80);
             bm.set_range(start, start + width);
             for i in start..(start + width).min(len) {
                 model[i as usize] = true;
             }
         }
-        prop_assert_eq!(bm.count_set(), model.iter().filter(|&&b| b).count() as u64);
+        assert_eq!(
+            bm.count_set(),
+            model.iter().filter(|&&b| b).count() as u64,
+            "seed {seed}"
+        );
         for (i, &m) in model.iter().enumerate() {
-            prop_assert_eq!(bm.is_set(i as u64), m);
+            assert_eq!(bm.is_set(i as u64), m, "seed {seed} index {i}");
         }
         // Largest clear run agrees with a scan of the model.
         let mut best = 0usize;
         let mut cur = 0usize;
         for &m in &model {
-            if m { best = best.max(cur); cur = 0; } else { cur += 1; }
+            if m {
+                best = best.max(cur);
+                cur = 0;
+            } else {
+                cur += 1;
+            }
         }
         best = best.max(cur);
-        prop_assert_eq!(bm.largest_clear_run(), best as u64);
+        assert_eq!(bm.largest_clear_run(), best as u64, "seed {seed}");
     }
+}
 
-    #[test]
-    fn rangeset_matches_boolean_model(
-        ranges in prop::collection::vec((0u64..500, 1u64..60), 1..40),
-    ) {
+#[test]
+fn rangeset_matches_boolean_model() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let n_ranges = range(&mut rng, 1, 40) as usize;
         let mut rs = RangeSet::new();
         let mut model = vec![false; 600];
-        for (s, w) in &ranges {
-            rs.insert(*s, s + w);
-            for i in *s..(s + w) {
+        for _ in 0..n_ranges {
+            let s = range(&mut rng, 0, 500);
+            let w = range(&mut rng, 1, 60);
+            rs.insert(s, s + w);
+            for i in s..(s + w) {
                 model[i as usize] = true;
             }
         }
-        prop_assert_eq!(rs.covered(), model.iter().filter(|&&b| b).count() as u64);
+        assert_eq!(
+            rs.covered(),
+            model.iter().filter(|&&b| b).count() as u64,
+            "seed {seed}"
+        );
         // Invariant: stored ranges are sorted, disjoint, non-adjacent.
         for w in rs.ranges().windows(2) {
-            prop_assert!(w[0].1 < w[1].0, "ranges must be disjoint and separated");
+            assert!(
+                w[0].1 < w[1].0,
+                "seed {seed}: ranges must be disjoint and separated"
+            );
         }
         // Membership agrees with the model at every boundary point.
         for (i, &m) in model.iter().enumerate() {
             let i = i as u64;
             let mut probe = RangeSet::new();
             probe.insert(i, i + 1);
-            prop_assert_eq!(rs.intersects(&probe), m);
+            assert_eq!(rs.intersects(&probe), m, "seed {seed} index {i}");
         }
     }
+}
 
-    #[test]
-    fn freqmap_total_counts_conserved(
-        accesses in prop::collection::vec((0u64..256, 1u32..8), 0..100),
-    ) {
+#[test]
+fn freqmap_total_counts_conserved() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let n_accesses = range(&mut rng, 0, 100) as usize;
         let mut fm = FreqMap::new(256, 4);
         let mut expected_total = 0u64;
-        for (off, size) in &accesses {
-            let off = (*off).min(255);
-            let size = (*size).min((256 - off) as u32);
-            if size == 0 { continue; }
+        for _ in 0..n_accesses {
+            let off = range(&mut rng, 0, 256).min(255);
+            let size = (range(&mut rng, 1, 8) as u32).min((256 - off) as u32);
+            if size == 0 {
+                continue;
+            }
             fm.record(off, size);
             let first = off / 4;
             let last = (off + u64::from(size) - 1) / 4;
             expected_total += last - first + 1;
         }
         let total: u64 = fm.counts().iter().map(|&c| u64::from(c)).sum();
-        prop_assert_eq!(total, expected_total);
-        prop_assert!(fm.coefficient_of_variation_pct() >= 0.0);
+        assert_eq!(total, expected_total, "seed {seed}");
+        assert!(fm.coefficient_of_variation_pct() >= 0.0, "seed {seed}");
     }
+}
 
-    // ----------------------------------------------------- dependency graph
+// ----------------------------------------------------- dependency graph
 
-    #[test]
-    fn topological_timestamps_respect_all_edges(
-        spec in prop::collection::vec((0u32..4, 0u64..6, 0u64..6), 1..60),
-    ) {
+#[test]
+fn topological_timestamps_respect_all_edges() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let len = range(&mut rng, 1, 60) as usize;
+        let spec: Vec<(u32, u64, u64)> = (0..len)
+            .map(|_| {
+                (
+                    range(&mut rng, 0, 4) as u32,
+                    range(&mut rng, 0, 6),
+                    range(&mut rng, 0, 6),
+                )
+            })
+            .collect();
         let vertices: Vec<VertexAccess> = spec
             .iter()
             .map(|(stream, read, write)| VertexAccess {
@@ -170,9 +220,9 @@ proptest! {
             .collect();
         let g = DependencyGraph::build(&vertices);
         for e in g.edges() {
-            prop_assert!(
+            assert!(
                 g.timestamp(e.from) < g.timestamp(e.to),
-                "edge {}->{} violates topological order",
+                "seed {seed}: edge {}->{} violates topological order",
                 e.from,
                 e.to
             );
@@ -190,40 +240,55 @@ proptest! {
             .collect();
         let g1 = DependencyGraph::build(&single);
         let expect: Vec<u64> = (0..single.len() as u64).collect();
-        prop_assert_eq!(g1.timestamps(), &expect[..]);
+        assert_eq!(g1.timestamps(), &expect[..], "seed {seed}");
     }
+}
 
-    // ------------------------------------------------- detector soundness
+// ------------------------------------------------- detector soundness
 
-    #[test]
-    fn object_level_findings_are_sound(
-        objects in prop::collection::vec(
-            // (alloc, first, last, free) offsets into a 64-API trace.
-            (0usize..16, 0usize..16, 0usize..16, 0usize..16, prop::bool::ANY),
-            1..20,
-        ),
-    ) {
+#[test]
+fn object_level_findings_are_sound() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let n_objects = range(&mut rng, 1, 20) as usize;
         let n_apis = 64;
         let mut tv = TraceView::synthetic(n_apis);
-        for (i, (a, f, l, d, freed)) in objects.iter().enumerate() {
-            let alloc = *a;
-            let first = alloc + 1 + f;
-            let last = first + l;
-            let free = last + 1 + d;
+        for i in 0..n_objects {
+            let alloc = range(&mut rng, 0, 16) as usize;
+            let first = alloc + 1 + range(&mut rng, 0, 16) as usize;
+            let last = first + range(&mut rng, 0, 16) as usize;
+            let free = last + 1 + range(&mut rng, 0, 16) as usize;
+            let freed = rng.chance(0.5);
             let mk = |idx: usize| ObjectAccess {
-                api: ApiRef { idx, ts: idx as u64, name: format!("API({idx})") },
+                api: ApiRef {
+                    idx,
+                    ts: idx as u64,
+                    name: format!("API({idx})"),
+                },
                 read: true,
                 write: false,
                 via: AccessVia::Kernel,
             };
-            let accesses = if first == last { vec![mk(first)] } else { vec![mk(first), mk(last)] };
+            let accesses = if first == last {
+                vec![mk(first)]
+            } else {
+                vec![mk(first), mk(last)]
+            };
             tv.objects.push(ObjectView {
                 id: ObjectId(i as u64),
                 label: format!("o{i}"),
                 size: 512,
-                alloc: Some(ApiRef { idx: alloc, ts: alloc as u64, name: format!("API({alloc})") }),
+                alloc: Some(ApiRef {
+                    idx: alloc,
+                    ts: alloc as u64,
+                    name: format!("API({alloc})"),
+                }),
                 alloc_anchor: alloc,
-                free: freed.then(|| ApiRef { idx: free, ts: free as u64, name: format!("API({free})") }),
+                free: freed.then(|| ApiRef {
+                    idx: free,
+                    ts: free as u64,
+                    name: format!("API({free})"),
+                }),
                 free_anchor: None,
                 accesses,
                 analyzable: true,
@@ -236,47 +301,61 @@ proptest! {
                 PatternEvidence::EarlyAllocation { intervening, .. } => {
                     let alloc_ts = obj.alloc.as_ref().unwrap().ts;
                     let first_ts = obj.accesses.first().unwrap().api.ts;
-                    prop_assert!(*intervening >= 1);
-                    prop_assert_eq!(*intervening, first_ts - alloc_ts - 1);
+                    assert!(*intervening >= 1, "seed {seed}");
+                    assert_eq!(*intervening, first_ts - alloc_ts - 1, "seed {seed}");
                 }
                 PatternEvidence::LateDeallocation { intervening, .. } => {
                     let last_ts = obj.accesses.last().unwrap().api.ts;
                     let free_ts = obj.free.as_ref().unwrap().ts;
-                    prop_assert!(*intervening >= 1);
-                    prop_assert_eq!(*intervening, free_ts - last_ts - 1);
+                    assert!(*intervening >= 1, "seed {seed}");
+                    assert_eq!(*intervening, free_ts - last_ts - 1, "seed {seed}");
                 }
-                PatternEvidence::MemoryLeak => prop_assert!(obj.free.is_none()),
-                PatternEvidence::UnusedAllocation => prop_assert!(obj.accesses.is_empty()),
+                PatternEvidence::MemoryLeak => assert!(obj.free.is_none(), "seed {seed}"),
+                PatternEvidence::UnusedAllocation => {
+                    assert!(obj.accesses.is_empty(), "seed {seed}")
+                }
                 PatternEvidence::TemporaryIdleness { spans } => {
                     for s in spans {
-                        prop_assert!(s.intervening >= thresholds.idleness_min_apis);
-                        prop_assert_eq!(s.intervening, s.to.ts - s.from.ts - 1);
+                        assert!(s.intervening >= thresholds.idleness_min_apis, "seed {seed}");
+                        assert_eq!(s.intervening, s.to.ts - s.from.ts - 1, "seed {seed}");
                     }
                 }
-                other => prop_assert!(false, "unexpected evidence {other:?}"),
+                other => panic!("seed {seed}: unexpected evidence {other:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn redundant_allocation_pairs_are_valid(
-        objects in prop::collection::vec((0usize..30, 0usize..10, 100u64..2000), 2..20),
-    ) {
+#[test]
+fn redundant_allocation_pairs_are_valid() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let n_objects = range(&mut rng, 2, 20) as usize;
         let mut tv = TraceView::synthetic(64);
-        for (i, (first, span, size)) in objects.iter().enumerate() {
-            let first = *first;
+        for i in 0..n_objects {
+            let first = range(&mut rng, 0, 30) as usize;
+            let span = range(&mut rng, 0, 10) as usize;
+            let size = range(&mut rng, 100, 2000);
             let last = (first + span).min(63);
             let mk = |idx: usize| ObjectAccess {
-                api: ApiRef { idx, ts: idx as u64, name: format!("API({idx})") },
+                api: ApiRef {
+                    idx,
+                    ts: idx as u64,
+                    name: format!("API({idx})"),
+                },
                 read: true,
                 write: true,
                 via: AccessVia::Kernel,
             };
-            let accesses = if first == last { vec![mk(first)] } else { vec![mk(first), mk(last)] };
+            let accesses = if first == last {
+                vec![mk(first)]
+            } else {
+                vec![mk(first), mk(last)]
+            };
             tv.objects.push(ObjectView {
                 id: ObjectId(i as u64),
                 label: format!("o{i}"),
-                size: *size,
+                size,
                 alloc: None,
                 alloc_anchor: 0,
                 free: None,
@@ -290,27 +369,37 @@ proptest! {
         let mut reused_sources = std::collections::HashSet::new();
         for (consumer, source) in &pairs {
             // Each source's memory handed out at most once.
-            prop_assert!(reused_sources.insert(*source), "source reused twice");
+            assert!(
+                reused_sources.insert(*source),
+                "seed {seed}: source reused twice"
+            );
             let c = &tv.objects[consumer.0 as usize];
             let s = &tv.objects[source.0 as usize];
             // Disjoint lifetimes: the source's last access strictly before
             // the consumer's first (Last sorts after First on ties).
             let s_last = s.accesses.last().unwrap().api.ts;
             let c_first = c.accesses.first().unwrap().api.ts;
-            prop_assert!(s_last < c_first, "lifetimes overlap: {s_last} !< {c_first}");
+            assert!(
+                s_last < c_first,
+                "seed {seed}: lifetimes overlap: {s_last} !< {c_first}"
+            );
             // Size window respected.
-            prop_assert!(redundant::sizes_compatible(c.size, s.size, 10.0));
+            assert!(
+                redundant::sizes_compatible(c.size, s.size, 10.0),
+                "seed {seed}"
+            );
         }
     }
 }
 
 // --------------------------------------------------------------- peaks
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn peaks_are_true_local_maxima(curve in prop::collection::vec(0u64..1000, 1..80)) {
+#[test]
+fn peaks_are_true_local_maxima() {
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(seed);
+        let len = range(&mut rng, 1, 80) as usize;
+        let curve: Vec<u64> = (0..len).map(|_| range(&mut rng, 0, 1000)).collect();
         let samples: Vec<drgpum::profiler::peaks::UsageSample> = curve
             .iter()
             .enumerate()
@@ -322,18 +411,27 @@ proptest! {
         let peaks = drgpum::profiler::peaks::find_peaks(&samples, 3);
         let global_max = curve.iter().copied().max().unwrap_or(0);
         if global_max > 0 {
-            prop_assert!(!peaks.is_empty(), "a nonzero curve has at least one peak");
-            prop_assert_eq!(peaks[0].1, global_max, "first peak is the global maximum");
+            assert!(
+                !peaks.is_empty(),
+                "seed {seed}: a nonzero curve has at least one peak"
+            );
+            assert_eq!(
+                peaks[0].1, global_max,
+                "seed {seed}: first peak is the global maximum"
+            );
         }
         for (idx, bytes) in &peaks {
-            prop_assert_eq!(curve[*idx], *bytes, "peak value comes from the curve");
+            assert_eq!(
+                curve[*idx], *bytes,
+                "seed {seed}: peak value comes from the curve"
+            );
             // No strictly larger neighbour on either side until the value
             // changes (local maximum over distinct values).
             if *idx > 0 {
-                prop_assert!(curve[idx - 1] <= *bytes);
+                assert!(curve[idx - 1] <= *bytes, "seed {seed}");
             }
             if idx + 1 < curve.len() {
-                prop_assert!(curve[idx + 1] <= *bytes);
+                assert!(curve[idx + 1] <= *bytes, "seed {seed}");
             }
         }
     }

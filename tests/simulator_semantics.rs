@@ -4,7 +4,12 @@
 use drgpum::prelude::*;
 use drgpum::workloads::common::Variant;
 use drgpum::workloads::registry::RunConfig;
-use proptest::prelude::*;
+use gpu_sim::SplitMix64;
+
+/// Uniform draw in `[lo, hi)` from the deterministic generator.
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_below(hi - lo)
+}
 
 #[test]
 fn identical_runs_are_bit_identical() {
@@ -125,20 +130,24 @@ fn oom_is_recoverable_and_invisible_to_the_profiler_trace() {
     ctx.free(a).unwrap();
     ctx.free(b).unwrap();
     let report = profiler.report(&ctx);
-    assert_eq!(report.stats.objects, 2, "the failed malloc is not an object");
+    assert_eq!(
+        report.stats.objects, 2,
+        "the failed malloc is not an object"
+    );
     assert_eq!(report.stats.leaked_objects, 0);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The unified-memory residency tracker against a naive model.
-    #[test]
-    fn unified_manager_matches_model(
-        ops in prop::collection::vec((prop::bool::ANY, 0u64..16), 1..60),
-    ) {
-        use drgpum::sim::unified::{Side, UnifiedManager};
-        use drgpum::sim::mem::PAGE_SIZE;
+/// The unified-memory residency tracker against a naive model.
+#[test]
+fn unified_manager_matches_model() {
+    use drgpum::sim::mem::PAGE_SIZE;
+    use drgpum::sim::unified::{Side, UnifiedManager};
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_ops = range(&mut rng, 1, 60) as usize;
+        let ops: Vec<(bool, u64)> = (0..n_ops)
+            .map(|_| (rng.chance(0.5), range(&mut rng, 0, 16)))
+            .collect();
         let base = gpu_sim::DevicePtr::new(0x7f00_0000_0000);
         let pages = 16u64;
         let mut m = UnifiedManager::new();
@@ -150,20 +159,31 @@ proptest! {
             let addr = base + page * PAGE_SIZE + 8;
             let migs = m.ensure_resident(addr, 4, side);
             let expected = usize::from(model[page as usize] != side);
-            prop_assert_eq!(migs.len(), expected);
+            assert_eq!(migs.len(), expected, "seed {seed}");
             model[page as usize] = side;
             model_migrations += expected as u64;
-            prop_assert_eq!(m.residency(addr), Some(side));
+            assert_eq!(m.residency(addr), Some(side), "seed {seed}");
         }
-        prop_assert_eq!(m.total_migrations(), model_migrations);
+        assert_eq!(m.total_migrations(), model_migrations, "seed {seed}");
     }
+}
 
-    /// The caching pool against a naive free-space model.
-    #[test]
-    fn caching_pool_never_overlaps_tensors(
-        ops in prop::collection::vec((prop::bool::ANY, 1u64..4096, 0usize..16), 1..60),
-    ) {
-        use drgpum::sim::pool::CachingPool;
+/// The caching pool against a naive free-space model.
+#[test]
+fn caching_pool_never_overlaps_tensors() {
+    use drgpum::sim::pool::CachingPool;
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::new(seed);
+        let n_ops = range(&mut rng, 1, 60) as usize;
+        let ops: Vec<(bool, u64, usize)> = (0..n_ops)
+            .map(|_| {
+                (
+                    rng.chance(0.5),
+                    range(&mut rng, 1, 4096),
+                    range(&mut rng, 0, 16) as usize,
+                )
+            })
+            .collect();
         let mut ctx = DeviceContext::new_default();
         let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
         let mut live: Vec<(gpu_sim::DevicePtr, u64)> = Vec::new();
@@ -176,16 +196,17 @@ proptest! {
                 let (ptr, _) = live.remove(nth % live.len());
                 pool.free(ptr).unwrap();
             }
-            let mut ranges: Vec<(u64, u64)> = live
-                .iter()
-                .map(|(p, s)| (p.addr(), p.addr() + s))
-                .collect();
+            let mut ranges: Vec<(u64, u64)> =
+                live.iter().map(|(p, s)| (p.addr(), p.addr() + s)).collect();
             ranges.sort_unstable();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0, "pool handed out overlapping tensors");
+                assert!(
+                    w[0].1 <= w[1].0,
+                    "seed {seed}: pool handed out overlapping tensors"
+                );
             }
             let model_bytes: u64 = live.iter().map(|(_, s)| s).sum();
-            prop_assert_eq!(pool.stats().allocated_bytes, model_bytes);
+            assert_eq!(pool.stats().allocated_bytes, model_bytes, "seed {seed}");
         }
     }
 }

@@ -3,8 +3,12 @@
 //! robustness beyond the hand-written workloads.
 
 use drgpum::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use gpu_sim::SplitMix64;
+
+/// Uniform draw in `[lo, hi)` from the deterministic generator.
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_below(hi - lo)
+}
 
 #[derive(Debug)]
 struct Program {
@@ -13,29 +17,38 @@ struct Program {
 
 #[derive(Debug)]
 enum Op {
-    Malloc { size: u64 },
+    Malloc {
+        size: u64,
+    },
     FreeNth(usize),
-    MemsetNth { nth: usize, value: u8 },
+    MemsetNth {
+        nth: usize,
+        value: u8,
+    },
     H2dNth(usize),
-    KernelTouch { nth: usize, write: bool, fraction: u8 },
+    KernelTouch {
+        nth: usize,
+        write: bool,
+        fraction: u8,
+    },
 }
 
-fn random_program(rng: &mut StdRng, len: usize) -> Program {
+fn random_program(rng: &mut SplitMix64, len: usize) -> Program {
     let ops = (0..len)
-        .map(|_| match rng.random_range(0..10u32) {
+        .map(|_| match range(rng, 0, 10) {
             0..=2 => Op::Malloc {
-                size: rng.random_range(64..16_384),
+                size: range(rng, 64, 16_384),
             },
-            3 => Op::FreeNth(rng.random_range(0..32)),
+            3 => Op::FreeNth(range(rng, 0, 32) as usize),
             4..=5 => Op::MemsetNth {
-                nth: rng.random_range(0..32),
-                value: rng.random_range(0..=255),
+                nth: range(rng, 0, 32) as usize,
+                value: range(rng, 0, 256) as u8,
             },
-            6 => Op::H2dNth(rng.random_range(0..32)),
+            6 => Op::H2dNth(range(rng, 0, 32) as usize),
             _ => Op::KernelTouch {
-                nth: rng.random_range(0..32),
-                write: rng.random(),
-                fraction: rng.random_range(1..=4),
+                nth: range(rng, 0, 32) as usize,
+                write: rng.chance(0.5),
+                fraction: range(rng, 1, 5) as u8,
             },
         })
         .collect();
@@ -71,7 +84,8 @@ fn execute(ctx: &mut DeviceContext, program: &Program) -> (u64, usize) {
             Op::H2dNth(nth) => {
                 if !live.is_empty() {
                     let (ptr, size) = live[nth % live.len()];
-                    ctx.memcpy_h2d(ptr, &vec![7u8; size as usize]).expect("valid");
+                    ctx.memcpy_h2d(ptr, &vec![7u8; size as usize])
+                        .expect("valid");
                     api_count += 1;
                 }
             }
@@ -111,8 +125,8 @@ fn execute(ctx: &mut DeviceContext, program: &Program) -> (u64, usize) {
 #[test]
 fn random_programs_uphold_profiler_invariants() {
     for seed in 0..40u64 {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let len = rng.random_range(5..60);
+        let mut rng = SplitMix64::new(seed);
+        let len = range(&mut rng, 5, 60) as usize;
         let program = random_program(&mut rng, len);
         let mut ctx = DeviceContext::new_default();
         let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());

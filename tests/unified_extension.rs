@@ -12,10 +12,15 @@ fn run_thrashing(ctx: &mut DeviceContext) -> Result<(), SimError> {
     for _ in 0..4 {
         let v = ctx.managed_read_f32(shared)?;
         ctx.managed_write_f32(shared, v + 1.0)?;
-        ctx.launch("bump", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
-            let v = t.load_f32(shared);
-            t.store_f32(shared, v * 2.0);
-        })?;
+        ctx.launch(
+            "bump",
+            LaunchConfig::cover(1, 1),
+            StreamId::DEFAULT,
+            move |t| {
+                let v = t.load_f32(shared);
+                t.store_f32(shared, v * 2.0);
+            },
+        )?;
     }
     ctx.sync_device();
     ctx.free(shared)?;
@@ -49,10 +54,15 @@ fn migrations_cost_simulated_time() {
     clean_ctx.memset(buf, 0, PAGE).unwrap();
     for _ in 0..4 {
         clean_ctx
-            .launch("bump", LaunchConfig::cover(1, 1), StreamId::DEFAULT, move |t| {
-                let v = t.load_f32(buf);
-                t.store_f32(buf, v * 2.0 + 1.0);
-            })
+            .launch(
+                "bump",
+                LaunchConfig::cover(1, 1),
+                StreamId::DEFAULT,
+                move |t| {
+                    let v = t.load_f32(buf);
+                    t.store_f32(buf, v * 2.0 + 1.0);
+                },
+            )
             .unwrap();
     }
     clean_ctx.sync_device();
@@ -71,13 +81,18 @@ fn managed_memory_computes_correct_results() {
     let buf = ctx.malloc_managed(n * 4, "managed").unwrap();
     let data: Vec<f32> = (0..n).map(|i| i as f32).collect();
     ctx.managed_write_f32s(buf, &data).unwrap();
-    ctx.launch("triple", LaunchConfig::cover(n, 64), StreamId::DEFAULT, move |t| {
-        let i = t.global_x();
-        if i < n {
-            let v = t.load_f32(buf + i * 4);
-            t.store_f32(buf + i * 4, v * 3.0);
-        }
-    })
+    ctx.launch(
+        "triple",
+        LaunchConfig::cover(n, 64),
+        StreamId::DEFAULT,
+        move |t| {
+            let i = t.global_x();
+            if i < n {
+                let v = t.load_f32(buf + i * 4);
+                t.store_f32(buf + i * 4, v * 3.0);
+            }
+        },
+    )
     .unwrap();
     let mut out = vec![0.0f32; n as usize];
     ctx.managed_read_f32s(&mut out, buf).unwrap();
@@ -98,8 +113,8 @@ fn unified_findings_survive_trace_replay() {
     let collector = profiler.collector();
     let collector = collector.lock();
     let saved = trace_io::save(&collector, ctx.call_stack().table(), "rtx3090");
-    let text = saved.to_json().unwrap();
-    let replayed = drgpum::profiler::SavedTrace::from_json(&text)
+    let text = saved.to_text();
+    let replayed = trace_io::load(&text)
         .unwrap()
         .reanalyze(&Thresholds::default());
     assert_eq!(live.patterns_present(), replayed.patterns_present());
@@ -121,12 +136,17 @@ fn plain_device_memory_never_reports_extension_patterns() {
     let buf = ctx.malloc(PAGE, "plain").unwrap();
     for _ in 0..8 {
         ctx.memset(buf, 0, PAGE).unwrap();
-        ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, move |t| {
-            let i = t.global_x();
-            if i < 16 {
-                t.store_f32(buf + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "k",
+            LaunchConfig::cover(16, 16),
+            StreamId::DEFAULT,
+            move |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    t.store_f32(buf + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
     }
     ctx.free(buf).unwrap();

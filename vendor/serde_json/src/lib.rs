@@ -1,0 +1,897 @@
+//! Minimal, dependency-free stand-in for the `serde_json` crate.
+//!
+//! The workspace builds in fully offline environments, so the real
+//! `serde_json` (and its `serde` dependency) cannot be fetched from a
+//! registry. This shim supplies the subset the workspace uses: the dynamic
+//! [`Value`] tree, the [`json!`] literal macro, a strict recursive-descent
+//! parser ([`from_str`]) and compact/pretty printers ([`to_string`],
+//! [`to_string_pretty`]). Objects are backed by a `BTreeMap`, matching the
+//! default (sorted-key) behaviour of the real crate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Map type used for JSON objects (sorted keys, like default serde_json).
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number: non-negative integer, negative integer, or float.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// An integer representable as `u64`.
+    PosInt(u64),
+    /// A negative integer representable as `i64`.
+    NegInt(i64),
+    /// Any other finite number.
+    Float(f64),
+}
+
+impl Number {
+    /// Numeric value as `f64` (always possible).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(n) => n as f64,
+            Number::NegInt(n) => n as f64,
+            Number::Float(f) => f,
+        }
+    }
+
+    /// Numeric value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(n) => i64::try_from(n).ok(),
+            Number::NegInt(n) => Some(n),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (*self, *other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            (Number::PosInt(a), Number::NegInt(b)) | (Number::NegInt(b), Number::PosInt(a)) => {
+                b >= 0 && a == b as u64
+            }
+            (a, b) => a.as_f64() == b.as_f64(),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// A key-sorted object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// String slice if this is a JSON string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `u64` if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `i64` if this is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `f64` if this is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// `bool` if this is a JSON boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Slice of elements if this is a JSON array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Map of members if this is a JSON object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// True if `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// True if a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// True if a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// True if an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// True if an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Member lookup that returns `None` for missing keys / wrong shapes.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_num_eq {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => *n == Number::from(*other),
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+impl_num_eq!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_number_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(n: $t) -> Number {
+                Number::PosInt(n as u64)
+            }
+        }
+    )*};
+}
+impl_number_from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_number_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Number {
+            fn from(n: $t) -> Number {
+                if n >= 0 {
+                    Number::PosInt(n as u64)
+                } else {
+                    Number::NegInt(n as i64)
+                }
+            }
+        }
+    )*};
+}
+impl_number_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f32> for Number {
+    fn from(f: f32) -> Number {
+        Number::Float(f as f64)
+    }
+}
+impl From<f64> for Number {
+    fn from(f: f64) -> Number {
+        Number::Float(f)
+    }
+}
+
+/// Conversion of Rust data into a [`Value`] — the leaf step of [`json!`].
+pub trait ToJson {
+    /// Builds the JSON representation of `self`.
+    fn to_json(&self) -> Value;
+}
+
+/// Converts anything [`ToJson`] into a [`Value`].
+pub fn to_value<T: ToJson + ?Sized>(v: &T) -> Value {
+    v.to_json()
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! impl_to_json_num {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(Number::from(*self))
+            }
+        }
+    )*};
+}
+impl_to_json_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal, like serde_json's macro.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map: $crate::Map = $crate::Map::new();
+        $crate::json_object_inner!(map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ([ $($tt:tt)* ]) => {{
+        #![allow(clippy::vec_init_then_push)]
+        #[allow(unused_mut)]
+        let mut vec: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_inner!(vec $($tt)*);
+        $crate::Value::Array(vec)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: munches object members.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_inner {
+    ($map:ident) => {};
+    ($map:ident ,) => {};
+    ($map:ident $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::Value::Null);
+        $( $crate::json_object_inner!($map $($rest)*); )?
+    };
+    ($map:ident $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $( $crate::json_object_inner!($map $($rest)*); )?
+    };
+    ($map:ident $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $( $crate::json_object_inner!($map $($rest)*); )?
+    };
+    ($map:ident $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $map.insert($key.to_string(), $crate::to_value(&$value));
+        $( $crate::json_object_inner!($map $($rest)*); )?
+    };
+}
+
+/// Implementation detail of [`json!`]: munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_inner {
+    ($vec:ident) => {};
+    ($vec:ident ,) => {};
+    ($vec:ident null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $( $crate::json_array_inner!($vec $($rest)*); )?
+    };
+    ($vec:ident { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($inner)* }));
+        $( $crate::json_array_inner!($vec $($rest)*); )?
+    };
+    ($vec:ident [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($inner)* ]));
+        $( $crate::json_array_inner!($vec $($rest)*); )?
+    };
+    ($vec:ident $value:expr $(, $($rest:tt)*)?) => {
+        $vec.push($crate::to_value(&$value));
+        $( $crate::json_array_inner!($vec $($rest)*); )?
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Printing
+// ---------------------------------------------------------------------------
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(v) => out.push_str(&v.to_string()),
+        Number::NegInt(v) => out.push_str(&v.to_string()),
+        Number::Float(f) if !f.is_finite() => out.push_str("null"),
+        Number::Float(f) if f.fract() == 0.0 && f.abs() < 1e16 => {
+            out.push_str(&format!("{f:.1}"));
+        }
+        Number::Float(f) => out.push_str(&format!("{f}")),
+    }
+}
+
+fn write_compact(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, k);
+                out.push(':');
+                write_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const PAD: &str = "  ";
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&PAD.repeat(indent + 1));
+                write_escaped(out, k);
+                out.push_str(": ");
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            out.push_str(&PAD.repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(out, other),
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_compact(&mut s, self);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&mut out, &value.to_json());
+    Ok(out)
+}
+
+/// Serializes a value to human-readable, 2-space-indented JSON.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.to_json(), 0);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Error produced by [`from_str`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(Error {
+            message: message.into(),
+            offset: self.pos,
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`"))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => self.err(format!("unexpected character `{}`", b as char)),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]` in array"),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected `,` or `}` in object"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                Ok(chunk) => out.push_str(chunk),
+                Err(_) => return self.err("invalid UTF-8 in string"),
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let cp = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&cp) {
+                                // Surrogate pair: require the low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let combined = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(cp)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue;
+                        }
+                        _ => return self.err("invalid escape sequence"),
+                    }
+                    self.pos += 1;
+                }
+                _ => return self.err("unterminated string"),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return self.err("truncated unicode escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .and_then(|s| u32::from_str_radix(s, 16).ok());
+        match hex {
+            Some(v) => {
+                self.pos = end;
+                Ok(v)
+            }
+            None => self.err("invalid unicode escape"),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error {
+                message: "invalid number".into(),
+                offset: start,
+            })?
+            .to_owned();
+        if text.is_empty() || text == "-" {
+            return self.err("invalid number");
+        }
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(n)));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(n)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) => Ok(Value::Number(Number::Float(f))),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+}
+
+/// Parses a JSON document, requiring the whole input to be consumed.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters after JSON value");
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_macro_builds_nested_values() {
+        let name = "obj";
+        let v = json!({
+            "tool": "drgpum",
+            "count": 3,
+            "nested": { "list": [1, 2, 3], "none": null },
+            "computed": format!("{name}-1"),
+            "items": [1u64, 2].iter().map(|i| json!({"i": i})).collect::<Vec<_>>(),
+        });
+        assert_eq!(v["tool"], "drgpum");
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["list"].as_array().unwrap().len(), 3);
+        assert!(v["nested"]["none"].is_null());
+        assert_eq!(v["computed"], "obj-1");
+        assert_eq!(v["items"][1]["i"], 2u64);
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn round_trip_compact_and_pretty() {
+        let v = json!({
+            "s": "a \"quoted\"\nline",
+            "f": 1.5,
+            "whole": 2.0,
+            "neg": -7,
+            "big": 18_446_744_073_709_551_615u64,
+            "arr": [true, false, null],
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back = from_str(&text).unwrap();
+            assert_eq!(back, v);
+        }
+        let compact = to_string(&v).unwrap();
+        assert!(compact.contains("\"whole\":2.0"), "{compact}");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = from_str("\"a\\u00e9b \\ud83d\\ude00\"").unwrap();
+        assert_eq!(v, "aéb 😀");
+    }
+}
