@@ -50,16 +50,18 @@ impl SanitizerHooks for Forcing {
 
 fn bench_kernels() {
     group("kernel_execution");
-    for (label, mode) in [
-        ("uninstrumented", None),
-        ("hit_flags", Some(PatchMode::HitFlags)),
-        ("full_records", Some(PatchMode::Full)),
+    for (label, mode, coalesce) in [
+        ("uninstrumented", None, false),
+        ("hit_flags", Some(PatchMode::HitFlags), false),
+        ("full_records", Some(PatchMode::Full), false),
+        ("full_records_coalesced", Some(PatchMode::Full), true),
     ] {
         let mut ctx = DeviceContext::new_default();
         if let Some(m) = mode {
             ctx.sanitizer_mut()
                 .register(Arc::new(Mutex::new(Forcing(m))));
         }
+        ctx.sanitizer_mut().set_coalescing(coalesce);
         let n = 64 * 1024u64;
         let x = ctx.malloc(n * 4, "x").expect("fits");
         let y = ctx.malloc(n * 4, "y").expect("fits");

@@ -1,0 +1,149 @@
+//! Collection-pipeline overhead comparison (Sec. 5.5): serial vs. parallel
+//! (sharded aggregation) vs. coalesced (warp-level record merging) vs. both,
+//! on the largest PolyBench workload (3MM), with full intra-object analysis
+//! of every kernel instance.
+//!
+//! Two properties are checked:
+//!
+//! 1. **Determinism** — the rendered report and the serialized trace
+//!    (format v2 text) are byte-identical across all four modes. Trace v2
+//!    round-trips depend on this; it is asserted, not sampled.
+//! 2. **Speedup** — profiling overhead (profiled wall time minus native
+//!    wall time) of parallel+coalesced is at least 2x lower than the serial
+//!    baseline.
+//!
+//! Run with `cargo run --release -p drgpum-bench --bin overhead`.
+//! `DRGPUM_RUNS` overrides the repetition count (default 7; minimum is
+//! used, so more runs only reduce noise).
+
+use drgpum_bench::profile_with_options;
+use drgpum_core::{ProfilerOptions, Report};
+use drgpum_workloads::{by_name, Variant, WorkloadSpec};
+use gpu_sim::{DeviceContext, PlatformConfig};
+use std::time::{Duration, Instant};
+
+/// Wall-clock of one native (unprofiled) run.
+fn native_once(spec: &WorkloadSpec, platform: &PlatformConfig) -> Duration {
+    let mut ctx = DeviceContext::new(platform.clone());
+    let start = Instant::now();
+    (spec.run)(&mut ctx, Variant::Unoptimized, &Default::default())
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+    start.elapsed()
+}
+
+/// Wall-clock of one profiled run (instrumented workload only — report
+/// rendering and trace serialization are mode-invariant and excluded),
+/// plus its report text and trace bytes.
+fn profiled_once(
+    spec: &WorkloadSpec,
+    platform: &PlatformConfig,
+    options: &ProfilerOptions,
+) -> (Duration, Report, String) {
+    let (report, trace, _, elapsed) = profile_with_options(
+        spec,
+        Variant::Unoptimized,
+        options.clone(),
+        platform.clone(),
+    );
+    (elapsed, report, trace)
+}
+
+fn main() {
+    let runs: usize = std::env::var("DRGPUM_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8);
+    let platform = PlatformConfig::rtx3090();
+    let spec = by_name("3MM").expect("3MM is registered");
+
+    let modes: [(&str, ProfilerOptions); 4] = [
+        ("serial", ProfilerOptions::intra_object()),
+        (
+            "parallel",
+            ProfilerOptions::intra_object().with_collector_shards(shards),
+        ),
+        (
+            "coalesced",
+            ProfilerOptions::intra_object().with_coalescing(),
+        ),
+        (
+            "parallel+coalesced",
+            ProfilerOptions::intra_object()
+                .with_collector_shards(shards)
+                .with_coalescing(),
+        ),
+    ];
+
+    println!(
+        "Collection-pipeline overhead on {} ({} shards, min of {} runs)\n",
+        spec.name, shards, runs
+    );
+
+    let native = (0..runs)
+        .map(|_| native_once(&spec, &platform))
+        .min()
+        .expect("at least one run");
+
+    let mut baseline: Option<(String, String)> = None;
+    let mut overheads: Vec<(&str, Duration)> = Vec::new();
+    for (name, options) in &modes {
+        let mut best: Option<Duration> = None;
+        for _ in 0..runs {
+            let (elapsed, report, trace) = profiled_once(&spec, &platform, options);
+            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
+            let text = report.render_text();
+            match &baseline {
+                None => baseline = Some((text, trace)),
+                Some((base_text, base_trace)) => {
+                    assert_eq!(
+                        &text, base_text,
+                        "report text diverged from serial baseline in mode `{name}`"
+                    );
+                    assert_eq!(
+                        &trace, base_trace,
+                        "trace v2 bytes diverged from serial baseline in mode `{name}`"
+                    );
+                }
+            }
+        }
+        let best = best.expect("at least one run");
+        overheads.push((name, best.saturating_sub(native)));
+    }
+
+    println!(
+        "native run:            {:>10.3} ms",
+        native.as_secs_f64() * 1e3
+    );
+    let serial_overhead = overheads[0].1;
+    println!("{:<22} {:>12} {:>10}", "mode", "overhead", "speedup");
+    println!("{}", "-".repeat(46));
+    for (name, overhead) in &overheads {
+        let speedup = serial_overhead.as_secs_f64() / overhead.as_secs_f64().max(1e-9);
+        println!(
+            "{:<22} {:>9.3} ms {:>9.2}x",
+            name,
+            overhead.as_secs_f64() * 1e3,
+            speedup
+        );
+    }
+    println!("\nreports and traces: byte-identical across all modes");
+
+    let combined = overheads
+        .iter()
+        .find(|(n, _)| *n == "parallel+coalesced")
+        .expect("mode present")
+        .1;
+    let speedup = serial_overhead.as_secs_f64() / combined.as_secs_f64().max(1e-9);
+    assert!(
+        speedup >= 2.0,
+        "parallel+coalesced must cut profiling overhead by at least 2x \
+         (got {speedup:.2}x: serial {:?} vs parallel+coalesced {:?})",
+        serial_overhead,
+        combined
+    );
+    println!("parallel+coalesced overhead speedup: {speedup:.2}x (>= 2x required)");
+}

@@ -63,6 +63,49 @@ pub fn profile_workload(
     (profiler.report(&ctx), outcome)
 }
 
+/// Profiles one workload with fully explicit [`ProfilerOptions`] and
+/// additionally returns the serialized trace (format v2 text) — the
+/// byte-exact artifact the determinism checks compare across collection
+/// modes — plus the wall-clock time of the instrumented run alone
+/// (report rendering and trace serialization excluded; those costs are
+/// identical across collection modes and would dilute overhead ratios).
+///
+/// # Panics
+///
+/// Panics if the workload itself fails (a workload bug, not a profiler
+/// condition).
+pub fn profile_with_options(
+    spec: &WorkloadSpec,
+    variant: Variant,
+    mut options: ProfilerOptions,
+    platform: PlatformConfig,
+) -> (Report, String, RunOutcome, Duration) {
+    let mut ctx = DeviceContext::new(platform);
+    if let Some(elem) = spec.elem_size_hint {
+        options.elem_size = elem;
+    }
+    if spec.uses_pool {
+        options.track_pool_tensors = true;
+    }
+    let profiler = Profiler::attach(&mut ctx, options);
+    let cfg = RunConfig {
+        pool_observer: spec.uses_pool.then(|| {
+            let collector = profiler.collector();
+            collector as gpu_sim::pool::SharedPoolObserver
+        }),
+    };
+    let start = Instant::now();
+    let outcome = (spec.run)(&mut ctx, variant, &cfg)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+    let elapsed = start.elapsed();
+    let trace = {
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        drgpum_core::trace_io::save(&collector, ctx.call_stack().table(), "rtx3090").to_text()
+    };
+    (profiler.report(&ctx), trace, outcome, elapsed)
+}
+
 /// Convenience: profile with the paper's defaults (intra-object analysis,
 /// every kernel instance, RTX 3090 platform).
 pub fn profile_default(spec: &WorkloadSpec, variant: Variant) -> (Report, RunOutcome) {

@@ -10,6 +10,33 @@
 
 use std::fmt;
 
+/// Rejected merge of two access maps covering different extents.
+///
+/// Returned by [`AccessBitmap::merge`] and [`FreqMap::merge`] when the two
+/// maps do not describe the same data object: silently truncating to the
+/// shorter map would drop accesses and corrupt the overallocation and
+/// frequency analyses, so mismatches are surfaced to the caller (the
+/// sharded collector records them as degradations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LengthMismatch {
+    /// Extent of the map being merged into.
+    pub left: u64,
+    /// Extent of the map being merged from.
+    pub right: u64,
+}
+
+impl fmt::Display for LengthMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot merge access maps of different extents ({} vs {})",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for LengthMismatch {}
+
 /// A bitmap with one bit per byte of a data object.
 ///
 /// # Examples
@@ -56,24 +83,55 @@ impl AccessBitmap {
     }
 
     /// Marks the half-open byte range `[start, end)` as accessed. Ranges are
-    /// clamped to the bitmap length.
+    /// clamped to the bitmap length; empty, inverted, and fully out-of-range
+    /// requests (including `start == end == len` and any range on a
+    /// zero-length bitmap) are no-ops.
     pub fn set_range(&mut self, start: u64, end: u64) {
         let end = end.min(self.len);
-        if start >= end {
+        // Covers `len == 0` (empty `words`), `start == end == len`, and
+        // inverted ranges: nothing to set, and no word may be indexed.
+        if start >= end || self.words.is_empty() {
             return;
         }
-        let (first_word, first_bit) = ((start / 64) as usize, start % 64);
-        let (last_word, last_bit) = (((end - 1) / 64) as usize, (end - 1) % 64);
+        let (first_word, first_bit) = ((start / 64) as usize, (start % 64) as u32);
+        let (last_word, last_bit) = (((end - 1) / 64) as usize, ((end - 1) % 64) as u32);
+        // Build the tail mask from the low side (`(1 << (b+1)) - 1`) rather
+        // than the old `u64::MAX >> (63 - b)` form: the subtraction shape
+        // underflows the shift when a future edit lets `b` escape 0..=63,
+        // while this form degrades to an explicit, tested branch.
+        let tail_mask = if last_bit >= 63 {
+            u64::MAX
+        } else {
+            (1u64 << (last_bit + 1)) - 1
+        };
+        let head_mask = u64::MAX << first_bit;
         if first_word == last_word {
-            let mask = (u64::MAX << first_bit) & (u64::MAX >> (63 - last_bit));
-            self.words[first_word] |= mask;
+            self.words[first_word] |= head_mask & tail_mask;
             return;
         }
-        self.words[first_word] |= u64::MAX << first_bit;
+        self.words[first_word] |= head_mask;
         for w in &mut self.words[first_word + 1..last_word] {
             *w = u64::MAX;
         }
-        self.words[last_word] |= u64::MAX >> (63 - last_bit);
+        self.words[last_word] |= tail_mask;
+    }
+
+    /// Bitwise-ORs `other` into `self`.
+    ///
+    /// Both bitmaps must cover the same number of bytes; merging maps of
+    /// different extents is rejected (never silently truncated) because it
+    /// means the two sides disagree about the object being described.
+    pub fn merge(&mut self, other: &AccessBitmap) -> Result<(), LengthMismatch> {
+        if self.len != other.len {
+            return Err(LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+        Ok(())
     }
 
     /// Returns `true` if byte `i` is marked accessed.
@@ -90,15 +148,12 @@ impl AccessBitmap {
         // Bits beyond `len` are never set by `set_range`, but be defensive.
         let tail_bits = (self.words.len() as u64 * 64).saturating_sub(self.len);
         debug_assert!(tail_bits < 64 || self.words.is_empty());
-        if tail_bits > 0 && !self.words.is_empty() {
-            let last = *self.words.last().expect("non-empty");
-            let valid = 64 - tail_bits;
-            let invalid_mask = if valid == 0 {
-                u64::MAX
-            } else {
-                u64::MAX << valid
-            };
-            total -= u64::from((last & invalid_mask).count_ones());
+        if tail_bits > 0 {
+            if let Some(&last) = self.words.last() {
+                // `tail_bits` is in 1..=63 here, so the shift is in range.
+                let invalid_mask = u64::MAX << (64 - tail_bits);
+                total -= u64::from((last & invalid_mask).count_ones());
+            }
         }
         total
     }
@@ -119,35 +174,78 @@ impl AccessBitmap {
 
     /// Length of the longest run of unaccessed bytes.
     pub fn largest_clear_run(&self) -> u64 {
-        let mut best = 0u64;
-        let mut cur = 0u64;
-        for i in 0..self.len {
-            if self.is_set(i) {
-                best = best.max(cur);
-                cur = 0;
-            } else {
-                cur += 1;
-            }
-        }
-        best.max(cur)
+        self.clear_ranges()
+            .iter()
+            .map(|(s, e)| e - s)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The unaccessed byte ranges, merged, as `(start, end)` pairs.
+    ///
+    /// Scans a word (64 bytes) at a time, skipping all-set and all-clear
+    /// words in one step — the per-bit version dominated trace export and
+    /// fragmentation scoring for multi-megabyte objects.
     pub fn clear_ranges(&self) -> Vec<(u64, u64)> {
-        let mut out = Vec::new();
+        let mut out: Vec<(u64, u64)> = Vec::new();
         let mut run_start: Option<u64> = None;
-        for i in 0..self.len {
-            match (self.is_set(i), run_start) {
-                (false, None) => run_start = Some(i),
-                (true, Some(s)) => {
-                    out.push((s, i));
-                    run_start = None;
+        let close_run = |run_start: &mut Option<u64>, end: u64, out: &mut Vec<(u64, u64)>| {
+            if let Some(s) = run_start.take() {
+                out.push((s, end));
+            }
+        };
+        for (wi, &word) in self.words.iter().enumerate() {
+            let base = wi as u64 * 64;
+            let valid = (self.len - base).min(64) as u32;
+            // Bits at `valid..64` lie beyond `len`; treat them as set so
+            // they never extend a clear run.
+            let masked = if valid == 64 {
+                word
+            } else {
+                word | (u64::MAX << valid)
+            };
+            if masked == 0 {
+                // Whole word clear.
+                run_start.get_or_insert(base);
+                continue;
+            }
+            if masked == u64::MAX {
+                close_run(&mut run_start, base, &mut out);
+                continue;
+            }
+            let mut bit = 0u32;
+            while bit < valid {
+                if masked & (1u64 << bit) == 0 {
+                    run_start.get_or_insert(base + u64::from(bit));
+                    // Jump to the next set bit at or above `bit`.
+                    let rest = masked >> bit;
+                    bit += rest.trailing_zeros();
+                } else {
+                    close_run(&mut run_start, base + u64::from(bit), &mut out);
+                    // Jump to the next clear bit at or above `bit`.
+                    let rest = !masked >> bit;
+                    bit += if rest == 0 { 64 } else { rest.trailing_zeros() };
                 }
-                _ => {}
             }
         }
-        if let Some(s) = run_start {
-            out.push((s, self.len));
+        close_run(&mut run_start, self.len, &mut out);
+        out
+    }
+
+    /// The accessed byte ranges, merged, as `(start, end)` pairs — the
+    /// complement of [`clear_ranges`](Self::clear_ranges), used by the trace
+    /// writer's run-length encoding.
+    pub fn accessed_ranges(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cursor = 0u64;
+        for (s, e) in self.clear_ranges() {
+            if cursor < s {
+                out.push((cursor, s));
+            }
+            cursor = e;
+        }
+        if cursor < self.len {
+            out.push((cursor, self.len));
         }
         out
     }
@@ -219,6 +317,18 @@ impl RangeSet {
                 let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
                 self.ranges.insert(pos, (new_start, new_end));
             }
+        }
+    }
+
+    /// Merges every interval of `other` into `self`.
+    ///
+    /// Range sets carry no fixed extent, so unlike the bitmap and frequency
+    /// maps this merge cannot mismatch. The result is canonical (sorted,
+    /// non-overlapping, non-adjacent) regardless of merge order, which is
+    /// what makes the sharded collector's output order-independent.
+    pub fn merge(&mut self, other: &RangeSet) {
+        for &(s, e) in &other.ranges {
+            self.insert(s, e);
         }
     }
 
@@ -326,6 +436,24 @@ impl FreqMap {
         for i in first..=last.min(self.counts.len() - 1) {
             self.counts[i] = self.counts[i].saturating_add(1);
         }
+    }
+
+    /// Adds `other`'s per-element counts into `self`, saturating.
+    ///
+    /// Both maps must have the same element count and width: a mismatch
+    /// means they describe different objects (or the same object at
+    /// different granularities) and is rejected rather than truncated.
+    pub fn merge(&mut self, other: &FreqMap) -> Result<(), LengthMismatch> {
+        if self.counts.len() != other.counts.len() || self.elem_size != other.elem_size {
+            return Err(LengthMismatch {
+                left: self.counts.len() as u64,
+                right: other.counts.len() as u64,
+            });
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c = c.saturating_add(*o);
+        }
+        Ok(())
     }
 
     /// Per-element counts.
@@ -497,9 +625,291 @@ mod tests {
     }
 
     #[test]
+    fn freqmap_cov_is_zero_not_nan_for_degenerate_maps() {
+        // Empty map, single-element map, and untouched map must all report
+        // 0.0 — a NaN here poisons the non-uniform-access-frequency
+        // detector's `cov > threshold` compare (always false).
+        let empty = FreqMap::new(0, 4);
+        assert_eq!(empty.coefficient_of_variation_pct(), 0.0);
+        let mut single = FreqMap::new(4, 4);
+        single.record(0, 4);
+        let cov = single.coefficient_of_variation_pct();
+        assert!(!cov.is_nan());
+        assert_eq!(cov, 0.0);
+        let untouched = FreqMap::new(100, 4);
+        assert_eq!(untouched.coefficient_of_variation_pct(), 0.0);
+    }
+
+    #[test]
     fn freqmap_clamps_trailing_partial_element() {
         let mut fm = FreqMap::new(10, 4); // 3 elements (last covers 2 bytes)
         fm.record(8, 4);
         assert_eq!(fm.counts(), &[0, 0, 1]);
+    }
+
+    #[test]
+    fn bitmap_zero_length_edges() {
+        let mut bm = AccessBitmap::new(0);
+        bm.set_range(0, 0);
+        bm.set_range(0, 100);
+        assert_eq!(bm.count_set(), 0);
+        assert_eq!(bm.count_clear(), 0);
+        assert!(bm.clear_ranges().is_empty());
+        assert!(bm.accessed_ranges().is_empty());
+        assert_eq!(bm.largest_clear_run(), 0);
+    }
+
+    #[test]
+    fn bitmap_start_equals_end_equals_len_is_noop() {
+        for len in [1u64, 63, 64, 65, 127, 128] {
+            let mut bm = AccessBitmap::new(len);
+            bm.set_range(len, len);
+            assert_eq!(bm.count_set(), 0, "len {len}");
+            bm.set_range(len - 1, len);
+            assert_eq!(bm.count_set(), 1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn bitmap_merge_is_bitwise_or() {
+        let mut a = AccessBitmap::new(200);
+        let mut b = AccessBitmap::new(200);
+        a.set_range(0, 50);
+        b.set_range(40, 130);
+        b.set_range(190, 200);
+        a.merge(&b).expect("same length");
+        assert_eq!(a.count_set(), 140);
+        assert_eq!(a.accessed_ranges(), vec![(0, 130), (190, 200)]);
+    }
+
+    #[test]
+    fn bitmap_merge_rejects_mismatched_lengths() {
+        let mut a = AccessBitmap::new(100);
+        let b = AccessBitmap::new(101);
+        let err = a.merge(&b).expect_err("mismatch");
+        assert_eq!(
+            err,
+            LengthMismatch {
+                left: 100,
+                right: 101
+            }
+        );
+        // The failed merge must not have partially applied.
+        assert_eq!(a.count_set(), 0);
+    }
+
+    #[test]
+    fn rangeset_merge_matches_sequential_inserts() {
+        let a: RangeSet = [(0, 10), (20, 30)].into_iter().collect();
+        let b: RangeSet = [(5, 22), (40, 50)].into_iter().collect();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut expected = RangeSet::new();
+        for &(s, e) in a.ranges().iter().chain(b.ranges()) {
+            expected.insert(s, e);
+        }
+        assert_eq!(merged, expected);
+        assert_eq!(merged.ranges(), &[(0, 30), (40, 50)]);
+    }
+
+    #[test]
+    fn freqmap_merge_adds_counts_saturating() {
+        let mut a = FreqMap::new(12, 4);
+        let mut b = FreqMap::new(12, 4);
+        a.record(0, 4);
+        b.record(0, 8);
+        b.record(8, 4);
+        a.merge(&b).expect("same shape");
+        assert_eq!(a.counts(), &[2, 1, 1]);
+
+        // Doubling via self-merge must saturate at u32::MAX, not wrap.
+        let mut sat = FreqMap::new(4, 4);
+        sat.record(0, 4);
+        for _ in 0..40 {
+            let snapshot = sat.clone();
+            sat.merge(&snapshot).expect("same shape");
+        }
+        assert_eq!(sat.counts(), &[u32::MAX]);
+    }
+
+    #[test]
+    fn freqmap_merge_rejects_mismatched_shapes() {
+        let mut a = FreqMap::new(16, 4);
+        let b = FreqMap::new(20, 4); // different element count
+        assert!(a.merge(&b).is_err());
+        let c = FreqMap::new(16, 8); // same byte size, different granularity
+        assert!(a.merge(&c).is_err());
+    }
+
+    /// Property tests: `set_range` / `count_set` / `merge` / `clear_ranges`
+    /// against a naive `Vec<bool>` model, driven by the in-tree SplitMix64.
+    mod properties {
+        use super::*;
+        use gpu_sim::SplitMix64;
+
+        struct Model {
+            bytes: Vec<bool>,
+        }
+
+        impl Model {
+            fn new(len: u64) -> Self {
+                Model {
+                    bytes: vec![false; len as usize],
+                }
+            }
+
+            fn set_range(&mut self, start: u64, end: u64) {
+                let end = (end as usize).min(self.bytes.len());
+                for i in (start as usize)..end {
+                    self.bytes[i] = true;
+                }
+            }
+
+            fn merge(&mut self, other: &Model) {
+                for (b, o) in self.bytes.iter_mut().zip(&other.bytes) {
+                    *b |= o;
+                }
+            }
+
+            fn count_set(&self) -> u64 {
+                self.bytes.iter().filter(|&&b| b).count() as u64
+            }
+
+            fn clear_ranges(&self) -> Vec<(u64, u64)> {
+                let mut out = Vec::new();
+                let mut run: Option<u64> = None;
+                for (i, &b) in self.bytes.iter().enumerate() {
+                    match (b, run) {
+                        (false, None) => run = Some(i as u64),
+                        (true, Some(s)) => {
+                            out.push((s, i as u64));
+                            run = None;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(s) = run {
+                    out.push((s, self.bytes.len() as u64));
+                }
+                out
+            }
+        }
+
+        fn check_against_model(bm: &AccessBitmap, model: &Model, case: &str) {
+            assert_eq!(bm.count_set(), model.count_set(), "{case}: count_set");
+            assert_eq!(
+                bm.clear_ranges(),
+                model.clear_ranges(),
+                "{case}: clear_ranges"
+            );
+            assert_eq!(
+                bm.largest_clear_run(),
+                model
+                    .clear_ranges()
+                    .iter()
+                    .map(|(s, e)| e - s)
+                    .max()
+                    .unwrap_or(0),
+                "{case}: largest_clear_run"
+            );
+            for (s, e) in bm.accessed_ranges() {
+                for i in s..e {
+                    assert!(model.bytes[i as usize], "{case}: accessed_ranges at {i}");
+                }
+            }
+        }
+
+        #[test]
+        fn bitmap_matches_vec_bool_model() {
+            let mut rng = SplitMix64::new(0x000A_CCE5_5B17);
+            for trial in 0..200 {
+                // Lengths biased to word boundaries and their neighbours.
+                let len = match trial % 5 {
+                    0 => rng.next_below(3), // 0..3: degenerate sizes
+                    1 => 64 * (1 + rng.next_below(4)),
+                    2 => 64 * (1 + rng.next_below(4)) - 1,
+                    3 => 64 * (1 + rng.next_below(4)) + 1,
+                    _ => 1 + rng.next_below(700),
+                };
+                let mut bm = AccessBitmap::new(len);
+                let mut model = Model::new(len);
+                for op in 0..24 {
+                    // Starts/ends may exceed `len` to exercise clamping.
+                    let start = rng.next_below(len + 10);
+                    let end = start + rng.next_below(80);
+                    bm.set_range(start, end);
+                    model.set_range(start, end);
+                    if op % 8 == 7 {
+                        check_against_model(&bm, &model, &format!("trial {trial} op {op}"));
+                    }
+                }
+                // Merge a second randomly-filled bitmap of the same length.
+                let mut other = AccessBitmap::new(len);
+                let mut other_model = Model::new(len);
+                for _ in 0..8 {
+                    let start = rng.next_below(len + 10);
+                    let end = start + rng.next_below(200);
+                    other.set_range(start, end);
+                    other_model.set_range(start, end);
+                }
+                bm.merge(&other).expect("same length");
+                model.merge(&other_model);
+                check_against_model(&bm, &model, &format!("trial {trial} after merge"));
+            }
+        }
+
+        #[test]
+        fn freqmap_merge_matches_sequential_records() {
+            let mut rng = SplitMix64::new(0xF4E9);
+            for trial in 0..100 {
+                let bytes = 1 + rng.next_below(300);
+                let elem = 1 + rng.next_below(8) as u32;
+                let mut split_a = FreqMap::new(bytes, elem);
+                let mut split_b = FreqMap::new(bytes, elem);
+                let mut sequential = FreqMap::new(bytes, elem);
+                for i in 0..20 {
+                    let off = rng.next_below(bytes);
+                    let size = 1 + rng.next_below(16) as u32;
+                    sequential.record(off, size);
+                    // Alternate records across the two shards.
+                    if i % 2 == 0 {
+                        split_a.record(off, size);
+                    } else {
+                        split_b.record(off, size);
+                    }
+                }
+                split_a.merge(&split_b).expect("same shape");
+                assert_eq!(
+                    split_a.counts(),
+                    sequential.counts(),
+                    "trial {trial}: sharded merge must equal sequential aggregation"
+                );
+            }
+        }
+
+        #[test]
+        fn rangeset_insert_order_is_irrelevant() {
+            let mut rng = SplitMix64::new(0x5E7);
+            for trial in 0..100 {
+                let mut ranges = Vec::new();
+                for _ in 0..12 {
+                    let s = rng.next_below(500);
+                    ranges.push((s, s + 1 + rng.next_below(60)));
+                }
+                let forward: RangeSet = ranges.iter().copied().collect();
+                let backward: RangeSet = ranges.iter().rev().copied().collect();
+                assert_eq!(forward, backward, "trial {trial}");
+                // Covered bytes must equal the model's union size.
+                let max = ranges.iter().map(|&(_, e)| e).max().unwrap_or(0);
+                let mut model = vec![false; max as usize];
+                for &(s, e) in &ranges {
+                    for b in model.iter_mut().take(e as usize).skip(s as usize) {
+                        *b = true;
+                    }
+                }
+                let covered = model.iter().filter(|&&b| b).count() as u64;
+                assert_eq!(forward.covered(), covered, "trial {trial}: covered");
+            }
+        }
     }
 }

@@ -155,15 +155,24 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs one detector family under panic isolation, appending its findings
-/// (if it succeeded) and recording its status either way.
-fn run_detector(
+/// Outcome of one isolated detector run: findings, or the panic payload.
+type DetectorResult = std::result::Result<Vec<PatternFinding>, Box<dyn std::any::Any + Send>>;
+
+/// Runs one detector family under panic isolation. Safe to call from a
+/// worker thread; pair with [`record_detector`] on the owning thread.
+fn run_detector(body: impl FnOnce() -> Vec<PatternFinding>) -> DetectorResult {
+    catch_unwind(AssertUnwindSafe(body))
+}
+
+/// Folds one detector outcome into the report accumulators, appending its
+/// findings (if it succeeded) and recording its status either way.
+fn record_detector(
     name: &str,
+    result: DetectorResult,
     raw: &mut Vec<PatternFinding>,
     statuses: &mut Vec<DetectorStatus>,
-    body: impl FnOnce() -> Vec<PatternFinding>,
 ) {
-    match catch_unwind(AssertUnwindSafe(body)) {
+    match result {
         Ok(found) => {
             statuses.push(DetectorStatus {
                 name: name.to_owned(),
@@ -203,21 +212,34 @@ pub fn assemble_report(
     platform: &str,
     degradations: Vec<DegradationRecord>,
 ) -> Report {
-    // Pattern detection, one isolated family at a time.
+    // Pattern detection. The four families are independent, so they run on
+    // scoped worker threads, each under the same per-family panic isolation
+    // as before. Results are folded in a fixed order (the serial order), so
+    // the report — findings, statuses, serialization — is identical to a
+    // single-threaded run.
     let mut raw: Vec<PatternFinding> = Vec::new();
     let mut detectors: Vec<DetectorStatus> = Vec::new();
-    run_detector("object_level", &mut raw, &mut detectors, || {
-        object_level::detect_all(trace, thresholds)
+    let (r_obj, r_red, r_intra, r_uni) = std::thread::scope(|s| {
+        let obj = s.spawn(|| run_detector(|| object_level::detect_all(trace, thresholds)));
+        let red = s.spawn(|| {
+            run_detector(|| {
+                redundant::detect_redundant_allocations(trace, thresholds.redundant_size_pct)
+            })
+        });
+        let intra_h = s.spawn(|| run_detector(|| intra::detect_all(intra, trace, thresholds)));
+        let uni =
+            s.spawn(|| run_detector(|| crate::patterns::unified::detect_all(unified, thresholds)));
+        // A detector panic is caught *inside* the worker; a join error can
+        // only be a secondary panic (e.g. in a Drop) — treat its payload
+        // the same way.
+        let join =
+            |h: std::thread::ScopedJoinHandle<'_, DetectorResult>| h.join().unwrap_or_else(Err);
+        (join(obj), join(red), join(intra_h), join(uni))
     });
-    run_detector("redundant", &mut raw, &mut detectors, || {
-        redundant::detect_redundant_allocations(trace, thresholds.redundant_size_pct)
-    });
-    run_detector("intra", &mut raw, &mut detectors, || {
-        intra::detect_all(intra, trace, thresholds)
-    });
-    run_detector("unified", &mut raw, &mut detectors, || {
-        crate::patterns::unified::detect_all(unified, thresholds)
-    });
+    record_detector("object_level", r_obj, &mut raw, &mut detectors);
+    record_detector("redundant", r_red, &mut raw, &mut detectors);
+    record_detector("intra", r_intra, &mut raw, &mut detectors);
+    record_detector("unified", r_uni, &mut raw, &mut detectors);
 
     // Peak analysis over the object metadata.
     let by_id: HashMap<_, &ObjectMeta> = objects.iter().map(|o| (o.id, o)).collect();

@@ -14,7 +14,7 @@
 //! All pattern detection itself happens offline in
 //! [`crate::analyzer`], on the data gathered here.
 
-use crate::accessmap::{FreqMap, RangeSet};
+use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use crate::depgraph::VertexAccess;
 use crate::object::{ObjectId, ObjectRegistry, ObjectSource};
 use crate::options::{AnalysisLevel, ProfilerOptions};
@@ -106,6 +106,50 @@ impl IntraState {
     }
 }
 
+/// Per-kernel aggregation state for one object owned by one shard worker.
+///
+/// Each object hashes to exactly one shard, so one worker sees all of an
+/// object's records in buffer order — per-object state is built in the same
+/// sequence as the serial path, which is what makes the merged result
+/// byte-identical.
+#[derive(Debug)]
+struct KernelScratch {
+    read: bool,
+    write: bool,
+    intra: Option<ScratchIntra>,
+}
+
+#[derive(Debug)]
+struct ScratchIntra {
+    size: u64,
+    bitmap: crate::accessmap::AccessBitmap,
+    ranges: RangeSet,
+    freq: FreqMap,
+}
+
+/// Which shard owns `object`. Plain modulo on the id keeps the assignment
+/// deterministic across runs (no hasher seeds involved).
+fn shard_of(object: ObjectId, shards: usize) -> usize {
+    (object.0 % shards as u64) as usize
+}
+
+/// Resolves a device address to the innermost containing object and the
+/// offset within it. Free function so shard workers can share the registry
+/// without borrowing the whole collector.
+fn resolve_in(registry: &ObjectRegistry, addr: DevicePtr) -> Option<(ObjectId, u64)> {
+    let id = registry.resolve(addr)?;
+    let base = registry.get(id)?.range.start;
+    Some((id, addr.offset_from(base)))
+}
+
+/// Records per dynamically-claimed resolution chunk in the parallel phase.
+const RESOLVE_CHUNK: usize = 1024;
+
+/// Below this many records, threading overhead dwarfs the work: aggregate
+/// on the calling thread (still through the shard scratch, so the merged
+/// result is identical).
+const PARALLEL_THRESHOLD: usize = 2048;
+
 /// The online data collector. Register it with
 /// [`gpu_sim::Sanitizer::register`] (and, for pool workloads, with
 /// [`gpu_sim::pool::CachingPool::register_observer`]); the
@@ -141,6 +185,9 @@ pub struct Collector {
     /// side regardless of the Sec. 5.5 capacity estimate — the estimate is
     /// unreliable once the device has refused memory.
     force_cpu_maps: bool,
+    /// Per-shard aggregation scratch for the kernel currently executing
+    /// (parallel mode only); drained into `intra`/`accesses` at kernel end.
+    shard_scratch: Vec<HashMap<ObjectId, KernelScratch>>,
 }
 
 impl Collector {
@@ -167,6 +214,7 @@ impl Collector {
             device_capacity,
             degradations: Vec::new(),
             force_cpu_maps: false,
+            shard_scratch: Vec::new(),
         }
     }
 
@@ -335,9 +383,161 @@ impl Collector {
 
     /// Resolves a device range to the innermost containing object.
     fn resolve_range(&self, start: DevicePtr, _len: u64) -> Option<(ObjectId, u64)> {
-        let id = self.registry.resolve(start)?;
-        let base = self.registry.get(id)?.range.start;
-        Some((id, start.offset_from(base)))
+        resolve_in(&self.registry, start)
+    }
+
+    /// Parallel-mode record aggregation: resolves the buffer against the
+    /// memory map, then partitions the per-object aggregation across shard
+    /// workers. Each object belongs to exactly one shard, so per-object
+    /// update order equals buffer order — the same order the serial path
+    /// applies — and the merged result is byte-identical.
+    fn sharded_buffer(&mut self, records: &[MemAccessRecord], shards: usize) {
+        if self.shard_scratch.len() != shards {
+            self.shard_scratch = (0..shards).map(|_| HashMap::new()).collect();
+        }
+        let elem_size = self.opts.elem_size.max(1);
+        let monitor_intra = self.opts.analysis == AnalysisLevel::IntraObject;
+        let registry = &self.registry;
+        let small = records.len() < PARALLEL_THRESHOLD;
+
+        // Phase A: resolve every record to (object, offset). Workers claim
+        // fixed-size chunks from a shared cursor (dynamic load balancing —
+        // resolution cost varies with map depth) and scatter results back
+        // under the output lock.
+        let resolved: Vec<Option<(ObjectId, u64)>> = if small {
+            records
+                .iter()
+                .map(|r| resolve_in(registry, r.addr))
+                .collect()
+        } else {
+            let out = parking_lot::Mutex::new(vec![None; records.len()]);
+            let cursor = parking_lot::Mutex::new(0usize);
+            std::thread::scope(|s| {
+                for _ in 0..shards {
+                    s.spawn(|| loop {
+                        let start = {
+                            let mut c = cursor.lock();
+                            let claimed = *c;
+                            *c = (claimed + RESOLVE_CHUNK).min(records.len());
+                            claimed
+                        };
+                        if start >= records.len() {
+                            break;
+                        }
+                        let end = (start + RESOLVE_CHUNK).min(records.len());
+                        let local: Vec<Option<(ObjectId, u64)>> = records[start..end]
+                            .iter()
+                            .map(|r| resolve_in(registry, r.addr))
+                            .collect();
+                        out.lock()[start..end].copy_from_slice(&local);
+                    });
+                }
+            });
+            out.into_inner()
+        };
+
+        // Phase B: per-shard aggregation. Each worker owns its scratch map
+        // exclusively (`iter_mut` hands out disjoint `&mut`), so no locking
+        // is needed on the hot update path.
+        let aggregate = |shard_id: usize, map: &mut HashMap<ObjectId, KernelScratch>| {
+            for (r, res) in records.iter().zip(&resolved) {
+                let Some((obj, off)) = *res else { continue };
+                if shard_of(obj, shards) != shard_id {
+                    continue;
+                }
+                let entry = map.entry(obj).or_insert(KernelScratch {
+                    read: false,
+                    write: false,
+                    intra: None,
+                });
+                match r.kind {
+                    AccessKind::Read => entry.read = true,
+                    AccessKind::Write => entry.write = true,
+                }
+                if monitor_intra {
+                    let Some(o) = registry.get(obj) else { continue };
+                    if !o.source.is_analyzable() {
+                        continue;
+                    }
+                    let size = o.size();
+                    let si = entry.intra.get_or_insert_with(|| ScratchIntra {
+                        size,
+                        bitmap: AccessBitmap::new(size),
+                        ranges: RangeSet::new(),
+                        freq: FreqMap::new(size, elem_size),
+                    });
+                    si.bitmap.set_range(off, off + u64::from(r.size));
+                    si.ranges.insert(off, off + u64::from(r.size));
+                    si.freq.record(off, r.size);
+                }
+            }
+        };
+        if small {
+            for (shard_id, map) in self.shard_scratch.iter_mut().enumerate() {
+                aggregate(shard_id, map);
+            }
+        } else {
+            let aggregate = &aggregate;
+            std::thread::scope(|s| {
+                for (shard_id, map) in self.shard_scratch.iter_mut().enumerate() {
+                    s.spawn(move || aggregate(shard_id, map));
+                }
+            });
+        }
+    }
+
+    /// Drains the per-shard scratch into the persistent per-object state,
+    /// in ascending object-id order (the same order the serial path
+    /// attributes accesses in).
+    fn finish_kernel_sharded(&mut self, api_idx: usize) {
+        let mut merged: Vec<(ObjectId, KernelScratch)> = self
+            .shard_scratch
+            .iter_mut()
+            .flat_map(|m| m.drain())
+            .collect();
+        merged.sort_by_key(|(id, _)| *id);
+        let elem_size = self.opts.elem_size.max(1);
+        for (obj, scratch) in merged {
+            self.note_access(api_idx, obj, scratch.read, scratch.write, AccessVia::Kernel);
+            let Some(si) = scratch.intra else { continue };
+            let st = self
+                .intra
+                .entry(obj)
+                .or_insert_with(|| IntraState::new(obj, si.size));
+            if let Err(e) = st.data.bitmap.merge(&si.bitmap) {
+                // The object was re-registered with a different size
+                // mid-kernel — impossible through the API, but never
+                // silently truncate if it happens.
+                self.degradations.push(DegradationRecord::new(
+                    "collector",
+                    format!("dropped intra maps for {obj}: {e}"),
+                ));
+                continue;
+            }
+            if !si.ranges.is_empty() {
+                st.data.per_api.push((api_idx, si.ranges));
+            }
+            let cov = si.freq.coefficient_of_variation_pct();
+            let better = st
+                .data
+                .nuaf_peak
+                .as_ref()
+                .map(|(_, best, _)| cov > *best)
+                .unwrap_or(true);
+            if better && cov > 0.0 {
+                st.data.nuaf_peak = Some((api_idx, cov, si.freq.histogram()));
+            }
+            let lf = st
+                .data
+                .lifetime_freq
+                .get_or_insert_with(|| FreqMap::new(si.size, elem_size));
+            if let Err(e) = lf.merge(&si.freq) {
+                self.degradations.push(DegradationRecord::new(
+                    "collector",
+                    format!("dropped lifetime frequencies for {obj}: {e}"),
+                ));
+            }
+        }
     }
 
     /// Finishes the currently-executing kernel: attributes object accesses
@@ -347,13 +547,18 @@ impl Collector {
         // Object-level attribution: prefer the per-record set (needed for
         // pool tensors) when fully patched; otherwise the hit-flag summary.
         if self.current_mode == PatchMode::Full {
-            let objs: Vec<(ObjectId, (bool, bool))> = {
-                let mut v: Vec<_> = self.current_objects.iter().map(|(k, v)| (*k, *v)).collect();
-                v.sort_by_key(|(id, _)| *id);
-                v
-            };
-            for (obj, (read, write)) in objs {
-                self.note_access(api_idx, obj, read, write, AccessVia::Kernel);
+            if self.opts.collector_shards.max(1) > 1 {
+                self.finish_kernel_sharded(api_idx);
+            } else {
+                let objs: Vec<(ObjectId, (bool, bool))> = {
+                    let mut v: Vec<_> =
+                        self.current_objects.iter().map(|(k, v)| (*k, *v)).collect();
+                    v.sort_by_key(|(id, _)| *id);
+                    v
+                };
+                for (obj, (read, write)) in objs {
+                    self.note_access(api_idx, obj, read, write, AccessVia::Kernel);
+                }
             }
         } else {
             for t in touched {
@@ -592,6 +797,11 @@ impl SanitizerHooks for Collector {
 
     fn on_mem_access_buffer(&mut self, _info: &KernelInfo, records: &[MemAccessRecord]) {
         if self.current_mode != PatchMode::Full {
+            return;
+        }
+        let shards = self.opts.collector_shards.max(1);
+        if shards > 1 {
+            self.sharded_buffer(records, shards);
             return;
         }
         let elem_size = self.opts.elem_size.max(1);
@@ -926,6 +1136,69 @@ mod tests {
             .find(|a| a.object == tensor.id)
             .expect("tensor access");
         assert!(acc.write);
+    }
+
+    #[test]
+    fn sharded_collection_matches_serial() {
+        // Same program observed twice: serial collector vs 4-shard
+        // collector (with the parallel threshold far exceeded by a 64 KiB
+        // footprint), asserting identical aggregation state.
+        let run = |shards: usize| {
+            let mut ctx = DeviceContext::new_default();
+            ctx.sanitizer_mut().set_buffer_capacity(512); // force many flushes
+            let c = attach(
+                &mut ctx,
+                ProfilerOptions::intra_object().with_collector_shards(shards),
+            );
+            let n = 4096u64;
+            let a = ctx.malloc(n * 4, "a").unwrap();
+            let b = ctx.malloc(n * 4, "b").unwrap();
+            ctx.memset(a, 1, n * 4).unwrap();
+            ctx.launch(
+                "skewed",
+                LaunchConfig::cover(n, 128),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < n {
+                        let v = t.load_f32(a + i * 4);
+                        // Non-uniform: every thread also re-reads element 0.
+                        let w = t.load_f32(a);
+                        t.store_f32(b + (i / 2) * 4, v + w);
+                    }
+                },
+            )
+            .unwrap();
+            ctx.free(a).unwrap();
+            c
+        };
+        let serial = run(1);
+        let sharded = run(4);
+        let (s, p) = (serial.lock(), sharded.lock());
+        assert_eq!(s.accesses(), p.accesses());
+        let (si, pi) = (s.intra_data(), p.intra_data());
+        assert_eq!(si.len(), pi.len());
+        for (a, b) in si.iter().zip(&pi) {
+            assert_eq!(a.object, b.object);
+            assert_eq!(a.bitmap.count_set(), b.bitmap.count_set());
+            assert_eq!(a.per_api.len(), b.per_api.len());
+            for ((ia, ra), (ib, rb)) in a.per_api.iter().zip(&b.per_api) {
+                assert_eq!(ia, ib);
+                assert_eq!(ra.ranges(), rb.ranges());
+            }
+            let (na, nb) = (&a.nuaf_peak, &b.nuaf_peak);
+            assert_eq!(na.is_some(), nb.is_some());
+            if let (Some((ia, ca, ha)), Some((ib, cb, hb))) = (na, nb) {
+                assert_eq!(ia, ib);
+                assert_eq!(ca.to_bits(), cb.to_bits(), "CoV must match exactly");
+                assert_eq!(ha, hb);
+            }
+            assert_eq!(
+                a.lifetime_freq.as_ref().map(|f| f.counts()),
+                b.lifetime_freq.as_ref().map(|f| f.counts())
+            );
+        }
+        assert!(p.degradations().is_empty(), "{:?}", p.degradations());
     }
 
     #[test]

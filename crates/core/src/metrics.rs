@@ -23,7 +23,10 @@ use crate::accessmap::AccessBitmap;
 /// assert!(skewed > 100.0);
 /// ```
 pub fn coefficient_of_variation_pct(values: impl IntoIterator<Item = f64>) -> f64 {
-    let values: Vec<f64> = values.into_iter().collect();
+    // Non-finite samples are dropped up front: one NaN would otherwise
+    // poison the mean, propagate to the result, and make every threshold
+    // compare downstream (`cov > nuaf_cov_pct`) silently false.
+    let values: Vec<f64> = values.into_iter().filter(|v| v.is_finite()).collect();
     if values.len() < 2 {
         return 0.0;
     }
@@ -33,7 +36,14 @@ pub fn coefficient_of_variation_pct(values: impl IntoIterator<Item = f64>) -> f6
         return 0.0;
     }
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    (var.sqrt() / mean) * 100.0
+    let cov = (var.sqrt() / mean) * 100.0;
+    // Overflowed intermediates (inf - inf, inf / inf) must not escape as
+    // NaN; report 0 ("no evidence of skew") rather than a poisoned value.
+    if cov.is_finite() {
+        cov
+    } else {
+        0.0
+    }
 }
 
 /// Memory fragmentation of the unaccessed portion of a data object — the
@@ -76,6 +86,22 @@ mod tests {
         assert_eq!(coefficient_of_variation_pct([]), 0.0);
         assert_eq!(coefficient_of_variation_pct([5.0]), 0.0);
         assert_eq!(coefficient_of_variation_pct([0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_never_returns_nan() {
+        for values in [
+            vec![f64::NAN, 1.0, 2.0],
+            vec![f64::INFINITY, 1.0],
+            vec![f64::NEG_INFINITY, f64::INFINITY],
+            vec![f64::MAX, f64::MAX, f64::MAX],
+            vec![-1.0, 1.0], // mean exactly zero
+        ] {
+            let cov = coefficient_of_variation_pct(values.iter().copied());
+            assert!(cov.is_finite(), "{values:?} -> {cov}");
+        }
+        // Dropping the NaN leaves [1.0, 2.0], which has a real CoV.
+        assert!(coefficient_of_variation_pct([f64::NAN, 1.0, 2.0]) > 0.0);
     }
 
     #[test]

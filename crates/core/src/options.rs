@@ -128,6 +128,16 @@ pub struct ProfilerOptions {
     pub track_pool_tensors: bool,
     /// Element width for frequency maps, in bytes.
     pub elem_size: u32,
+    /// Number of worker shards for per-kernel access-map aggregation.
+    /// `0` or `1` keeps the serial path; higher values partition objects
+    /// across scoped worker threads and merge the per-shard maps at kernel
+    /// end. Reports are byte-identical across all values.
+    pub collector_shards: usize,
+    /// Merge contiguous same-kind accesses from one warp into a single
+    /// record inside the simulated sanitizer before they reach the host —
+    /// the paper's "merging memory accesses" (Sec. 5.5). Does not change
+    /// any analysis result or simulated timestamp.
+    pub coalesce_accesses: bool,
 }
 
 impl ProfilerOptions {
@@ -139,6 +149,8 @@ impl ProfilerOptions {
             sampling: SamplingPolicy::default(),
             track_pool_tensors: false,
             elem_size: DEFAULT_ELEM_SIZE,
+            collector_shards: 1,
+            coalesce_accesses: false,
         }
     }
 
@@ -150,6 +162,8 @@ impl ProfilerOptions {
             sampling: SamplingPolicy::every_instance(),
             track_pool_tensors: false,
             elem_size: DEFAULT_ELEM_SIZE,
+            collector_shards: 1,
+            coalesce_accesses: false,
         }
     }
 
@@ -168,6 +182,20 @@ impl ProfilerOptions {
     /// Replaces the thresholds (builder style).
     pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
         self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the number of aggregation shards (builder style). `0` and `1`
+    /// both mean serial.
+    pub fn with_collector_shards(mut self, shards: usize) -> Self {
+        self.collector_shards = shards;
+        self
+    }
+
+    /// Enables warp-level access coalescing in the sanitizer (builder
+    /// style).
+    pub fn with_coalescing(mut self) -> Self {
+        self.coalesce_accesses = true;
         self
     }
 }

@@ -77,8 +77,12 @@ pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<Pat
     // determinism.
     let mut events = Vec::with_capacity(candidates.len() * 2);
     for (i, obj) in candidates.iter().enumerate() {
-        let first = obj.first_access().expect("filtered").api.ts;
-        let last = obj.last_access().expect("filtered").api.ts;
+        // `candidates` filters out access-free objects, but stay defensive:
+        // a missing endpoint just drops the object from pairing.
+        let (Some(first), Some(last)) = (obj.first_access(), obj.last_access()) else {
+            continue;
+        };
+        let (first, last) = (first.api.ts, last.api.ts);
         events.push(Event {
             ts: first,
             kind: EventKind::First,

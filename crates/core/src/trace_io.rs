@@ -228,20 +228,9 @@ pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> Saved
         .intra_data()
         .iter()
         .map(|d| {
-            // Run-length encode the bitmap as its accessed ranges.
-            let mut accessed_ranges = Vec::new();
-            let mut run: Option<u64> = None;
-            for i in 0..=d.bitmap.len() {
-                let set = i < d.bitmap.len() && d.bitmap.is_set(i);
-                match (set, run) {
-                    (true, None) => run = Some(i),
-                    (false, Some(s)) => {
-                        accessed_ranges.push((s, i));
-                        run = None;
-                    }
-                    _ => {}
-                }
-            }
+            // Run-length encode the bitmap as its accessed ranges (word-scan:
+            // the former per-bit loop dominated export of large objects).
+            let accessed_ranges = d.bitmap.accessed_ranges();
             SavedIntra {
                 object: d.object.0,
                 size: d.bitmap.len(),

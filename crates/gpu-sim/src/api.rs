@@ -178,6 +178,11 @@ pub struct ContextStats {
     pub kernel_launches: u64,
     /// Total memory-access records observed by instrumentation.
     pub instrumented_accesses: u64,
+    /// Raw accesses folded into a previous record by warp coalescing
+    /// (Sec. 5.5). Zero unless [`Sanitizer::set_coalescing`] is on.
+    ///
+    /// [`Sanitizer::set_coalescing`]: crate::Sanitizer::set_coalescing
+    pub coalesced_records: u64,
 }
 
 /// A simulated GPU device context — the top-level entry point of `gpu-sim`.
@@ -957,7 +962,12 @@ impl DeviceContext {
             instance,
         };
         let mode = self.sanitizer.dispatch_kernel_begin(&info);
-        let mut sink = AccessSink::new(mode, self.sanitizer.buffer_capacity());
+        let mut sink = AccessSink::new(
+            mode,
+            self.sanitizer.buffer_capacity(),
+            self.sanitizer.coalescing(),
+            self.sanitizer.coalesce_alignment(),
+        );
         let mut counters = KernelCounters::default();
         let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
 
@@ -1025,6 +1035,7 @@ impl DeviceContext {
         sink.flush(&self.sanitizer, &info);
         let records = sink.records_seen;
         self.stats.instrumented_accesses += records;
+        self.stats.coalesced_records += sink.coalesced_away;
         self.stats.kernel_launches += 1;
 
         let duration = self.kernel_duration_ns(&cfg, &counters, mode, records);
@@ -1481,5 +1492,91 @@ mod tests {
         ctx.sync_device();
         let s = ctx.stats();
         assert_eq!(s.gpu_api_calls, 2, "sync is not a pattern-relevant GPU API");
+    }
+
+    #[test]
+    fn coalescing_merges_contiguous_warp_accesses() {
+        let recorder = Arc::new(Mutex::new(Recorder::default()));
+        let mut ctx = DeviceContext::new_default();
+        ctx.sanitizer_mut().register(recorder.clone());
+        ctx.sanitizer_mut().set_coalescing(true);
+        let n = 64u64; // two warps
+        let a = ctx.malloc(n * 4, "a").unwrap();
+        ctx.launch("w", LaunchConfig::cover(n, 64), StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            if i < n {
+                t.store_f32(a + i * 4, 1.0);
+            }
+        })
+        .unwrap();
+        let r = recorder.lock();
+        assert_eq!(
+            r.records.len(),
+            2,
+            "one merged record per warp: {:?}",
+            r.records
+        );
+        for rec in &r.records {
+            assert_eq!(rec.size, 32 * 4, "a full warp's contiguous stores");
+        }
+        assert_eq!(r.records[0].addr + 32 * 4, r.records[1].addr);
+        let s = ctx.stats();
+        assert_eq!(s.instrumented_accesses, n, "cost model sees raw accesses");
+        assert_eq!(s.coalesced_records, n - 2);
+        // The hit-flag summary is unaffected by coalescing.
+        assert_eq!(r.touched.len(), 1);
+        assert!(r.touched[0].written);
+    }
+
+    #[test]
+    fn coalescing_does_not_change_simulated_time() {
+        let run = |coalesce: bool| {
+            let recorder = Arc::new(Mutex::new(Recorder::default()));
+            let mut ctx = DeviceContext::new_default();
+            ctx.sanitizer_mut().register(recorder);
+            ctx.sanitizer_mut().set_coalescing(coalesce);
+            let a = ctx.malloc(4096, "a").unwrap();
+            ctx.launch(
+                "k",
+                LaunchConfig::cover(1024, 128),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < 1024 {
+                        t.store_f32(a + i * 4, 2.0);
+                    }
+                },
+            )
+            .unwrap();
+            let last = ctx.api_log().last().unwrap().clone();
+            (last.start, last.end, ctx.stats().instrumented_accesses)
+        };
+        assert_eq!(run(false), run(true), "timestamps must be mode-invariant");
+    }
+
+    #[test]
+    fn shared_oob_is_a_device_fault_not_a_panic() {
+        let mut ctx = DeviceContext::new_default();
+        let a = ctx.malloc(64, "a").unwrap();
+        let cfg = LaunchConfig::cover(4, 4).with_shared_mem(16);
+        let err = ctx
+            .launch("oob_shared", cfg, StreamId::DEFAULT, |t| {
+                let i = t.global_x();
+                t.shared_store_f32(i as u32 * 8, 1.0); // i=2,3 exceed 16 bytes
+                let v = t.shared_load_f32(i as u32 * 8);
+                t.store_f32(a + i * 4, v);
+            })
+            .unwrap_err();
+        match err {
+            SimError::KernelFaulted { kernel, reason } => {
+                assert_eq!(kernel, "oob_shared");
+                assert!(reason.contains("shared"), "reason: {reason}");
+            }
+            other => panic!("expected KernelFaulted, got {other:?}"),
+        }
+        // In-bounds global stores before the fault are preserved.
+        let mut out = vec![0.0f32; 4];
+        ctx.d2h_f32(&mut out, a).unwrap();
+        assert_eq!(&out[..2], &[1.0, 1.0], "threads 0 and 1 were in bounds");
     }
 }

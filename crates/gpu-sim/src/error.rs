@@ -48,6 +48,16 @@ pub enum SimError {
         /// Size of the faulting access in bytes.
         size: u64,
     },
+    /// A kernel thread accessed shared memory outside the block's
+    /// declared shared-memory window.
+    SharedOutOfBounds {
+        /// Byte offset of the faulting access within the shared window.
+        offset: u32,
+        /// Size of the faulting access in bytes.
+        size: u32,
+        /// Declared shared-memory size of the launch in bytes.
+        shared_bytes: u32,
+    },
     /// A zero-byte allocation was requested.
     ZeroSizedAllocation,
     /// An operation referenced a stream id that was never created.
@@ -103,6 +113,15 @@ impl fmt::Display for SimError {
             SimError::OutOfBounds { addr, size } => {
                 write!(f, "out-of-bounds device access at {addr} of {size} bytes")
             }
+            SimError::SharedOutOfBounds {
+                offset,
+                size,
+                shared_bytes,
+            } => write!(
+                f,
+                "out-of-bounds shared-memory access at offset {offset} of {size} bytes \
+                 (shared window is {shared_bytes} bytes)"
+            ),
             SimError::ZeroSizedAllocation => write!(f, "zero-sized device allocation"),
             SimError::UnknownStream(id) => write!(f, "unknown stream id {id}"),
             SimError::UnknownEvent(id) => write!(f, "unknown event id {id}"),

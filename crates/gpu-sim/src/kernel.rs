@@ -111,8 +111,11 @@ impl LaunchConfig {
     /// blocks — the ubiquitous `(n + b - 1) / b` idiom.
     pub fn cover(n: u64, block_size: u32) -> Self {
         let blocks = n.div_ceil(u64::from(block_size)).max(1);
+        // A grid wider than u32::MAX blocks is clamped rather than panicking;
+        // real drivers reject such launches, and the clamped grid still
+        // exceeds any simulated workload's reach.
         LaunchConfig::new(
-            Dim3::x(u32::try_from(blocks).expect("grid too large")),
+            Dim3::x(u32::try_from(blocks).unwrap_or(u32::MAX)),
             Dim3::x(block_size),
         )
     }
@@ -335,6 +338,24 @@ impl ThreadCtx<'_> {
         }
     }
 
+    /// Records a shared-memory out-of-bounds access as a device fault
+    /// (first fault wins, like global-memory faults) instead of panicking
+    /// the host. Returns `false` so the caller skips the memory effect.
+    fn shared_in_bounds(&mut self, offset: u32, size: u32) -> bool {
+        let end = u64::from(offset) + u64::from(size);
+        if end <= self.shared.len() as u64 {
+            return true;
+        }
+        if self.sink.fault.is_none() {
+            self.sink.fault = Some(SimError::SharedOutOfBounds {
+                offset,
+                size,
+                shared_bytes: self.shared.len() as u32,
+            });
+        }
+        false
+    }
+
     /// Reads an `f32` from per-block shared memory at byte offset `offset`.
     ///
     /// Shared-memory traffic is counted for the timing model but is *not* an
@@ -342,22 +363,30 @@ impl ThreadCtx<'_> {
     /// reaches the instrumentation — exactly like real SASS shared loads
     /// being irrelevant to DrGPUM's object analyses.
     ///
-    /// # Panics
-    ///
-    /// Panics if the access exceeds the launch's `shared_mem_bytes`.
+    /// An access past the launch's `shared_mem_bytes` is a device fault:
+    /// the load returns `0.0` and the launch fails with
+    /// [`SimError::KernelFaulted`] once partial results are delivered.
     pub fn shared_load_f32(&mut self, offset: u32) -> f32 {
         self.counters.shared_accesses += 1;
+        if !self.shared_in_bounds(offset, 4) {
+            return 0.0;
+        }
         let o = offset as usize;
-        f32::from_le_bytes(self.shared[o..o + 4].try_into().expect("shared oob"))
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.shared[o..o + 4]);
+        f32::from_le_bytes(b)
     }
 
     /// Writes an `f32` to per-block shared memory at byte offset `offset`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the access exceeds the launch's `shared_mem_bytes`.
+    /// An access past the launch's `shared_mem_bytes` is a device fault:
+    /// the store is dropped and the launch fails with
+    /// [`SimError::KernelFaulted`] once partial results are delivered.
     pub fn shared_store_f32(&mut self, offset: u32, v: f32) {
         self.counters.shared_accesses += 1;
+        if !self.shared_in_bounds(offset, 4) {
+            return;
+        }
         let o = offset as usize;
         self.shared[o..o + 4].copy_from_slice(&v.to_le_bytes());
     }

@@ -75,6 +75,7 @@ pub use kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
 pub use mem::{AddrRange, DevicePtr};
 pub use sanitizer::{
     AccessKind, KernelInfo, MemAccessRecord, PatchMode, Sanitizer, SanitizerHooks, TouchedObject,
+    WARP_SIZE,
 };
 pub use stream::{EventId, SimTime, StreamId};
 pub use unified::{PageMigration, Side, UnifiedManager};

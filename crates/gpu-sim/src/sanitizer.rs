@@ -23,7 +23,7 @@ use crate::mem::{DeviceAllocator, DevicePtr};
 use crate::stream::StreamId;
 use crate::unified::PageMigration;
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Whether a memory instruction read or wrote global memory.
@@ -93,6 +93,47 @@ pub struct TouchedObject {
     pub read: bool,
     /// The kernel executed at least one store to the object.
     pub written: bool,
+}
+
+/// Cheap deterministic hasher for the small `(warp, pc)` merge-candidate
+/// keys. SipHash would dominate the coalescing fast path, and hash-flooding
+/// resistance is pointless for keys derived from simulated thread ids.
+#[derive(Default)]
+struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+}
+
+type CandidateMap = HashMap<(u64, u32), usize, std::hash::BuildHasherDefault<MixHasher>>;
+
+/// Cached result of the last containing-allocation lookup, with a copy of
+/// that object's `touched` flags (kept in sync by [`AccessSink::note_access`]
+/// so repeat hits skip the `touched` map entirely).
+#[derive(Debug, Clone, Copy)]
+struct LastHit {
+    base: DevicePtr,
+    start: u64,
+    end: u64,
+    read: bool,
+    written: bool,
 }
 
 /// Callbacks a profiling tool registers with the simulated Sanitizer API.
@@ -167,11 +208,32 @@ impl Default for OverheadModel {
     }
 }
 
+/// Number of threads per warp; coalescing only merges accesses issued by
+/// threads of the same warp, mirroring how hardware combines the lanes of
+/// one memory instruction into as few transactions as possible.
+pub const WARP_SIZE: u64 = 32;
+
+/// How many buffered records coalescing scans backwards for a merge
+/// partner. The simulator executes threads sequentially, so accesses that
+/// are simultaneous on real hardware (warp lanes at one instruction) appear
+/// slightly interleaved with other instructions in the buffer; a small
+/// window re-discovers them without an unbounded scan.
+const COALESCE_WINDOW: usize = 8;
+
 /// The Sanitizer registry owned by a device context.
 pub struct Sanitizer {
     hooks: Vec<SharedHooks>,
     /// Capacity (in records) of the simulated device-side record buffer.
     buffer_capacity: usize,
+    /// When set, contiguous same-kind accesses from one warp at one pc are
+    /// merged into a single record before buffering (the paper's "merging
+    /// memory accesses", Sec. 5.5).
+    coalescing: bool,
+    /// Merge-junction alignment in bytes, relative to the containing
+    /// allocation's base. Records only grow at offsets that are multiples
+    /// of this, so per-element frequency counts (element width = this
+    /// alignment) are preserved exactly. 1 = unrestricted.
+    coalesce_alignment: u32,
     overhead: OverheadModel,
 }
 
@@ -180,6 +242,8 @@ impl std::fmt::Debug for Sanitizer {
         f.debug_struct("Sanitizer")
             .field("hooks", &self.hooks.len())
             .field("buffer_capacity", &self.buffer_capacity)
+            .field("coalescing", &self.coalescing)
+            .field("coalesce_alignment", &self.coalesce_alignment)
             .field("overhead", &self.overhead)
             .finish()
     }
@@ -190,6 +254,8 @@ impl Default for Sanitizer {
         Sanitizer {
             hooks: Vec::new(),
             buffer_capacity: 16 * 1024,
+            coalescing: false,
+            coalesce_alignment: 1,
             overhead: OverheadModel::default(),
         }
     }
@@ -225,6 +291,30 @@ impl Sanitizer {
     /// The current record-buffer capacity.
     pub fn buffer_capacity(&self) -> usize {
         self.buffer_capacity
+    }
+
+    /// Enables or disables warp-level access coalescing (Sec. 5.5).
+    pub fn set_coalescing(&mut self, on: bool) {
+        self.coalescing = on;
+    }
+
+    /// Whether warp-level access coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing
+    }
+
+    /// Sets the merge-junction alignment for coalescing: records only grow
+    /// at allocation-relative offsets that are multiples of `bytes`. Tools
+    /// that count per-element access frequencies pass their element width
+    /// here so merging cannot collapse two same-element accesses into one
+    /// count. Zero is treated as 1 (unrestricted).
+    pub fn set_coalesce_alignment(&mut self, bytes: u32) {
+        self.coalesce_alignment = bytes.max(1);
+    }
+
+    /// The current merge-junction alignment in bytes.
+    pub fn coalesce_alignment(&self) -> u32 {
+        self.coalesce_alignment
     }
 
     /// The instrumentation cost model.
@@ -292,12 +382,31 @@ pub struct AccessSink {
     mode: PatchMode,
     buffer: Vec<MemAccessRecord>,
     capacity: usize,
+    /// When set, merge an incoming access into a recent buffered record
+    /// it extends contiguously (same kind, same warp).
+    coalesce: bool,
+    /// Merge-junction alignment (bytes, relative to the containing
+    /// allocation's base); see [`Sanitizer::set_coalesce_alignment`].
+    coalesce_align: u64,
+    /// Open merge candidates: `(warp, pc)` → buffer index of the record a
+    /// neighbouring lane's access at the same instruction would extend.
+    /// Rebuilt per flush (indices are invalidated when the buffer drains).
+    merge_candidates: CandidateMap,
+    /// One-entry cache of the allocation containing the previous access,
+    /// mirroring its `touched` flags so repeat hits skip both the binary
+    /// search and the map update.
+    last_hit: Option<LastHit>,
     /// Touched-object hit flags keyed by allocation base.
     touched: BTreeMap<DevicePtr, TouchedObject>,
     /// Number of buffer flushes performed (for the cost model).
     pub(crate) flushes: u64,
-    /// Number of records observed (for the cost model).
+    /// Number of records observed (for the cost model). Counts *raw*
+    /// accesses even when coalescing merges them, so the simulated
+    /// instrumentation cost — and therefore every simulated timestamp — is
+    /// identical with coalescing on or off.
     pub(crate) records_seen: u64,
+    /// Number of raw accesses folded into a previous record by coalescing.
+    pub(crate) coalesced_away: u64,
     /// First device-side access fault observed during the kernel. Faulting
     /// accesses are skipped (no memory side effect); the launch converts
     /// this into [`SimError::KernelFaulted`] after the partial results have
@@ -317,14 +426,19 @@ impl std::fmt::Debug for AccessSink {
 }
 
 impl AccessSink {
-    pub(crate) fn new(mode: PatchMode, capacity: usize) -> Self {
+    pub(crate) fn new(mode: PatchMode, capacity: usize, coalesce: bool, align: u32) -> Self {
         AccessSink {
             mode,
             buffer: Vec::with_capacity(if mode == PatchMode::Full { capacity } else { 0 }),
             capacity,
+            coalesce,
+            coalesce_align: u64::from(align.max(1)),
+            merge_candidates: CandidateMap::default(),
+            last_hit: None,
             touched: BTreeMap::new(),
             flushes: 0,
             records_seen: 0,
+            coalesced_away: 0,
             fault: None,
         }
     }
@@ -358,18 +472,114 @@ impl AccessSink {
             return;
         }
         self.records_seen += 1;
-        if let Some(obj) = alloc.find_containing(addr) {
-            let entry = self.touched.entry(obj.ptr).or_insert(TouchedObject {
-                base: obj.ptr,
-                read: false,
-                written: false,
-            });
-            match kind {
-                AccessKind::Read => entry.read = true,
-                AccessKind::Write => entry.written = true,
+        // One-entry cache of the containing allocation. Access streams are
+        // bursty per object, so the Fig. 5 binary search and the touched-map
+        // update can usually be skipped. The live-allocation map cannot
+        // change while a kernel executes, so a cached range stays valid for
+        // the sink's lifetime.
+        let raw = addr.addr();
+        let alloc_start = match &mut self.last_hit {
+            Some(h) if raw >= h.start && raw < h.end => {
+                let flag = match kind {
+                    AccessKind::Read => &mut h.read,
+                    AccessKind::Write => &mut h.written,
+                };
+                if !*flag {
+                    *flag = true;
+                    let entry = self.touched.entry(h.base).or_insert(TouchedObject {
+                        base: h.base,
+                        read: false,
+                        written: false,
+                    });
+                    match kind {
+                        AccessKind::Read => entry.read = true,
+                        AccessKind::Write => entry.written = true,
+                    }
+                }
+                Some(h.start)
             }
-        }
+            _ => {
+                if let Some(obj) = alloc.find_containing(addr) {
+                    let entry = self.touched.entry(obj.ptr).or_insert(TouchedObject {
+                        base: obj.ptr,
+                        read: false,
+                        written: false,
+                    });
+                    match kind {
+                        AccessKind::Read => entry.read = true,
+                        AccessKind::Write => entry.written = true,
+                    }
+                    let start = obj.ptr.addr();
+                    self.last_hit = Some(LastHit {
+                        base: obj.ptr,
+                        start,
+                        end: start + obj.size,
+                        read: entry.read,
+                        written: entry.written,
+                    });
+                    Some(start)
+                } else {
+                    None
+                }
+            }
+        };
         if self.mode == PatchMode::Full {
+            if self.coalesce {
+                // Merge into a buffered record the incoming access extends
+                // contiguously (same kind, same warp, adjacent address, no
+                // size overflow). The merged record keeps the first access's
+                // thread and pc. All downstream per-object maps (bitmap OR,
+                // range insert, per-byte frequency add) see exactly the same
+                // byte coverage, so in-place growth cannot change any
+                // analysis.
+                let warp = flat_thread / WARP_SIZE;
+                // (a) Warp-lane merge: an earlier lane of this warp executed
+                //     the same instruction (pc) and left an open record; this
+                //     mirrors hardware coalescing across a warp and holds
+                //     even when other accesses were buffered in between.
+                // A record may only grow (a) within the allocation containing
+                // the incoming access — adjacent allocations can abut exactly
+                // (sizes that are multiples of the 256-byte alignment), and a
+                // record spanning two objects would corrupt per-object
+                // attribution downstream — and (b) at a junction aligned to
+                // the tools' element width, so per-element frequency counts
+                // (one per record per overlapped element) stay exact.
+                let align = self.coalesce_align;
+                let can_grow = |rec: &MemAccessRecord| {
+                    alloc_start
+                        .is_some_and(|s| rec.addr.addr() >= s && (raw - s).is_multiple_of(align))
+                };
+                if let Some(&idx) = self.merge_candidates.get(&(warp, pc)) {
+                    let rec = &mut self.buffer[idx];
+                    if rec.kind == kind
+                        && rec.addr + u64::from(rec.size) == addr
+                        && rec.size.checked_add(size).is_some()
+                        && can_grow(rec)
+                    {
+                        rec.size += size;
+                        self.coalesced_away += 1;
+                        return;
+                    }
+                }
+                // (b) Intra-thread run merge: a recent record from the same
+                //     warp this access extends (a thread streaming through a
+                //     matrix row, with the pc advancing each step).
+                let window = self.buffer.len().saturating_sub(COALESCE_WINDOW);
+                if let Some(idx) = (window..self.buffer.len()).rev().find(|&i| {
+                    let rec = &self.buffer[i];
+                    rec.kind == kind
+                        && rec.flat_thread / WARP_SIZE == warp
+                        && rec.addr + u64::from(rec.size) == addr
+                        && rec.size.checked_add(size).is_some()
+                        && can_grow(rec)
+                }) {
+                    self.buffer[idx].size += size;
+                    self.merge_candidates.insert((warp, pc), idx);
+                    self.coalesced_away += 1;
+                    return;
+                }
+                self.merge_candidates.insert((warp, pc), self.buffer.len());
+            }
             self.buffer.push(MemAccessRecord {
                 addr,
                 size,
@@ -389,6 +599,8 @@ impl AccessSink {
         }
         sanitizer.dispatch_buffer(info, &self.buffer);
         self.buffer.clear();
+        // Buffer indices held by open merge candidates die with the drain.
+        self.merge_candidates.clear();
         self.flushes += 1;
     }
 }

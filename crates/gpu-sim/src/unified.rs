@@ -142,7 +142,9 @@ impl UnifiedManager {
         else {
             return Vec::new();
         };
-        let region = self.regions.get_mut(&base).expect("present");
+        let Some(region) = self.regions.get_mut(&base) else {
+            return Vec::new();
+        };
         let mut migrations = Vec::new();
         if size == 0 {
             return migrations;
@@ -155,7 +157,7 @@ impl UnifiedManager {
                 *slot = side;
                 migrations.push(PageMigration {
                     region_base: DevicePtr::new(region.base),
-                    page_index: u32::try_from(page).expect("page index fits"),
+                    page_index: u32::try_from(page).unwrap_or(u32::MAX),
                     to: side,
                     cause_addr: addr,
                     cause_size: u32::try_from(size.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),

@@ -1,0 +1,75 @@
+//! Determinism of the low-overhead collection pipeline (Sec. 5.5): for
+//! every registered workload, sharded aggregation and warp-level access
+//! coalescing must produce a report and a serialized trace (format v2
+//! text) byte-identical to the serial baseline's. Anything less would make
+//! the overhead knobs unusable — turning them on could change findings.
+
+use drgpum::prelude::*;
+use drgpum::profiler::trace_io;
+use drgpum::workloads::common::Variant;
+use drgpum::workloads::registry::{RunConfig, WorkloadSpec};
+
+/// Profiles one clean run and returns the two byte-exact artifacts the
+/// determinism contract covers: rendered report text and trace v2 text.
+fn profile(spec: &WorkloadSpec, mut options: ProfilerOptions) -> (String, String) {
+    let mut ctx = DeviceContext::new_default();
+    if let Some(elem) = spec.elem_size_hint {
+        options.elem_size = elem;
+    }
+    if spec.uses_pool {
+        options.track_pool_tensors = true;
+    }
+    let profiler = Profiler::attach(&mut ctx, options);
+    let cfg = RunConfig {
+        pool_observer: spec
+            .uses_pool
+            .then(|| profiler.collector() as drgpum::sim::pool::SharedPoolObserver),
+    };
+    (spec.run)(&mut ctx, Variant::Unoptimized, &cfg)
+        .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
+    let trace = {
+        let collector = profiler.collector();
+        let collector = collector.lock();
+        trace_io::save(&collector, ctx.call_stack().table(), "rtx3090").to_text()
+    };
+    (profiler.report(&ctx).render_text(), trace)
+}
+
+#[test]
+fn parallel_and_coalesced_collection_match_serial_on_every_workload() {
+    for spec in drgpum::workloads::all() {
+        let serial = profile(&spec, ProfilerOptions::intra_object());
+        // An odd shard count exercises uneven object distribution across
+        // shards; 3 also differs from any machine's core count, so the
+        // result cannot secretly depend on available parallelism.
+        let modes = [
+            (
+                "parallel",
+                ProfilerOptions::intra_object().with_collector_shards(3),
+            ),
+            (
+                "coalesced",
+                ProfilerOptions::intra_object().with_coalescing(),
+            ),
+            (
+                "parallel+coalesced",
+                ProfilerOptions::intra_object()
+                    .with_collector_shards(3)
+                    .with_coalescing(),
+            ),
+        ];
+        for (mode, options) in modes {
+            let got = profile(&spec, options);
+            assert_eq!(
+                got.0, serial.0,
+                "{}: report text diverged in `{mode}` mode",
+                spec.name
+            );
+            assert_eq!(
+                got.1, serial.1,
+                "{}: trace v2 bytes diverged in `{mode}` mode",
+                spec.name
+            );
+        }
+    }
+}

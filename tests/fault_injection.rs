@@ -66,6 +66,44 @@ fn every_fault_kind_on_every_workload_still_yields_a_report() {
 }
 
 #[test]
+fn shared_memory_overrun_is_a_device_fault_with_a_full_report() {
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+    let out = ctx.malloc(64, "out").expect("fits");
+    // Threads 2 and 3 index past the 16-byte shared window. This used to
+    // panic the host mid-kernel; it must surface as a device fault instead,
+    // with the profiler still producing a complete report afterwards.
+    let cfg = LaunchConfig::cover(4, 4).with_shared_mem(16);
+    let err = ctx
+        .launch("oob_shared", cfg, StreamId::DEFAULT, |t| {
+            let i = t.global_x();
+            t.shared_store_f32(i as u32 * 8, 1.0);
+            let v = t.shared_load_f32(i as u32 * 8);
+            t.store_f32(out + i * 4, v);
+        })
+        .expect_err("shared-memory overrun must fail the launch");
+    match err {
+        SimError::KernelFaulted { kernel, reason } => {
+            assert_eq!(kernel, "oob_shared");
+            assert!(
+                reason.contains("shared"),
+                "fault names shared memory: {reason}"
+            );
+        }
+        other => panic!("expected KernelFaulted, got {other:?}"),
+    }
+    let report = profiler.report(&ctx);
+    let names: Vec<&str> = report.detectors.iter().map(|d| d.name.as_str()).collect();
+    assert_eq!(
+        names,
+        ["object_level", "redundant", "intra", "unified"],
+        "a faulted kernel must not lose any detector family"
+    );
+    let json = drgpum::profiler::export::report_json(&report);
+    serde_json::to_string(&json).expect("report for a faulted run still exports");
+}
+
+#[test]
 fn salvage_of_corrupted_traces_never_panics_and_reports_losses() {
     for name in ["2MM", "huffman", "SimpleMultiCopy"] {
         let spec = drgpum::workloads::by_name(name).expect("registered");
