@@ -70,7 +70,7 @@ fn bench_kernels() {
         bench(&format!("saxpy_64k/{label}"), 10, || {
             ctx.launch(
                 "saxpy",
-                LaunchConfig::cover(n, 256),
+                LaunchConfig::cover(n, 256).unwrap(),
                 StreamId::DEFAULT,
                 |t| {
                     let i = t.global_x();

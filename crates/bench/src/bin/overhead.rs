@@ -1,30 +1,38 @@
-//! Collection-pipeline overhead comparison (Sec. 5.5): serial vs. parallel
-//! (sharded aggregation) vs. coalesced (warp-level record merging) vs. both,
-//! on the largest PolyBench workload (3MM), with full intra-object analysis
-//! of every kernel instance.
+//! Collection-pipeline and execution-parallelism overhead comparison
+//! (Sec. 5.5): serial vs. parallel (sharded aggregation) vs. coalesced
+//! (warp-level record merging) vs. both, on the largest PolyBench workload
+//! (3MM), with full intra-object analysis of every kernel instance — plus
+//! the block-parallel execution path (`SimConfig::kernel_workers`).
 //!
-//! Two properties are checked:
+//! Three properties are checked:
 //!
 //! 1. **Determinism** — the rendered report and the serialized trace
-//!    (format v2 text) are byte-identical across all four modes. Trace v2
-//!    round-trips depend on this; it is asserted, not sampled.
-//! 2. **Speedup** — profiling overhead (profiled wall time minus native
-//!    wall time) of parallel+coalesced is at least 2x lower than the serial
-//!    baseline.
+//!    (format v2 text) are byte-identical across all four collection modes
+//!    *and* across worker counts (1 vs. 4). Trace v2 round-trips depend on
+//!    this; it is asserted, not sampled.
+//! 2. **Collection speedup** — profiling overhead (profiled wall time minus
+//!    native wall time) of parallel+coalesced is at least 2x lower than the
+//!    serial baseline.
+//! 3. **Execution speedup** — the native end-to-end run with 4 kernel
+//!    workers is at least 1.8x faster than with 1. Only enforced when the
+//!    host actually has 4+ cores; the measurement is always recorded.
+//!
+//! Results land in `results/BENCH_3.json`.
 //!
 //! Run with `cargo run --release -p drgpum-bench --bin overhead`.
 //! `DRGPUM_RUNS` overrides the repetition count (default 7; minimum is
 //! used, so more runs only reduce noise).
 
-use drgpum_bench::profile_with_options;
+use drgpum_bench::profile_in_ctx;
 use drgpum_core::{ProfilerOptions, Report};
 use drgpum_workloads::{by_name, Variant, WorkloadSpec};
-use gpu_sim::{DeviceContext, PlatformConfig};
+use gpu_sim::{DeviceContext, PlatformConfig, SimConfig};
 use std::time::{Duration, Instant};
 
-/// Wall-clock of one native (unprofiled) run.
-fn native_once(spec: &WorkloadSpec, platform: &PlatformConfig) -> Duration {
-    let mut ctx = DeviceContext::new(platform.clone());
+/// Wall-clock of one native (unprofiled) run under `workers` kernel workers.
+fn native_once(spec: &WorkloadSpec, platform: &PlatformConfig, workers: usize) -> Duration {
+    let sim = SimConfig::new(platform.clone()).with_kernel_workers(workers);
+    let mut ctx = DeviceContext::with_config(sim);
     let start = Instant::now();
     (spec.run)(&mut ctx, Variant::Unoptimized, &Default::default())
         .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
@@ -38,13 +46,12 @@ fn profiled_once(
     spec: &WorkloadSpec,
     platform: &PlatformConfig,
     options: &ProfilerOptions,
+    workers: usize,
 ) -> (Duration, Report, String) {
-    let (report, trace, _, elapsed) = profile_with_options(
-        spec,
-        Variant::Unoptimized,
-        options.clone(),
-        platform.clone(),
-    );
+    let sim = SimConfig::new(platform.clone()).with_kernel_workers(workers);
+    let ctx = DeviceContext::with_config(sim);
+    let (report, trace, _, elapsed) =
+        profile_in_ctx(spec, Variant::Unoptimized, options.clone(), ctx);
     (elapsed, report, trace)
 }
 
@@ -53,47 +60,62 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(7);
-    let shards = std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism()
         .map(|n| n.get())
-        .unwrap_or(4)
-        .clamp(2, 8);
+        .unwrap_or(1);
+    let shards = cores.clamp(2, 8);
     let platform = PlatformConfig::rtx3090();
     let spec = by_name("3MM").expect("3MM is registered");
 
-    let modes: [(&str, ProfilerOptions); 4] = [
-        ("serial", ProfilerOptions::intra_object()),
+    let modes: [(&str, ProfilerOptions, usize); 6] = [
+        ("serial", ProfilerOptions::intra_object(), 1),
         (
-            "parallel",
+            "sharded",
             ProfilerOptions::intra_object().with_collector_shards(shards),
+            1,
         ),
         (
             "coalesced",
             ProfilerOptions::intra_object().with_coalescing(),
+            1,
         ),
         (
-            "parallel+coalesced",
+            "sharded+coalesced",
             ProfilerOptions::intra_object()
                 .with_collector_shards(shards)
                 .with_coalescing(),
+            1,
+        ),
+        ("workers4", ProfilerOptions::intra_object(), 4),
+        (
+            "workers4+sharded+coalesced",
+            ProfilerOptions::intra_object()
+                .with_collector_shards(shards)
+                .with_coalescing(),
+            4,
         ),
     ];
 
     println!(
-        "Collection-pipeline overhead on {} ({} shards, min of {} runs)\n",
-        spec.name, shards, runs
+        "Collection-pipeline overhead on {} ({} shards, min of {} runs, {} cores)\n",
+        spec.name, shards, runs, cores
     );
 
     let native = (0..runs)
-        .map(|_| native_once(&spec, &platform))
+        .map(|_| native_once(&spec, &platform, 1))
+        .min()
+        .expect("at least one run");
+    let native_w4 = (0..runs)
+        .map(|_| native_once(&spec, &platform, 4))
         .min()
         .expect("at least one run");
 
     let mut baseline: Option<(String, String)> = None;
     let mut overheads: Vec<(&str, Duration)> = Vec::new();
-    for (name, options) in &modes {
+    for (name, options, workers) in &modes {
         let mut best: Option<Duration> = None;
         for _ in 0..runs {
-            let (elapsed, report, trace) = profiled_once(&spec, &platform, options);
+            let (elapsed, report, trace) = profiled_once(&spec, &platform, options, *workers);
             best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
             let text = report.render_text();
             match &baseline {
@@ -115,35 +137,89 @@ fn main() {
     }
 
     println!(
-        "native run:            {:>10.3} ms",
+        "native run (1 worker): {:>10.3} ms",
         native.as_secs_f64() * 1e3
     );
+    println!(
+        "native run (4 workers):{:>10.3} ms",
+        native_w4.as_secs_f64() * 1e3
+    );
     let serial_overhead = overheads[0].1;
-    println!("{:<22} {:>12} {:>10}", "mode", "overhead", "speedup");
-    println!("{}", "-".repeat(46));
+    println!("{:<28} {:>12} {:>10}", "mode", "overhead", "speedup");
+    println!("{}", "-".repeat(52));
+    let mut mode_json = Vec::new();
     for (name, overhead) in &overheads {
         let speedup = serial_overhead.as_secs_f64() / overhead.as_secs_f64().max(1e-9);
         println!(
-            "{:<22} {:>9.3} ms {:>9.2}x",
+            "{:<28} {:>9.3} ms {:>9.2}x",
             name,
             overhead.as_secs_f64() * 1e3,
             speedup
         );
+        mode_json.push(serde_json::json!({
+            "mode": name,
+            "overhead_ms": overhead.as_secs_f64() * 1e3,
+            "overhead_speedup_vs_serial": speedup,
+        }));
     }
-    println!("\nreports and traces: byte-identical across all modes");
+    println!("\nreports and traces: byte-identical across all modes and worker counts");
 
     let combined = overheads
         .iter()
-        .find(|(n, _)| *n == "parallel+coalesced")
+        .find(|(n, _)| *n == "sharded+coalesced")
         .expect("mode present")
         .1;
-    let speedup = serial_overhead.as_secs_f64() / combined.as_secs_f64().max(1e-9);
+    let collect_speedup = serial_overhead.as_secs_f64() / combined.as_secs_f64().max(1e-9);
     assert!(
-        speedup >= 2.0,
-        "parallel+coalesced must cut profiling overhead by at least 2x \
-         (got {speedup:.2}x: serial {:?} vs parallel+coalesced {:?})",
+        collect_speedup >= 2.0,
+        "sharded+coalesced must cut profiling overhead by at least 2x \
+         (got {collect_speedup:.2}x: serial {:?} vs sharded+coalesced {:?})",
         serial_overhead,
         combined
     );
-    println!("parallel+coalesced overhead speedup: {speedup:.2}x (>= 2x required)");
+    println!("sharded+coalesced overhead speedup: {collect_speedup:.2}x (>= 2x required)");
+
+    let exec_speedup = native.as_secs_f64() / native_w4.as_secs_f64().max(1e-9);
+    let enforce_exec = cores >= 4;
+    println!(
+        "4-worker end-to-end speedup: {exec_speedup:.2}x ({})",
+        if enforce_exec {
+            ">= 1.8x required"
+        } else {
+            "not enforced: fewer than 4 cores"
+        }
+    );
+
+    let out = serde_json::json!({
+        "bench": "overhead",
+        "workload": spec.name,
+        "runs": runs,
+        "host_cores": cores,
+        "collector_shards": shards,
+        "native_ms_workers1": native.as_secs_f64() * 1e3,
+        "native_ms_workers4": native_w4.as_secs_f64() * 1e3,
+        "exec_speedup_workers4": exec_speedup,
+        "exec_speedup_enforced": enforce_exec,
+        "collection_overhead_speedup": collect_speedup,
+        "byte_identical_across_modes_and_workers": true,
+        "modes": mode_json,
+    });
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/BENCH_3.json",
+        serde_json::to_string_pretty(&out).expect("serialize"),
+    )
+    .expect("write results/BENCH_3.json");
+    println!("wrote results/BENCH_3.json");
+
+    if enforce_exec {
+        assert!(
+            exec_speedup >= 1.8,
+            "4 kernel workers must yield at least a 1.8x end-to-end speedup on \
+             {} (got {exec_speedup:.2}x: {:?} vs {:?})",
+            spec.name,
+            native,
+            native_w4
+        );
+    }
 }

@@ -77,10 +77,26 @@ pub fn profile_workload(
 pub fn profile_with_options(
     spec: &WorkloadSpec,
     variant: Variant,
-    mut options: ProfilerOptions,
+    options: ProfilerOptions,
     platform: PlatformConfig,
 ) -> (Report, String, RunOutcome, Duration) {
-    let mut ctx = DeviceContext::new(platform);
+    profile_in_ctx(spec, variant, options, DeviceContext::new(platform))
+}
+
+/// Like [`profile_with_options`], but against a caller-built context —
+/// the overhead bench uses this to pin `kernel_workers` through
+/// [`gpu_sim::SimConfig`] independent of any environment override.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails (a workload bug, not a profiler
+/// condition).
+pub fn profile_in_ctx(
+    spec: &WorkloadSpec,
+    variant: Variant,
+    mut options: ProfilerOptions,
+    mut ctx: DeviceContext,
+) -> (Report, String, RunOutcome, Duration) {
     if let Some(elem) = spec.elem_size_hint {
         options.elem_size = elem;
     }

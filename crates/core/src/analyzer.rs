@@ -416,7 +416,7 @@ mod tests {
             let big = ctx.malloc(100_000, "big").unwrap();
             ctx.launch(
                 "touch_little",
-                LaunchConfig::cover(16, 16),
+                LaunchConfig::cover(16, 16).unwrap(),
                 StreamId::DEFAULT,
                 |t| {
                     let i = t.global_x();

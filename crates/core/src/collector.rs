@@ -714,7 +714,7 @@ impl SanitizerHooks for Collector {
             ApiKind::KernelLaunch { name, .. } => {
                 self.push_api(
                     event,
-                    name.clone(),
+                    name.to_string(),
                     VertexAccess {
                         stream: event.stream,
                         ..Default::default()
@@ -783,7 +783,7 @@ impl SanitizerHooks for Collector {
                 MapSide::Cpu
             };
             self.mode_decisions.push(ModeDecision {
-                kernel: info.name.clone(),
+                kernel: info.name.to_string(),
                 side,
                 map_bytes,
                 data_bytes,
@@ -977,7 +977,7 @@ mod tests {
         ctx.memset(a, 1, 64).unwrap();
         ctx.launch(
             "copy",
-            LaunchConfig::cover(16, 16),
+            LaunchConfig::cover(16, 16).unwrap(),
             StreamId::DEFAULT,
             |t| {
                 let i = t.global_x();
@@ -1008,7 +1008,7 @@ mod tests {
         // Kernel touches only the first 100 bytes (25 f32 elements).
         ctx.launch(
             "partial",
-            LaunchConfig::cover(25, 32),
+            LaunchConfig::cover(25, 32).unwrap(),
             StreamId::DEFAULT,
             |t| {
                 let i = t.global_x();
@@ -1035,12 +1035,17 @@ mod tests {
         let c = attach(&mut ctx, opts);
         let a = ctx.malloc(64, "a").unwrap();
         for _ in 0..4 {
-            ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
-                let i = t.global_x();
-                if i < 16 {
-                    t.store_f32(a + i * 4, 2.0);
-                }
-            })
+            ctx.launch(
+                "k",
+                LaunchConfig::cover(16, 16).unwrap(),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < 16 {
+                        t.store_f32(a + i * 4, 2.0);
+                    }
+                },
+            )
             .unwrap();
         }
         let col = c.lock();
@@ -1068,22 +1073,32 @@ mod tests {
         let s2 = ctx.create_stream();
         let a = ctx.malloc(64, "a").unwrap();
         let b = ctx.malloc(64, "b").unwrap();
-        ctx.launch("produce", LaunchConfig::cover(4, 4), s1, move |t| {
-            let i = t.global_x();
-            if i < 16 {
-                t.store_f32(a + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "produce",
+            LaunchConfig::cover(4, 4).unwrap(),
+            s1,
+            move |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    t.store_f32(a + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         let ev = ctx.create_event();
         ctx.record_event(ev, s1).unwrap();
         ctx.wait_event(s2, ev).unwrap();
-        ctx.launch("consume", LaunchConfig::cover(4, 4), s2, move |t| {
-            let i = t.global_x();
-            if i < 16 {
-                t.store_f32(b + i * 4, 2.0);
-            }
-        })
+        ctx.launch(
+            "consume",
+            LaunchConfig::cover(4, 4).unwrap(),
+            s2,
+            move |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    t.store_f32(b + i * 4, 2.0);
+                }
+            },
+        )
         .unwrap();
         let col = c.lock();
         let tv = build_trace_view(&col);
@@ -1109,7 +1124,7 @@ mod tests {
         let t = pool.alloc(&mut ctx, 256, "tensor").unwrap();
         ctx.launch(
             "use",
-            LaunchConfig::cover(4, 4),
+            LaunchConfig::cover(4, 4).unwrap(),
             StreamId::DEFAULT,
             move |tc| {
                 let i = tc.global_x();
@@ -1156,7 +1171,7 @@ mod tests {
             ctx.memset(a, 1, n * 4).unwrap();
             ctx.launch(
                 "skewed",
-                LaunchConfig::cover(n, 128),
+                LaunchConfig::cover(n, 128).unwrap(),
                 StreamId::DEFAULT,
                 |t| {
                     let i = t.global_x();

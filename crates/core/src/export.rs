@@ -194,7 +194,7 @@ mod tests {
         ctx.memset(small, 0, 64).unwrap();
         ctx.launch(
             "touch",
-            LaunchConfig::cover(4, 4),
+            LaunchConfig::cover(4, 4).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

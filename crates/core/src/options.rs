@@ -132,6 +132,10 @@ pub struct ProfilerOptions {
     /// `0` or `1` keeps the serial path; higher values partition objects
     /// across scoped worker threads and merge the per-shard maps at kernel
     /// end. Reports are byte-identical across all values.
+    ///
+    /// Orthogonal to `gpu_sim::SimConfig::kernel_workers`, which
+    /// parallelizes kernel *execution* under the same byte-identical
+    /// contract; the two compose freely.
     pub collector_shards: usize,
     /// Merge contiguous same-kind accesses from one warp into a single
     /// record inside the simulated sanitizer before they reach the host —

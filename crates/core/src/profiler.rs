@@ -111,13 +111,18 @@ mod tests {
         let b = ctx.malloc(1000, "b").unwrap();
         ctx.memset(a, 0, 1000).unwrap();
         ctx.memset(b, 0, 1000).unwrap();
-        ctx.launch("k", LaunchConfig::cover(16, 16), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < 16 {
-                let v = t.load_f32(a + i * 4);
-                t.store_f32(b + i * 4, v);
-            }
-        })
+        ctx.launch(
+            "k",
+            LaunchConfig::cover(16, 16).unwrap(),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < 16 {
+                    let v = t.load_f32(a + i * 4);
+                    t.store_f32(b + i * 4, v);
+                }
+            },
+        )
         .unwrap();
         ctx.free(a).unwrap();
         ctx.free(b).unwrap();

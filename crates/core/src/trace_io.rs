@@ -1412,7 +1412,7 @@ mod tests {
         ctx.memset(other, 1, 4096).unwrap();
         ctx.launch(
             "k",
-            LaunchConfig::cover(16, 16),
+            LaunchConfig::cover(16, 16).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

@@ -6,16 +6,18 @@
 //! tracking, and the Sanitizer-style instrumentation registry.
 
 use crate::callstack::{CallPath, CallStack, SourceLoc};
-use crate::config::PlatformConfig;
+use crate::config::{PlatformConfig, SimConfig};
 use crate::error::{Result, SimError};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, RetryPolicy};
-use crate::kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
+use crate::kernel::{Dim3, KernelCounters, KernelMem, LaunchConfig, ThreadCtx};
 use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
 use crate::sanitizer::{AccessSink, KernelInfo, PatchMode, Sanitizer};
 use crate::stream::{EventId, SimTime, StreamId, StreamSet};
 use crate::unified::{Side, UnifiedManager};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 /// The kind (and operands) of one GPU API invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,8 +75,9 @@ pub enum ApiKind {
     },
     /// A kernel launch.
     KernelLaunch {
-        /// Kernel name.
-        name: String,
+        /// Kernel name, interned once per launch and shared with the
+        /// [`KernelInfo`] handed to the instrumentation hooks.
+        name: std::sync::Arc<str>,
         /// Grid extent.
         grid: Dim3,
         /// Block extent.
@@ -196,7 +199,7 @@ pub struct ContextStats {
 /// let mut ctx = DeviceContext::new_default();
 /// let buf = ctx.malloc(4 * 16, "numbers")?;
 /// ctx.h2d_f32(buf, &[1.0; 16])?;
-/// ctx.launch("double", LaunchConfig::cover(16, 16), gpu_sim::StreamId::DEFAULT,
+/// ctx.launch("double", LaunchConfig::cover(16, 16)?, gpu_sim::StreamId::DEFAULT,
 ///     |t| {
 ///         let i = t.global_x();
 ///         if i < 16 {
@@ -222,10 +225,25 @@ pub struct DeviceContext {
     unified: UnifiedManager,
     log: Vec<ApiEvent>,
     seq: u64,
-    kernel_instances: HashMap<String, u64>,
+    kernel_instances: HashMap<Arc<str>, u64>,
     labels: HashMap<DevicePtr, String>,
     stats: ContextStats,
     fault: Option<FaultInjector>,
+    /// Worker threads for parallel block execution (1 = serial loop).
+    kernel_workers: usize,
+}
+
+/// Reads the `DRGPUM_KERNEL_WORKERS` override once per process. Lets CI
+/// (and users) run an entire existing test suite or binary with parallel
+/// kernel execution without touching any call site.
+fn env_kernel_workers() -> Option<usize> {
+    static WORKERS: OnceLock<Option<usize>> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("DRGPUM_KERNEL_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    })
 }
 
 /// How long an injected [`FaultKind::StreamStall`] pushes a stream's tail
@@ -244,7 +262,25 @@ impl fmt::Debug for DeviceContext {
 
 impl DeviceContext {
     /// Creates a context for the given platform.
+    ///
+    /// Kernel execution is serial unless the `DRGPUM_KERNEL_WORKERS`
+    /// environment variable overrides the worker count; use
+    /// [`DeviceContext::with_config`] to pin it programmatically.
     pub fn new(config: PlatformConfig) -> Self {
+        let mut sim = SimConfig::new(config);
+        if let Some(workers) = env_kernel_workers() {
+            sim.kernel_workers = workers;
+        }
+        DeviceContext::with_config(sim)
+    }
+
+    /// Creates a context from a full [`SimConfig`], taking the worker count
+    /// verbatim (no environment override).
+    pub fn with_config(sim: SimConfig) -> Self {
+        let SimConfig {
+            platform: config,
+            kernel_workers,
+        } = sim;
         let alloc = DeviceAllocator::new(config.device_memory_bytes);
         DeviceContext {
             config,
@@ -260,6 +296,7 @@ impl DeviceContext {
             labels: HashMap::new(),
             stats: ContextStats::default(),
             fault: None,
+            kernel_workers: kernel_workers.max(1),
         }
     }
 
@@ -271,6 +308,17 @@ impl DeviceContext {
     /// The platform configuration.
     pub fn config(&self) -> &PlatformConfig {
         &self.config
+    }
+
+    /// Number of worker threads used for kernel block execution
+    /// (see [`SimConfig::kernel_workers`]).
+    pub fn kernel_workers(&self) -> usize {
+        self.kernel_workers
+    }
+
+    /// Sets the kernel worker count; `0` is treated as `1` (serial).
+    pub fn set_kernel_workers(&mut self, workers: usize) {
+        self.kernel_workers = workers.max(1);
     }
 
     /// The device allocator (live allocations, peak statistics).
@@ -933,7 +981,7 @@ impl DeviceContext {
         body: F,
     ) -> Result<KernelCounters>
     where
-        F: Fn(&mut ThreadCtx<'_>),
+        F: Fn(&mut ThreadCtx<'_>) + Sync,
     {
         if cfg.total_threads() == 0 {
             return Err(SimError::EmptyLaunch {
@@ -947,14 +995,17 @@ impl DeviceContext {
         self.apply_stream_faults(stream)?;
         let injected_oob = self.fault_fires(FaultKind::KernelOob);
         let injected_kill = self.fault_fires(FaultKind::KernelKill);
+        // One interned name serves the instance counter, the KernelInfo
+        // handed to every hook, the API event, and the error paths.
+        let name: Arc<str> = Arc::from(name);
         let instance = {
-            let counter = self.kernel_instances.entry(name.to_owned()).or_insert(0);
+            let counter = self.kernel_instances.entry(name.clone()).or_insert(0);
             let i = *counter;
             *counter += 1;
             i
         };
         let info = KernelInfo {
-            name: name.to_owned(),
+            name: name.clone(),
             api_seq: self.seq,
             stream,
             grid: cfg.grid,
@@ -962,14 +1013,6 @@ impl DeviceContext {
             instance,
         };
         let mode = self.sanitizer.dispatch_kernel_begin(&info);
-        let mut sink = AccessSink::new(
-            mode,
-            self.sanitizer.buffer_capacity(),
-            self.sanitizer.coalescing(),
-            self.sanitizer.coalesce_alignment(),
-        );
-        let mut counters = KernelCounters::default();
-        let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
 
         // A mid-execution kill runs only a prefix of the grid's threads;
         // everything they wrote is still delivered (partial results).
@@ -979,48 +1022,23 @@ impl DeviceContext {
         } else {
             total_threads
         };
-        let mut executed: u64 = 0;
 
-        let grid = cfg.grid;
-        let block = cfg.block;
-        'grid: for bz in 0..grid.z {
-            for by in 0..grid.y {
-                for bx in 0..grid.x {
-                    let block_idx = Dim3::xyz(bx, by, bz);
-                    shared.fill(0);
-                    for tz in 0..block.z {
-                        for ty in 0..block.y {
-                            for tx in 0..block.x {
-                                if executed >= thread_budget {
-                                    break 'grid;
-                                }
-                                executed += 1;
-                                let thread_idx = Dim3::xyz(tx, ty, tz);
-                                let flat_thread = grid.flatten(block_idx) * block.count()
-                                    + block.flatten(thread_idx);
-                                let mut tctx = ThreadCtx {
-                                    mem: &mut self.mem,
-                                    alloc: &self.alloc,
-                                    sink: &mut sink,
-                                    sanitizer: &self.sanitizer,
-                                    info: &info,
-                                    unified: &mut self.unified,
-                                    shared: &mut shared,
-                                    counters: &mut counters,
-                                    block_idx,
-                                    thread_idx,
-                                    grid_dim: grid,
-                                    block_dim: block,
-                                    flat_thread,
-                                    pc_counter: 0,
-                                };
-                                body(&mut tctx);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        // The parallel path requires block-order-independent execution:
+        // an active fault plan (mid-kill thread prefixes, injected faults
+        // with per-call triggers) and unified-memory migration (ordered
+        // hook dispatch from inside threads) both depend on the serial
+        // schedule, so they force the serial loop, as do launches flagged
+        // `serial_only` (kernels with cross-block read-modify-write).
+        let parallel = self.kernel_workers > 1
+            && cfg.grid.count() > 1
+            && !cfg.serial_only
+            && self.fault.is_none()
+            && self.unified.region_count() == 0;
+        let (mut sink, counters, executed) = if parallel {
+            self.run_blocks_parallel(&cfg, &info, mode, &body)
+        } else {
+            self.run_blocks_serial(&cfg, &info, mode, thread_budget, &body)
+        };
         if injected_oob && sink.fault.is_none() {
             // Synthesize the access fault the plan asked for: one word just
             // past the end of device memory.
@@ -1044,7 +1062,7 @@ impl DeviceContext {
             stream,
             ordinal,
             ApiKind::KernelLaunch {
-                name: name.to_owned(),
+                name: name.clone(),
                 grid: cfg.grid,
                 block: cfg.block,
             },
@@ -1058,7 +1076,7 @@ impl DeviceContext {
         // dispatches, so profilers observe the partial execution.
         if injected_kill {
             return Err(SimError::KernelFaulted {
-                kernel: name.to_owned(),
+                kernel: name.as_ref().to_owned(),
                 reason: format!(
                     "killed mid-execution by fault injection after \
                      {executed} of {total_threads} threads"
@@ -1067,11 +1085,215 @@ impl DeviceContext {
         }
         if let Some(fault) = device_fault {
             return Err(SimError::KernelFaulted {
-                kernel: name.to_owned(),
+                kernel: name.as_ref().to_owned(),
                 reason: fault.to_string(),
             });
         }
         Ok(counters)
+    }
+
+    /// The classic serial interpreter loop: every thread of every block in
+    /// flat block order, with per-block shared memory re-zeroed between
+    /// blocks. Returns the sink, the aggregate counters, and the number of
+    /// threads actually executed (short of the grid only under an injected
+    /// mid-kill's `thread_budget`).
+    fn run_blocks_serial<F>(
+        &mut self,
+        cfg: &LaunchConfig,
+        info: &KernelInfo,
+        mode: PatchMode,
+        thread_budget: u64,
+        body: &F,
+    ) -> (AccessSink, KernelCounters, u64)
+    where
+        F: Fn(&mut ThreadCtx<'_>),
+    {
+        let mut sink = AccessSink::new(
+            mode,
+            self.sanitizer.buffer_capacity(),
+            self.sanitizer.coalescing(),
+            self.sanitizer.coalesce_alignment(),
+        );
+        let mut counters = KernelCounters::default();
+        let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
+        let mut executed: u64 = 0;
+        let mut first_block = true;
+
+        let grid = cfg.grid;
+        let block = cfg.block;
+        'grid: for bz in 0..grid.z {
+            for by in 0..grid.y {
+                for bx in 0..grid.x {
+                    let block_idx = Dim3::xyz(bx, by, bz);
+                    // The buffer is allocated zeroed; later blocks must not
+                    // see the previous block's scratch.
+                    if !first_block && !shared.is_empty() {
+                        shared.fill(0);
+                    }
+                    first_block = false;
+                    for tz in 0..block.z {
+                        for ty in 0..block.y {
+                            for tx in 0..block.x {
+                                if executed >= thread_budget {
+                                    break 'grid;
+                                }
+                                executed += 1;
+                                let thread_idx = Dim3::xyz(tx, ty, tz);
+                                let flat_thread = grid.flatten(block_idx) * block.count()
+                                    + block.flatten(thread_idx);
+                                let mut tctx = ThreadCtx {
+                                    mem: KernelMem::Exclusive(&mut self.mem),
+                                    alloc: &self.alloc,
+                                    sink: &mut sink,
+                                    sanitizer: Some(&self.sanitizer),
+                                    info,
+                                    unified: Some(&mut self.unified),
+                                    shared: &mut shared,
+                                    counters: &mut counters,
+                                    block_idx,
+                                    thread_idx,
+                                    grid_dim: grid,
+                                    block_dim: block,
+                                    flat_thread,
+                                    pc_counter: 0,
+                                };
+                                body(&mut tctx);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (sink, counters, executed)
+    }
+
+    /// Executes the grid's blocks on a scoped worker pool and merges the
+    /// workers' staged observations back into one serial-shaped sink.
+    ///
+    /// Workers claim flat block indices from an atomic counter, so block
+    /// *assignment* is nondeterministic — but each worker stages raw
+    /// records per block and [`AccessSink::merge_staged`] replays them in
+    /// flat block-index order through the exact serial coalesce/flush
+    /// path, so every tool-visible byte (record buffers, flush boundaries,
+    /// touched-sets, counters, and therefore simulated timestamps) is
+    /// identical to the serial loop's.
+    ///
+    /// Only called for fault-free, unified-memory-free launches (see
+    /// [`DeviceContext::launch`]), so the thread budget is always the full
+    /// grid.
+    fn run_blocks_parallel<F>(
+        &mut self,
+        cfg: &LaunchConfig,
+        info: &KernelInfo,
+        mode: PatchMode,
+        body: &F,
+    ) -> (AccessSink, KernelCounters, u64)
+    where
+        F: Fn(&mut ThreadCtx<'_>) + Sync,
+    {
+        let grid = cfg.grid;
+        let block = cfg.block;
+        let grid_blocks = grid.count();
+        let workers = self
+            .kernel_workers
+            .min(usize::try_from(grid_blocks).unwrap_or(usize::MAX));
+        // More shards than workers keeps the probability of two workers
+        // serializing on one fresh-page shard low.
+        let view = self.mem.split_shared(workers * 8);
+        let alloc = &self.alloc;
+        let shared_bytes = cfg.shared_mem_bytes as usize;
+        let next_block = AtomicU64::new(0);
+
+        let results: Vec<std::thread::Result<(AccessSink, KernelCounters)>> =
+            std::thread::scope(|s| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let view = &view;
+                        let next_block = &next_block;
+                        let body = &body;
+                        s.spawn(move || {
+                            let mut sink = AccessSink::new_staging(mode);
+                            let mut counters = KernelCounters::default();
+                            let mut shared = vec![0u8; shared_bytes];
+                            let mut first_block = true;
+                            loop {
+                                let flat_block = next_block.fetch_add(1, Ordering::Relaxed);
+                                if flat_block >= grid_blocks {
+                                    break;
+                                }
+                                let gx = u64::from(grid.x);
+                                let gy = u64::from(grid.y);
+                                let block_idx = Dim3::xyz(
+                                    (flat_block % gx) as u32,
+                                    ((flat_block / gx) % gy) as u32,
+                                    (flat_block / (gx * gy)) as u32,
+                                );
+                                if !first_block && !shared.is_empty() {
+                                    shared.fill(0);
+                                }
+                                first_block = false;
+                                sink.begin_block(flat_block);
+                                for tz in 0..block.z {
+                                    for ty in 0..block.y {
+                                        for tx in 0..block.x {
+                                            let thread_idx = Dim3::xyz(tx, ty, tz);
+                                            let flat_thread = flat_block * block.count()
+                                                + block.flatten(thread_idx);
+                                            let mut tctx = ThreadCtx {
+                                                mem: KernelMem::Shared(view),
+                                                alloc,
+                                                sink: &mut sink,
+                                                sanitizer: None,
+                                                info,
+                                                unified: None,
+                                                shared: &mut shared,
+                                                counters: &mut counters,
+                                                block_idx,
+                                                thread_idx,
+                                                grid_dim: grid,
+                                                block_dim: block,
+                                                flat_thread,
+                                                pc_counter: 0,
+                                            };
+                                            body(&mut tctx);
+                                        }
+                                    }
+                                }
+                                sink.end_block();
+                            }
+                            (sink, counters)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join()).collect()
+            });
+        // Re-absorb the pages before anything can unwind, so a worker
+        // panic cannot lose device memory.
+        self.mem.absorb_shared(view);
+
+        let mut worker_sinks = Vec::with_capacity(results.len());
+        let mut counters = KernelCounters::default();
+        let mut panic_payload = None;
+        for result in results {
+            match result {
+                Ok((sink, c)) => {
+                    counters.merge(&c);
+                    worker_sinks.push(sink);
+                }
+                Err(p) => panic_payload = Some(p),
+            }
+        }
+        if let Some(p) = panic_payload {
+            std::panic::resume_unwind(p);
+        }
+        let mut sink = AccessSink::new(
+            mode,
+            self.sanitizer.buffer_capacity(),
+            self.sanitizer.coalescing(),
+            self.sanitizer.coalesce_alignment(),
+        );
+        sink.merge_staged(&self.sanitizer, info, &worker_sinks);
+        (sink, counters, cfg.total_threads())
     }
 
     /// Simulated kernel duration from the work counters plus the
@@ -1162,7 +1384,7 @@ mod tests {
         ctx.h2d_f32(p, &host).unwrap();
         ctx.launch(
             "scale",
-            LaunchConfig::cover(n, 32),
+            LaunchConfig::cover(n, 32).unwrap(),
             StreamId::DEFAULT,
             |t| {
                 let i = t.global_x();
@@ -1197,9 +1419,14 @@ mod tests {
         let mut ctx = DeviceContext::new_default();
         let p = ctx.malloc(4, "tiny").unwrap();
         let err = ctx
-            .launch("bad", LaunchConfig::cover(1, 1), StreamId::DEFAULT, |t| {
-                t.store_f32(p + 4, 1.0);
-            })
+            .launch(
+                "bad",
+                LaunchConfig::cover(1, 1).unwrap(),
+                StreamId::DEFAULT,
+                |t| {
+                    t.store_f32(p + 4, 1.0);
+                },
+            )
             .unwrap_err();
         match err {
             SimError::KernelFaulted { kernel, reason } => {
@@ -1264,12 +1491,17 @@ mod tests {
         // seqs: 0 = malloc, 1 = memset, 2 = launch.
         ctx.set_fault_plan(FaultPlan::new(0).at_api(2, FaultKind::KernelKill));
         let err = ctx
-            .launch("half", LaunchConfig::cover(n, 32), StreamId::DEFAULT, |t| {
-                let i = t.global_x();
-                if i < n {
-                    t.store_f32(p + i * 4, 1.0);
-                }
-            })
+            .launch(
+                "half",
+                LaunchConfig::cover(n, 32).unwrap(),
+                StreamId::DEFAULT,
+                |t| {
+                    let i = t.global_x();
+                    if i < n {
+                        t.store_f32(p + i * 4, 1.0);
+                    }
+                },
+            )
             .unwrap_err();
         assert!(matches!(err, SimError::KernelFaulted { .. }));
         let mut out = vec![0.0f32; n as usize];
@@ -1347,7 +1579,7 @@ mod tests {
         ctx.memset(a, 0, 64).unwrap();
         ctx.launch(
             "reader",
-            LaunchConfig::cover(4, 4),
+            LaunchConfig::cover(4, 4).unwrap(),
             StreamId::DEFAULT,
             |t| {
                 let i = t.global_x();
@@ -1388,12 +1620,17 @@ mod tests {
         let mut ctx = DeviceContext::new_default();
         ctx.sanitizer_mut().register(recorder.clone());
         let a = ctx.malloc(16, "a").unwrap();
-        ctx.launch("w", LaunchConfig::cover(4, 4), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < 4 {
-                t.store_f32(a + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "w",
+            LaunchConfig::cover(4, 4).unwrap(),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < 4 {
+                    t.store_f32(a + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         let r = recorder.lock();
         assert!(r.records.is_empty(), "no record streaming in hit-flag mode");
@@ -1415,7 +1652,7 @@ mod tests {
             let a = ctx.malloc(4096 * 4, "a").unwrap();
             ctx.launch(
                 "k",
-                LaunchConfig::cover(4096, 128),
+                LaunchConfig::cover(4096, 128).unwrap(),
                 StreamId::DEFAULT,
                 |t| {
                     let i = t.global_x();
@@ -1468,9 +1705,9 @@ mod tests {
                 t.store_f32(b + i * 4, 0.0);
             }
         };
-        ctx.launch("ka", LaunchConfig::cover(1024, 128), s1, body_a)
+        ctx.launch("ka", LaunchConfig::cover(1024, 128).unwrap(), s1, body_a)
             .unwrap();
-        ctx.launch("kb", LaunchConfig::cover(1024, 128), s2, body_b)
+        ctx.launch("kb", LaunchConfig::cover(1024, 128).unwrap(), s2, body_b)
             .unwrap();
         let log = ctx.api_log();
         let ka = log
@@ -1502,12 +1739,17 @@ mod tests {
         ctx.sanitizer_mut().set_coalescing(true);
         let n = 64u64; // two warps
         let a = ctx.malloc(n * 4, "a").unwrap();
-        ctx.launch("w", LaunchConfig::cover(n, 64), StreamId::DEFAULT, |t| {
-            let i = t.global_x();
-            if i < n {
-                t.store_f32(a + i * 4, 1.0);
-            }
-        })
+        ctx.launch(
+            "w",
+            LaunchConfig::cover(n, 64).unwrap(),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                if i < n {
+                    t.store_f32(a + i * 4, 1.0);
+                }
+            },
+        )
         .unwrap();
         let r = recorder.lock();
         assert_eq!(
@@ -1538,7 +1780,7 @@ mod tests {
             let a = ctx.malloc(4096, "a").unwrap();
             ctx.launch(
                 "k",
-                LaunchConfig::cover(1024, 128),
+                LaunchConfig::cover(1024, 128).unwrap(),
                 StreamId::DEFAULT,
                 |t| {
                     let i = t.global_x();
@@ -1558,7 +1800,7 @@ mod tests {
     fn shared_oob_is_a_device_fault_not_a_panic() {
         let mut ctx = DeviceContext::new_default();
         let a = ctx.malloc(64, "a").unwrap();
-        let cfg = LaunchConfig::cover(4, 4).with_shared_mem(16);
+        let cfg = LaunchConfig::cover(4, 4).unwrap().with_shared_mem(16);
         let err = ctx
             .launch("oob_shared", cfg, StreamId::DEFAULT, |t| {
                 let i = t.global_x();

@@ -139,6 +139,55 @@ impl Default for PlatformConfig {
     }
 }
 
+/// Top-level simulator configuration: the platform cost model plus
+/// execution knobs that are properties of the *simulator*, not of the
+/// simulated hardware.
+///
+/// # Examples
+///
+/// ```
+/// use gpu_sim::{DeviceContext, SimConfig};
+///
+/// let cfg = SimConfig::default().with_kernel_workers(4);
+/// let ctx = DeviceContext::with_config(cfg);
+/// assert_eq!(ctx.kernel_workers(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The simulated platform (cost model, device memory size).
+    pub platform: PlatformConfig,
+    /// Number of worker threads used to execute a kernel's thread blocks.
+    ///
+    /// `1` (the default) runs the classic serial interpreter loop. Values
+    /// above `1` execute blocks concurrently on a scoped thread pool while
+    /// preserving byte-identical profiler output; kernels that touch
+    /// unified memory or run under an active fault plan automatically fall
+    /// back to the serial loop. `0` is treated as `1`.
+    pub kernel_workers: usize,
+}
+
+impl SimConfig {
+    /// A configuration for `platform` with serial kernel execution.
+    pub fn new(platform: PlatformConfig) -> Self {
+        SimConfig {
+            platform,
+            kernel_workers: 1,
+        }
+    }
+
+    /// Sets the kernel worker count (builder style).
+    pub fn with_kernel_workers(mut self, workers: usize) -> Self {
+        self.kernel_workers = workers.max(1);
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::new(PlatformConfig::default())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,5 +224,24 @@ mod tests {
     #[test]
     fn tiny_platform_is_small() {
         assert!(PlatformConfig::test_tiny().device_memory_bytes <= 1 << 20);
+    }
+
+    #[test]
+    fn sim_config_defaults_to_serial_execution() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.kernel_workers, 1);
+        assert_eq!(cfg.platform, PlatformConfig::rtx3090());
+    }
+
+    #[test]
+    fn sim_config_worker_builder_clamps_zero_to_serial() {
+        assert_eq!(
+            SimConfig::default().with_kernel_workers(0).kernel_workers,
+            1
+        );
+        assert_eq!(
+            SimConfig::default().with_kernel_workers(8).kernel_workers,
+            8
+        );
     }
 }

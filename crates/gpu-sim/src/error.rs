@@ -69,6 +69,15 @@ pub enum SimError {
         /// Name of the offending kernel.
         kernel: String,
     },
+    /// A 1-D cover launch would need more blocks than a grid dimension can
+    /// address. Real drivers reject such launches with
+    /// `cudaErrorInvalidConfiguration`.
+    GridTooLarge {
+        /// Number of threads the launch was asked to cover.
+        requested_threads: u64,
+        /// Blocks required at the given block size.
+        blocks: u64,
+    },
     /// Host/device copy size mismatch.
     SizeMismatch {
         /// Expected number of bytes.
@@ -128,6 +137,14 @@ impl fmt::Display for SimError {
             SimError::EmptyLaunch { kernel } => {
                 write!(f, "kernel `{kernel}` launched with an empty grid or block")
             }
+            SimError::GridTooLarge {
+                requested_threads,
+                blocks,
+            } => write!(
+                f,
+                "grid too large: covering {requested_threads} threads needs {blocks} blocks, \
+                 more than a grid dimension can address"
+            ),
             SimError::SizeMismatch { expected, actual } => write!(
                 f,
                 "size mismatch: expected {expected} bytes, got {actual} bytes"

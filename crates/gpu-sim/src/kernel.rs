@@ -6,9 +6,92 @@
 //! instruction — the simulated analogue of SASS patching.
 
 use crate::error::SimError;
+use crate::mem::paged::SharedPagedView;
 use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
 use crate::sanitizer::{AccessKind, AccessSink, KernelInfo, Sanitizer};
 use std::fmt;
+
+/// Global-memory backing a thread executes against: the exclusive store
+/// (serial launch path) or the concurrent page-sharded view (parallel
+/// launch path).
+pub(crate) enum KernelMem<'a> {
+    /// Serial execution owns the paged store outright.
+    Exclusive(&'a mut PagedStore),
+    /// Parallel workers share one interior-mutability view.
+    Shared(&'a SharedPagedView),
+}
+
+impl KernelMem<'_> {
+    fn read_bytes(&self, addr: DevicePtr, buf: &mut [u8]) {
+        match self {
+            KernelMem::Exclusive(store) => store.read_bytes(addr, buf),
+            KernelMem::Shared(view) => view.read_bytes(addr, buf),
+        }
+    }
+
+    fn write_bytes(&mut self, addr: DevicePtr, data: &[u8]) {
+        match self {
+            KernelMem::Exclusive(store) => store.write_bytes(addr, data),
+            KernelMem::Shared(view) => view.write_bytes(addr, data),
+        }
+    }
+
+    fn read_f32(&self, addr: DevicePtr) -> f32 {
+        match self {
+            KernelMem::Exclusive(store) => store.read_f32(addr),
+            KernelMem::Shared(view) => view.read_f32(addr),
+        }
+    }
+
+    fn write_f32(&mut self, addr: DevicePtr, v: f32) {
+        match self {
+            KernelMem::Exclusive(store) => store.write_f32(addr, v),
+            KernelMem::Shared(view) => view.write_f32(addr, v),
+        }
+    }
+
+    fn read_f64(&self, addr: DevicePtr) -> f64 {
+        match self {
+            KernelMem::Exclusive(store) => store.read_f64(addr),
+            KernelMem::Shared(view) => view.read_f64(addr),
+        }
+    }
+
+    fn write_f64(&mut self, addr: DevicePtr, v: f64) {
+        match self {
+            KernelMem::Exclusive(store) => store.write_f64(addr, v),
+            KernelMem::Shared(view) => view.write_f64(addr, v),
+        }
+    }
+
+    fn read_u32(&self, addr: DevicePtr) -> u32 {
+        match self {
+            KernelMem::Exclusive(store) => store.read_u32(addr),
+            KernelMem::Shared(view) => view.read_u32(addr),
+        }
+    }
+
+    fn write_u32(&mut self, addr: DevicePtr, v: u32) {
+        match self {
+            KernelMem::Exclusive(store) => store.write_u32(addr, v),
+            KernelMem::Shared(view) => view.write_u32(addr, v),
+        }
+    }
+
+    fn read_u64(&self, addr: DevicePtr) -> u64 {
+        match self {
+            KernelMem::Exclusive(store) => store.read_u64(addr),
+            KernelMem::Shared(view) => view.read_u64(addr),
+        }
+    }
+
+    fn write_u64(&mut self, addr: DevicePtr, v: u64) {
+        match self {
+            KernelMem::Exclusive(store) => store.write_u64(addr, v),
+            KernelMem::Shared(view) => view.write_u64(addr, v),
+        }
+    }
+}
 
 /// A three-dimensional launch extent or index, like CUDA's `dim3`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -89,6 +172,13 @@ pub struct LaunchConfig {
     pub block: Dim3,
     /// Dynamic shared memory per block, in bytes.
     pub shared_mem_bytes: u32,
+    /// Forces the serial interpreter loop even when the context's
+    /// `kernel_workers` knob is above 1. Set by kernels that perform
+    /// cross-block read-modify-write (histogram increments, XOR
+    /// accumulators): real GPUs need atomics for those, which the
+    /// simulator does not model, so they are only deterministic when
+    /// blocks run in order.
+    pub serial_only: bool,
 }
 
 impl LaunchConfig {
@@ -98,6 +188,7 @@ impl LaunchConfig {
             grid: grid.into(),
             block: block.into(),
             shared_mem_bytes: 0,
+            serial_only: false,
         }
     }
 
@@ -107,17 +198,31 @@ impl LaunchConfig {
         self
     }
 
+    /// Marks the launch as serial-only (builder style); see
+    /// [`LaunchConfig::serial_only`].
+    pub fn serialized(mut self) -> Self {
+        self.serial_only = true;
+        self
+    }
+
     /// A 1-D launch covering at least `n` threads with `block_size`-wide
     /// blocks — the ubiquitous `(n + b - 1) / b` idiom.
-    pub fn cover(n: u64, block_size: u32) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::GridTooLarge`] when covering `n` threads would
+    /// need more than `u32::MAX` blocks — the launch would silently cover
+    /// fewer threads than asked if the grid were clamped, so the driver
+    /// rejects it instead, like `cudaErrorInvalidConfiguration`.
+    pub fn cover(n: u64, block_size: u32) -> Result<Self, SimError> {
         let blocks = n.div_ceil(u64::from(block_size)).max(1);
-        // A grid wider than u32::MAX blocks is clamped rather than panicking;
-        // real drivers reject such launches, and the clamped grid still
-        // exceeds any simulated workload's reach.
-        LaunchConfig::new(
-            Dim3::x(u32::try_from(blocks).unwrap_or(u32::MAX)),
-            Dim3::x(block_size),
-        )
+        let Ok(grid_x) = u32::try_from(blocks) else {
+            return Err(SimError::GridTooLarge {
+                requested_threads: n,
+                blocks,
+            });
+        };
+        Ok(LaunchConfig::new(Dim3::x(grid_x), Dim3::x(block_size)))
     }
 
     /// Total threads in the launch.
@@ -150,6 +255,17 @@ impl KernelCounters {
     pub fn global_accesses(&self) -> u64 {
         self.global_reads + self.global_writes
     }
+
+    /// Accumulates another execution's counters (used to fold per-worker
+    /// counters into the launch total; addition is order-independent).
+    pub(crate) fn merge(&mut self, other: &KernelCounters) {
+        self.global_reads += other.global_reads;
+        self.global_writes += other.global_writes;
+        self.global_bytes += other.global_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.flops += other.flops;
+        self.page_migrations += other.page_migrations;
+    }
 }
 
 /// The execution context handed to a kernel closure, once per thread.
@@ -167,12 +283,17 @@ impl KernelCounters {
 /// delivered to the instrumentation — the simulator's equivalent of a
 /// memory fault under `compute-sanitizer`, without aborting the host.
 pub struct ThreadCtx<'a> {
-    pub(crate) mem: &'a mut PagedStore,
+    pub(crate) mem: KernelMem<'a>,
     pub(crate) alloc: &'a DeviceAllocator,
     pub(crate) sink: &'a mut AccessSink,
-    pub(crate) sanitizer: &'a Sanitizer,
+    /// `None` on parallel workers: a staging sink never dispatches to
+    /// tools mid-kernel, and unified memory (the only other dispatch from
+    /// inside a thread) forces the serial path.
+    pub(crate) sanitizer: Option<&'a Sanitizer>,
     pub(crate) info: &'a KernelInfo,
-    pub(crate) unified: &'a mut crate::unified::UnifiedManager,
+    /// `None` on parallel workers: kernels touching unified memory fall
+    /// back to the serial path, so workers never migrate pages.
+    pub(crate) unified: Option<&'a mut crate::unified::UnifiedManager>,
     pub(crate) shared: &'a mut [u8],
     pub(crate) counters: &'a mut KernelCounters,
     /// Index of this thread's block within the grid.
@@ -230,13 +351,17 @@ impl ThreadCtx<'_> {
         let pc = self.pc_counter;
         self.pc_counter += 1;
         // Unified memory: a device access to host-resident pages faults
-        // them over (expensive; observed by the instrumentation).
-        for migration in
-            self.unified
-                .ensure_resident(addr, u64::from(size), crate::unified::Side::Device)
-        {
-            self.counters.page_migrations += 1;
-            self.sanitizer.dispatch_page_migration(&migration);
+        // them over (expensive; observed by the instrumentation). Absent on
+        // parallel workers — unified regions force the serial path.
+        if let Some(unified) = self.unified.as_deref_mut() {
+            for migration in
+                unified.ensure_resident(addr, u64::from(size), crate::unified::Side::Device)
+            {
+                self.counters.page_migrations += 1;
+                if let Some(sanitizer) = self.sanitizer {
+                    sanitizer.dispatch_page_migration(&migration);
+                }
+            }
         }
         match kind {
             AccessKind::Read => self.counters.global_reads += 1,
@@ -414,11 +539,36 @@ mod tests {
 
     #[test]
     fn launch_config_cover_rounds_up() {
-        let cfg = LaunchConfig::cover(1000, 256);
+        let cfg = LaunchConfig::cover(1000, 256).unwrap();
         assert_eq!(cfg.grid.x, 4);
         assert_eq!(cfg.block.x, 256);
         assert!(cfg.total_threads() >= 1000);
-        assert_eq!(LaunchConfig::cover(0, 32).grid.x, 1);
+        assert_eq!(LaunchConfig::cover(0, 32).unwrap().grid.x, 1);
+    }
+
+    #[test]
+    fn launch_config_cover_rejects_oversized_grids() {
+        // u32::MAX blocks exactly still fits...
+        let max_fit = u64::from(u32::MAX);
+        assert_eq!(LaunchConfig::cover(max_fit, 1).unwrap().grid.x, u32::MAX);
+        // ...one block more must be a typed error, not a silent clamp that
+        // would cover fewer threads than requested.
+        let err = LaunchConfig::cover(max_fit + 1, 1).unwrap_err();
+        match err {
+            SimError::GridTooLarge {
+                requested_threads,
+                blocks,
+            } => {
+                assert_eq!(requested_threads, max_fit + 1);
+                assert_eq!(blocks, max_fit + 1);
+            }
+            other => panic!("expected GridTooLarge, got {other:?}"),
+        }
+        // Same overflow reached through a wide block size.
+        assert!(matches!(
+            LaunchConfig::cover(u64::MAX, 2),
+            Err(SimError::GridTooLarge { .. })
+        ));
     }
 
     #[test]

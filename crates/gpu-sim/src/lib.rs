@@ -35,7 +35,7 @@
 //! let mut ctx = DeviceContext::new_default();
 //! let v = ctx.malloc(1024 * 4, "v")?;
 //! ctx.memset(v, 0, 1024 * 4)?;
-//! ctx.launch("inc", LaunchConfig::cover(1024, 256), StreamId::DEFAULT, |t| {
+//! ctx.launch("inc", LaunchConfig::cover(1024, 256)?, StreamId::DEFAULT, |t| {
 //!     let i = t.global_x();
 //!     if i < 1024 {
 //!         let p = v + i * 4;
@@ -66,7 +66,7 @@ pub mod unified;
 
 pub use api::{ApiEvent, ApiKind, ContextStats, DeviceContext};
 pub use callstack::{CallPath, CallStack, FrameId, FrameTable, SourceLoc};
-pub use config::PlatformConfig;
+pub use config::{PlatformConfig, SimConfig};
 pub use error::{Result, SimError};
 pub use fault::{
     FaultInjector, FaultKind, FaultPlan, FaultTrigger, InjectedFault, RetryPolicy, SplitMix64,

@@ -9,7 +9,7 @@
 //! paper's *overallocation* pattern describes.
 
 mod allocator;
-mod paged;
+pub(crate) mod paged;
 
 pub use allocator::{AllocationInfo, AllocatorStats, DeviceAllocator, ALLOC_ALIGN};
 pub use paged::{PagedStore, PAGE_SIZE};

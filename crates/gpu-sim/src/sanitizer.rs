@@ -54,8 +54,8 @@ pub struct MemAccessRecord {
 /// Identity and geometry of a launched kernel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KernelInfo {
-    /// Kernel name.
-    pub name: String,
+    /// Kernel name, interned once per launch and shared with the API event.
+    pub name: Arc<str>,
     /// Global API sequence number of the launch.
     pub api_seq: u64,
     /// Stream the kernel was launched on.
@@ -373,11 +373,46 @@ impl Sanitizer {
     }
 }
 
+/// One raw access captured by a worker sink during parallel block
+/// execution, replayed through the serial record path at merge time.
+///
+/// The containing allocation's base is resolved by the worker (against the
+/// launch-frozen allocation map, so the answer is position-independent) and
+/// carried along, letting the replay skip the binary search.
+#[derive(Debug, Clone, Copy)]
+struct StagedAccess {
+    addr: DevicePtr,
+    size: u32,
+    kind: AccessKind,
+    flat_thread: u64,
+    pc: u32,
+    alloc_start: Option<u64>,
+}
+
+/// The staged-record range produced by one thread block, plus the first
+/// device fault that block hit (if any).
+#[derive(Debug)]
+struct BlockSpan {
+    flat_block: u64,
+    start: usize,
+    end: usize,
+    fault: Option<SimError>,
+}
+
 /// Collects memory-access observations during one kernel execution and
 /// streams them to the registered tools.
 ///
 /// Created internally by [`crate::DeviceContext::launch`]; kernels interact
 /// with it only indirectly through [`crate::ThreadCtx`].
+///
+/// A sink runs in one of two shapes: the *serial* shape (created by
+/// [`AccessSink::new`]) buffers, coalesces, and streams records to the
+/// tools as the kernel executes, while the *staging* shape (created by
+/// [`AccessSink::new_staging`], one per parallel worker) only appends raw
+/// records and never talks to the tools; staged records are replayed
+/// through a serial sink in flat block order by
+/// [`AccessSink::merge_staged`], reproducing the serial byte stream
+/// exactly.
 pub struct AccessSink {
     mode: PatchMode,
     buffer: Vec<MemAccessRecord>,
@@ -412,6 +447,13 @@ pub struct AccessSink {
     /// this into [`SimError::KernelFaulted`] after the partial results have
     /// been delivered to the tools.
     pub(crate) fault: Option<SimError>,
+    /// Worker-local staging shape: buffer raw records instead of the
+    /// serial coalesce/flush path (see the type-level docs).
+    staging: bool,
+    /// Raw records staged by this worker, grouped into block spans.
+    staged: Vec<StagedAccess>,
+    /// One span per executed block, in this worker's execution order.
+    spans: Vec<BlockSpan>,
 }
 
 impl std::fmt::Debug for AccessSink {
@@ -440,12 +482,114 @@ impl AccessSink {
             records_seen: 0,
             coalesced_away: 0,
             fault: None,
+            staging: false,
+            staged: Vec::new(),
+            spans: Vec::new(),
         }
+    }
+
+    /// Creates a worker-local staging sink for parallel block execution.
+    /// It never dispatches to tools, so it needs no capacity or coalescing
+    /// parameters — those are applied once, at replay time.
+    pub(crate) fn new_staging(mode: PatchMode) -> Self {
+        let mut sink = AccessSink::new(mode, 0, false, 1);
+        // A staging sink never flushes mid-kernel; records drain only
+        // through `merge_staged`.
+        sink.capacity = usize::MAX;
+        sink.staging = true;
+        sink
     }
 
     /// The patch mode this sink operates in.
     pub fn mode(&self) -> PatchMode {
         self.mode
+    }
+
+    /// Opens a staged span for the block with flat index `flat_block`.
+    pub(crate) fn begin_block(&mut self, flat_block: u64) {
+        debug_assert!(self.staging);
+        let at = self.staged.len();
+        self.spans.push(BlockSpan {
+            flat_block,
+            start: at,
+            end: at,
+            fault: None,
+        });
+    }
+
+    /// Closes the current staged span, capturing the block's first fault.
+    pub(crate) fn end_block(&mut self) {
+        let end = self.staged.len();
+        let fault = self.fault.take();
+        let span = self
+            .spans
+            .last_mut()
+            .expect("end_block without a matching begin_block");
+        span.end = end;
+        span.fault = fault;
+    }
+
+    /// Replays the staged records of `workers` into this (serial) sink in
+    /// flat block-index order.
+    ///
+    /// Block assignment to workers is nondeterministic, but every block's
+    /// records are contiguous within one worker and labeled with the flat
+    /// block index, so a stable sort over spans reconstructs exactly the
+    /// record stream the serial loop would have produced — same coalescing
+    /// decisions, same flush boundaries, same tool dispatch order. The
+    /// surviving fault is the earliest block's (the serial loop executes
+    /// blocks in flat order, so its first-fault-wins rule picks the same
+    /// one), and touched-sets and `records_seen` are order-independent
+    /// unions/sums.
+    pub(crate) fn merge_staged(
+        &mut self,
+        sanitizer: &Sanitizer,
+        info: &KernelInfo,
+        workers: &[AccessSink],
+    ) {
+        debug_assert!(!self.staging);
+        let mut order: Vec<(u64, usize, usize)> = workers
+            .iter()
+            .enumerate()
+            .flat_map(|(w, sink)| {
+                sink.spans
+                    .iter()
+                    .enumerate()
+                    .map(move |(s, span)| (span.flat_block, w, s))
+            })
+            .collect();
+        order.sort_unstable_by_key(|&(flat_block, _, _)| flat_block);
+        for (_, w, s) in order {
+            let worker = &workers[w];
+            let span = &worker.spans[s];
+            if self.fault.is_none() {
+                self.fault.clone_from(&span.fault);
+            }
+            for rec in &worker.staged[span.start..span.end] {
+                self.push_full_record(
+                    sanitizer,
+                    info,
+                    rec.addr,
+                    rec.size,
+                    rec.kind,
+                    rec.flat_thread,
+                    rec.pc,
+                    rec.alloc_start,
+                );
+            }
+        }
+        for worker in workers {
+            self.records_seen += worker.records_seen;
+            for (base, t) in &worker.touched {
+                let entry = self.touched.entry(*base).or_insert(TouchedObject {
+                    base: *base,
+                    read: false,
+                    written: false,
+                });
+                entry.read |= t.read;
+                entry.written |= t.written;
+            }
+        }
     }
 
     pub(crate) fn take_touched(self) -> Vec<TouchedObject> {
@@ -455,12 +599,14 @@ impl AccessSink {
     /// Resolves and stores one access. The containing object is looked up in
     /// the live-allocation map (the Fig. 5 binary search) and its hit flag is
     /// updated; in [`PatchMode::Full`] the record is also buffered and
-    /// streamed to the tools when the device-side buffer fills.
+    /// streamed to the tools when the device-side buffer fills (serial
+    /// shape) or staged raw for later replay (staging shape, where
+    /// `sanitizer` may be `None`).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn note_access(
         &mut self,
         alloc: &DeviceAllocator,
-        sanitizer: &Sanitizer,
+        sanitizer: Option<&Sanitizer>,
         info: &KernelInfo,
         addr: DevicePtr,
         size: u32,
@@ -472,13 +618,48 @@ impl AccessSink {
             return;
         }
         self.records_seen += 1;
+        let alloc_start = self.update_touched(alloc, addr, kind);
+        if self.mode == PatchMode::Full {
+            if self.staging {
+                self.staged.push(StagedAccess {
+                    addr,
+                    size,
+                    kind,
+                    flat_thread,
+                    pc,
+                    alloc_start,
+                });
+            } else {
+                let sanitizer = sanitizer.expect("serial sink requires a sanitizer");
+                self.push_full_record(
+                    sanitizer,
+                    info,
+                    addr,
+                    size,
+                    kind,
+                    flat_thread,
+                    pc,
+                    alloc_start,
+                );
+            }
+        }
+    }
+
+    /// Updates the touched-object hit flags for one access and returns the
+    /// containing allocation's base address, if any.
+    fn update_touched(
+        &mut self,
+        alloc: &DeviceAllocator,
+        addr: DevicePtr,
+        kind: AccessKind,
+    ) -> Option<u64> {
         // One-entry cache of the containing allocation. Access streams are
         // bursty per object, so the Fig. 5 binary search and the touched-map
         // update can usually be skipped. The live-allocation map cannot
         // change while a kernel executes, so a cached range stays valid for
         // the sink's lifetime.
         let raw = addr.addr();
-        let alloc_start = match &mut self.last_hit {
+        match &mut self.last_hit {
             Some(h) if raw >= h.start && raw < h.end => {
                 let flag = match kind {
                     AccessKind::Read => &mut h.read,
@@ -522,74 +703,89 @@ impl AccessSink {
                     None
                 }
             }
-        };
-        if self.mode == PatchMode::Full {
-            if self.coalesce {
-                // Merge into a buffered record the incoming access extends
-                // contiguously (same kind, same warp, adjacent address, no
-                // size overflow). The merged record keeps the first access's
-                // thread and pc. All downstream per-object maps (bitmap OR,
-                // range insert, per-byte frequency add) see exactly the same
-                // byte coverage, so in-place growth cannot change any
-                // analysis.
-                let warp = flat_thread / WARP_SIZE;
-                // (a) Warp-lane merge: an earlier lane of this warp executed
-                //     the same instruction (pc) and left an open record; this
-                //     mirrors hardware coalescing across a warp and holds
-                //     even when other accesses were buffered in between.
-                // A record may only grow (a) within the allocation containing
-                // the incoming access — adjacent allocations can abut exactly
-                // (sizes that are multiples of the 256-byte alignment), and a
-                // record spanning two objects would corrupt per-object
-                // attribution downstream — and (b) at a junction aligned to
-                // the tools' element width, so per-element frequency counts
-                // (one per record per overlapped element) stay exact.
-                let align = self.coalesce_align;
-                let can_grow = |rec: &MemAccessRecord| {
-                    alloc_start
-                        .is_some_and(|s| rec.addr.addr() >= s && (raw - s).is_multiple_of(align))
-                };
-                if let Some(&idx) = self.merge_candidates.get(&(warp, pc)) {
-                    let rec = &mut self.buffer[idx];
-                    if rec.kind == kind
-                        && rec.addr + u64::from(rec.size) == addr
-                        && rec.size.checked_add(size).is_some()
-                        && can_grow(rec)
-                    {
-                        rec.size += size;
-                        self.coalesced_away += 1;
-                        return;
-                    }
-                }
-                // (b) Intra-thread run merge: a recent record from the same
-                //     warp this access extends (a thread streaming through a
-                //     matrix row, with the pc advancing each step).
-                let window = self.buffer.len().saturating_sub(COALESCE_WINDOW);
-                if let Some(idx) = (window..self.buffer.len()).rev().find(|&i| {
-                    let rec = &self.buffer[i];
-                    rec.kind == kind
-                        && rec.flat_thread / WARP_SIZE == warp
-                        && rec.addr + u64::from(rec.size) == addr
-                        && rec.size.checked_add(size).is_some()
-                        && can_grow(rec)
-                }) {
-                    self.buffer[idx].size += size;
-                    self.merge_candidates.insert((warp, pc), idx);
+        }
+    }
+
+    /// Pushes one raw record through the serial coalesce/buffer/flush path.
+    /// `alloc_start` is the containing allocation's base (precomputed by
+    /// [`AccessSink::update_touched`] or carried in a staged record).
+    #[allow(clippy::too_many_arguments)]
+    fn push_full_record(
+        &mut self,
+        sanitizer: &Sanitizer,
+        info: &KernelInfo,
+        addr: DevicePtr,
+        size: u32,
+        kind: AccessKind,
+        flat_thread: u64,
+        pc: u32,
+        alloc_start: Option<u64>,
+    ) {
+        let raw = addr.addr();
+        if self.coalesce {
+            // Merge into a buffered record the incoming access extends
+            // contiguously (same kind, same warp, adjacent address, no
+            // size overflow). The merged record keeps the first access's
+            // thread and pc. All downstream per-object maps (bitmap OR,
+            // range insert, per-byte frequency add) see exactly the same
+            // byte coverage, so in-place growth cannot change any
+            // analysis.
+            let warp = flat_thread / WARP_SIZE;
+            // (a) Warp-lane merge: an earlier lane of this warp executed
+            //     the same instruction (pc) and left an open record; this
+            //     mirrors hardware coalescing across a warp and holds
+            //     even when other accesses were buffered in between.
+            // A record may only grow (a) within the allocation containing
+            // the incoming access — adjacent allocations can abut exactly
+            // (sizes that are multiples of the 256-byte alignment), and a
+            // record spanning two objects would corrupt per-object
+            // attribution downstream — and (b) at a junction aligned to
+            // the tools' element width, so per-element frequency counts
+            // (one per record per overlapped element) stay exact.
+            let align = self.coalesce_align;
+            let can_grow = |rec: &MemAccessRecord| {
+                alloc_start.is_some_and(|s| rec.addr.addr() >= s && (raw - s).is_multiple_of(align))
+            };
+            if let Some(&idx) = self.merge_candidates.get(&(warp, pc)) {
+                let rec = &mut self.buffer[idx];
+                if rec.kind == kind
+                    && rec.addr + u64::from(rec.size) == addr
+                    && rec.size.checked_add(size).is_some()
+                    && can_grow(rec)
+                {
+                    rec.size += size;
                     self.coalesced_away += 1;
                     return;
                 }
-                self.merge_candidates.insert((warp, pc), self.buffer.len());
             }
-            self.buffer.push(MemAccessRecord {
-                addr,
-                size,
-                kind,
-                flat_thread,
-                pc,
-            });
-            if self.buffer.len() >= self.capacity {
-                self.flush(sanitizer, info);
+            // (b) Intra-thread run merge: a recent record from the same
+            //     warp this access extends (a thread streaming through a
+            //     matrix row, with the pc advancing each step).
+            let window = self.buffer.len().saturating_sub(COALESCE_WINDOW);
+            if let Some(idx) = (window..self.buffer.len()).rev().find(|&i| {
+                let rec = &self.buffer[i];
+                rec.kind == kind
+                    && rec.flat_thread / WARP_SIZE == warp
+                    && rec.addr + u64::from(rec.size) == addr
+                    && rec.size.checked_add(size).is_some()
+                    && can_grow(rec)
+            }) {
+                self.buffer[idx].size += size;
+                self.merge_candidates.insert((warp, pc), idx);
+                self.coalesced_away += 1;
+                return;
             }
+            self.merge_candidates.insert((warp, pc), self.buffer.len());
+        }
+        self.buffer.push(MemAccessRecord {
+            addr,
+            size,
+            kind,
+            flat_thread,
+            pc,
+        });
+        if self.buffer.len() >= self.capacity {
+            self.flush(sanitizer, info);
         }
     }
 

@@ -115,6 +115,11 @@ impl UnifiedManager {
     }
 
     /// Number of managed regions currently registered.
+    ///
+    /// Also consulted by the launch path: any registered region forces the
+    /// serial block loop (see [`crate::config::SimConfig::kernel_workers`]),
+    /// because migrations dispatch sanitizer hooks from inside threads in
+    /// an order the serial schedule defines.
     pub fn region_count(&self) -> usize {
         self.regions.len()
     }

@@ -54,7 +54,7 @@ fn record_buffers_are_chunked_at_capacity() {
     let a = ctx.malloc(n * 4, "a").unwrap();
     ctx.launch(
         "w",
-        LaunchConfig::cover(n, 64),
+        LaunchConfig::cover(n, 64).unwrap(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -81,7 +81,7 @@ fn most_demanding_patch_mode_wins_across_tools() {
     let a = ctx.malloc(64, "a").unwrap();
     ctx.launch(
         "k",
-        LaunchConfig::cover(4, 4),
+        LaunchConfig::cover(4, 4).unwrap(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -107,7 +107,7 @@ fn counters_report_exact_work() {
     ctx.memset(a, 0, n * 4).unwrap();
     ctx.launch(
         "axpy",
-        LaunchConfig::cover(n, 32),
+        LaunchConfig::cover(n, 32).unwrap(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -194,7 +194,7 @@ fn freed_memory_faults_on_kernel_access() {
     let err = ctx
         .launch(
             "bad",
-            LaunchConfig::cover(1, 1),
+            LaunchConfig::cover(1, 1).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 t.load_f32(a);
@@ -274,7 +274,7 @@ fn instrumentation_cost_model_is_tunable() {
         let a = ctx.malloc(n * 4, "a").unwrap();
         ctx.launch(
             "k",
-            LaunchConfig::cover(n, 128),
+            LaunchConfig::cover(n, 128).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

@@ -42,7 +42,9 @@ fn conv_kernel(
 ) -> Result<()> {
     ctx.launch(
         &format!("forward_convolutional_layer_{layer}"),
-        LaunchConfig::cover(ACT_LEN, 128),
+        // Threads i and i + WS_LEN (different blocks) round-trip through
+        // the same workspace slot — non-atomic cross-block RMW.
+        LaunchConfig::cover(ACT_LEN, 128)?.serialized(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

@@ -66,7 +66,7 @@ pub fn resilient_pipeline(ctx: &mut DeviceContext) -> Result<RunOutcome> {
         ctx.memset(buf, 0, granted)?;
         ctx.launch(
             "fill",
-            LaunchConfig::cover(n, 256),
+            LaunchConfig::cover(n, 256)?,
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

@@ -42,7 +42,7 @@ fn update_quadrature_data(
         |ctx| {
             ctx.launch(
                 "qupdate_kernel",
-                LaunchConfig::cover(Q_LEN, 128),
+                LaunchConfig::cover(Q_LEN, 128)?,
                 StreamId::DEFAULT,
                 move |t| {
                     let i = t.global_x();
@@ -73,7 +73,7 @@ fn solver_step(
         |ctx| {
             ctx.launch(
                 "force_kernel",
-                LaunchConfig::cover(W2_LEN, 128),
+                LaunchConfig::cover(W2_LEN, 128)?,
                 StreamId::DEFAULT,
                 move |t| {
                     let i = t.global_x();
@@ -89,7 +89,7 @@ fn solver_step(
             )?;
             ctx.launch(
                 "energy_kernel",
-                LaunchConfig::cover(W2_LEN, 128),
+                LaunchConfig::cover(W2_LEN, 128)?,
                 StreamId::DEFAULT,
                 move |t| {
                     let i = t.global_x();

@@ -35,7 +35,7 @@ fn docking_kernel(
 ) -> Result<()> {
     ctx.launch(
         "gpu_calc_initpop_kernel",
-        LaunchConfig::cover(ENERGY_LEN, 128),
+        LaunchConfig::cover(ENERGY_LEN, 128)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -61,7 +61,7 @@ fn docking_kernel(
 fn sort_kernel(ctx: &mut DeviceContext, energies: DevicePtr) -> Result<()> {
     ctx.launch(
         "gpu_sort_pop_kernel",
-        LaunchConfig::cover(ENERGY_LEN, 128),
+        LaunchConfig::cover(ENERGY_LEN, 128)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -82,7 +82,7 @@ fn gen_kernel(
 ) -> Result<()> {
     ctx.launch(
         "gpu_gen_and_eval_newpops_kernel",
-        LaunchConfig::cover(CONF_USED_ELEMS, 32),
+        LaunchConfig::cover(CONF_USED_ELEMS, 32)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

@@ -42,7 +42,7 @@ fn kernel1(
     let n = u64::from(N);
     ctx.launch(
         "bicg_kernel1",
-        LaunchConfig::cover(n, 16),
+        LaunchConfig::cover(n, 16)?,
         StreamId::DEFAULT,
         move |t| {
             let j = t.global_x();
@@ -82,7 +82,7 @@ fn kernel2(
     let n = u64::from(N);
     ctx.launch(
         "bicg_kernel2",
-        LaunchConfig::cover(n, 16),
+        LaunchConfig::cover(n, 16)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -121,7 +121,7 @@ fn normalize_kernel(
     let n = u64::from(N);
     ctx.launch(
         "bicg_normalize",
-        LaunchConfig::cover(n, 16),
+        LaunchConfig::cover(n, 16)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

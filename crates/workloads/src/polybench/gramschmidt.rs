@@ -38,7 +38,7 @@ fn kernel1(ctx: &mut DeviceContext, a: DevicePtr, r_kk: DevicePtr, k: u64) -> Re
     let m = u64::from(N);
     ctx.launch(
         "gramschmidt_kernel1",
-        LaunchConfig::cover(1, 1),
+        LaunchConfig::cover(1, 1)?,
         StreamId::DEFAULT,
         move |t| {
             let mut nrm = 0.0f32;
@@ -65,7 +65,7 @@ fn kernel2(
     let m = u64::from(N);
     ctx.launch(
         "gramschmidt_kernel2",
-        LaunchConfig::cover(m, 8),
+        LaunchConfig::cover(m, 8)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -91,7 +91,7 @@ fn kernel3(
     ctx: &mut DeviceContext,
     a: DevicePtr,
     q: DevicePtr,
-    r_elem: impl Fn(u64) -> DevicePtr + Copy + 'static,
+    r_elem: impl Fn(u64) -> DevicePtr + Copy + Sync + 'static,
     k: u64,
     optimized: bool,
 ) -> Result<()> {
@@ -101,7 +101,7 @@ fn kernel3(
         return Ok(());
     }
     let block: u32 = 8;
-    let cfg = LaunchConfig::cover(cols, block).with_shared_mem(N * 4);
+    let cfg = LaunchConfig::cover(cols, block)?.with_shared_mem(N * 4);
     ctx.launch("gramschmidt_kernel3", cfg, StreamId::DEFAULT, move |t| {
         let lane = t.global_x();
         if optimized && t.thread_idx.x == 0 {

@@ -33,7 +33,7 @@ pub(crate) fn device_matmul(
     let n64 = u64::from(n);
     ctx.launch(
         name,
-        LaunchConfig::cover(total, 64),
+        LaunchConfig::cover(total, 64)?,
         StreamId::DEFAULT,
         move |t| {
             let idx = t.global_x();

@@ -22,7 +22,7 @@ pub const BACKUP_BYTES: u64 = 10 * 1024;
 fn split_kernel(ctx: &mut DeviceContext, src: DevicePtr, planes: [DevicePtr; 3]) -> Result<()> {
     ctx.launch(
         "c_CopySrcToComponents",
-        LaunchConfig::cover(PIXELS, 64),
+        LaunchConfig::cover(PIXELS, 64)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -46,7 +46,7 @@ fn haar_kernel(
     let half = PIXELS / 2;
     ctx.launch(
         name,
-        LaunchConfig::cover(half, 64),
+        LaunchConfig::cover(half, 64)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

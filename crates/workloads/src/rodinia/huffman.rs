@@ -33,7 +33,9 @@ fn synth_symbols(n: u64, seed: u32) -> Vec<u32> {
 fn histogram_kernel(ctx: &mut DeviceContext, src: DevicePtr, hist: DevicePtr) -> Result<()> {
     ctx.launch(
         "vlc_histogram",
-        LaunchConfig::cover(SRC_LEN, 64),
+        // Non-atomic cross-block histogram increments: only deterministic
+        // when blocks run in order.
+        LaunchConfig::cover(SRC_LEN, 64)?.serialized(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -56,7 +58,9 @@ fn encode_kernel(
 ) -> Result<()> {
     ctx.launch(
         "vlc_encode_kernel",
-        LaunchConfig::cover(SRC_LEN, 64),
+        // Threads i and i + BINS (different blocks) XOR-accumulate into the
+        // same slot without atomics.
+        LaunchConfig::cover(SRC_LEN, 64)?.serialized(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

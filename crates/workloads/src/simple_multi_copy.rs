@@ -30,7 +30,7 @@ fn incr_kernel(
     input: DevicePtr,
     output: DevicePtr,
 ) -> Result<()> {
-    ctx.launch(name, LaunchConfig::cover(LEN, 128), stream, move |t| {
+    ctx.launch(name, LaunchConfig::cover(LEN, 128)?, stream, move |t| {
         let i = t.global_x();
         if i < LEN {
             let v = t.load_u32(input + i * 4);

@@ -33,7 +33,7 @@ fn xs_lookup_kernel(
     let chunk_elems = CHUNK_BYTES / 4;
     ctx.launch(
         "xs_lookup_kernel_baseline",
-        LaunchConfig::cover(LOOKUPS, 32),
+        LaunchConfig::cover(LOOKUPS, 32)?,
         StreamId::DEFAULT,
         move |t| {
             let tid = t.global_x();

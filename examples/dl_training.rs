@@ -33,7 +33,7 @@ fn main() -> Result<(), SimError> {
     ctx.h2d_f32(weight, &vec![0.5f32; n as usize])?;
     ctx.launch(
         "forward",
-        LaunchConfig::cover(n, 128),
+        LaunchConfig::cover(n, 128)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -48,7 +48,7 @@ fn main() -> Result<(), SimError> {
     ctx.memset(m1, 0, bytes)?;
     ctx.launch(
         "optimizer_step",
-        LaunchConfig::cover(n, 128),
+        LaunchConfig::cover(n, 128)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -62,7 +62,7 @@ fn main() -> Result<(), SimError> {
     // Backward finally consumes the activation.
     ctx.launch(
         "backward",
-        LaunchConfig::cover(n, 128),
+        LaunchConfig::cover(n, 128)?,
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();

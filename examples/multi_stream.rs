@@ -26,7 +26,7 @@ fn main() -> Result<(), SimError> {
     // `b` is allocated now but first touched much later: early allocation
     // whose inefficiency distance is measured in topological timestamps.
     ctx.memset_on(a, 0, bytes, s1)?;
-    ctx.launch("produce", LaunchConfig::cover(n, 128), s1, move |t| {
+    ctx.launch("produce", LaunchConfig::cover(n, 128)?, s1, move |t| {
         let i = t.global_x();
         if i < n {
             t.store_f32(a + i * 4, i as f32);
@@ -35,7 +35,7 @@ fn main() -> Result<(), SimError> {
     let ready = ctx.create_event();
     ctx.record_event(ready, s1)?;
     ctx.wait_event(s2, ready)?;
-    ctx.launch("consume", LaunchConfig::cover(n, 128), s2, move |t| {
+    ctx.launch("consume", LaunchConfig::cover(n, 128)?, s2, move |t| {
         let i = t.global_x();
         if i < n {
             let v = t.load_f32(a + i * 4);

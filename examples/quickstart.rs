@@ -31,7 +31,7 @@ fn main() -> Result<(), SimError> {
         let n = 16 * 1024u64;
         ctx.launch(
             "compute",
-            LaunchConfig::cover(n, 128),
+            LaunchConfig::cover(n, 128)?,
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

@@ -37,7 +37,7 @@ fn main() -> Result<(), SimError> {
         // faults over anyway.
         ctx.launch(
             "consume",
-            LaunchConfig::cover(64, 64),
+            LaunchConfig::cover(64, 64)?,
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();

@@ -53,6 +53,7 @@ pub mod prelude {
         AnalysisLevel, PatternKind, Profiler, ProfilerOptions, Report, SamplingPolicy, Thresholds,
     };
     pub use gpu_sim::{
-        DeviceContext, DevicePtr, LaunchConfig, PlatformConfig, SimError, SourceLoc, StreamId,
+        DeviceContext, DevicePtr, LaunchConfig, PlatformConfig, SimConfig, SimError, SourceLoc,
+        StreamId,
     };
 }

@@ -1,18 +1,25 @@
-//! Determinism of the low-overhead collection pipeline (Sec. 5.5): for
-//! every registered workload, sharded aggregation and warp-level access
-//! coalescing must produce a report and a serialized trace (format v2
-//! text) byte-identical to the serial baseline's. Anything less would make
-//! the overhead knobs unusable — turning them on could change findings.
+//! Determinism of the low-overhead collection pipeline (Sec. 5.5) and of
+//! parallel block execution: for every registered workload, sharded
+//! aggregation, warp-level access coalescing, and multi-worker kernel
+//! execution must produce a report and a serialized trace (format v2 text)
+//! byte-identical to the serial baseline's. Anything less would make the
+//! overhead knobs unusable — turning them on could change findings.
 
 use drgpum::prelude::*;
 use drgpum::profiler::trace_io;
 use drgpum::workloads::common::Variant;
 use drgpum::workloads::registry::{RunConfig, WorkloadSpec};
 
-/// Profiles one clean run and returns the two byte-exact artifacts the
-/// determinism contract covers: rendered report text and trace v2 text.
-fn profile(spec: &WorkloadSpec, mut options: ProfilerOptions) -> (String, String) {
-    let mut ctx = DeviceContext::new_default();
+/// Profiles one clean run under `kernel_workers` worker threads and returns
+/// the two byte-exact artifacts the determinism contract covers: rendered
+/// report text and trace v2 text.
+///
+/// The context is built through [`DeviceContext::with_config`], which takes
+/// the worker count verbatim — the sweep must not be perturbed by a
+/// `DRGPUM_KERNEL_WORKERS` override in the environment.
+fn profile(spec: &WorkloadSpec, mut options: ProfilerOptions, workers: usize) -> (String, String) {
+    let sim = SimConfig::default().with_kernel_workers(workers);
+    let mut ctx = DeviceContext::with_config(sim);
     if let Some(elem) = spec.elem_size_hint {
         options.elem_size = elem;
     }
@@ -37,39 +44,81 @@ fn profile(spec: &WorkloadSpec, mut options: ProfilerOptions) -> (String, String
 
 #[test]
 fn parallel_and_coalesced_collection_match_serial_on_every_workload() {
+    // An odd shard count exercises uneven object distribution across
+    // shards; 3 also differs from any machine's core count, so the result
+    // cannot secretly depend on available parallelism. Worker count 8
+    // exceeds most grids' block count, exercising the workers > blocks
+    // clamp; 2 exercises genuine block interleaving.
+    let modes = [
+        ("serial-collect", ProfilerOptions::intra_object()),
+        (
+            "sharded",
+            ProfilerOptions::intra_object().with_collector_shards(3),
+        ),
+        (
+            "coalesced",
+            ProfilerOptions::intra_object().with_coalescing(),
+        ),
+    ];
     for spec in drgpum::workloads::all() {
-        let serial = profile(&spec, ProfilerOptions::intra_object());
-        // An odd shard count exercises uneven object distribution across
-        // shards; 3 also differs from any machine's core count, so the
-        // result cannot secretly depend on available parallelism.
-        let modes = [
-            (
-                "parallel",
-                ProfilerOptions::intra_object().with_collector_shards(3),
-            ),
-            (
-                "coalesced",
-                ProfilerOptions::intra_object().with_coalescing(),
-            ),
-            (
-                "parallel+coalesced",
-                ProfilerOptions::intra_object()
-                    .with_collector_shards(3)
-                    .with_coalescing(),
-            ),
-        ];
-        for (mode, options) in modes {
-            let got = profile(&spec, options);
-            assert_eq!(
-                got.0, serial.0,
-                "{}: report text diverged in `{mode}` mode",
-                spec.name
-            );
-            assert_eq!(
-                got.1, serial.1,
-                "{}: trace v2 bytes diverged in `{mode}` mode",
-                spec.name
-            );
+        let baseline = profile(&spec, ProfilerOptions::intra_object(), 1);
+        for workers in [1usize, 2, 8] {
+            for (mode, options) in &modes {
+                if workers == 1 && *mode == "serial-collect" {
+                    continue; // that IS the baseline
+                }
+                let got = profile(&spec, options.clone(), workers);
+                assert_eq!(
+                    got.0, baseline.0,
+                    "{}: report text diverged in `{mode}` mode with {workers} workers",
+                    spec.name
+                );
+                assert_eq!(
+                    got.1, baseline.1,
+                    "{}: trace v2 bytes diverged in `{mode}` mode with {workers} workers",
+                    spec.name
+                );
+            }
         }
     }
+}
+
+/// An active fault plan must force the serial loop: mid-kill thread
+/// prefixes and per-call triggers depend on the serial schedule, so a
+/// faulted run under many workers has to be byte-identical to the same
+/// faulted run under one.
+#[test]
+fn fault_plans_force_serial_fallback() {
+    use drgpum::sim::{FaultKind, FaultPlan};
+
+    let spec = drgpum::workloads::by_name("2MM").expect("registered");
+    let run = |workers: usize| -> (String, String, String) {
+        let sim = SimConfig::default().with_kernel_workers(workers);
+        let mut ctx = DeviceContext::with_config(sim);
+        let profiler = Profiler::attach(&mut ctx, ProfilerOptions::intra_object());
+        // p = 1.0 kills the first kernel 2MM launches, deterministically.
+        ctx.set_fault_plan(FaultPlan::new(29).probabilistic(FaultKind::KernelKill, 1.0));
+        // The killed kernel legitimately fails the workload; the profiler
+        // artifacts are what must stay deterministic.
+        let _ = (spec.run)(&mut ctx, Variant::Unoptimized, &RunConfig::default());
+        let trace = {
+            let collector = profiler.collector();
+            let collector = collector.lock();
+            trace_io::save(&collector, ctx.call_stack().table(), "rtx3090").to_text()
+        };
+        let report = profiler.report(&ctx).render_text();
+        let faults = format!("{:?}", ctx.fault_log());
+        (report, trace, faults)
+    };
+
+    let serial = run(1);
+    let parallel = run(8);
+    assert!(
+        serial.2.contains("KernelKill"),
+        "the plan must actually deliver a kernel kill, got: {}",
+        serial.2
+    );
+    assert_eq!(parallel.0, serial.0, "report text diverged under faults");
+    assert_eq!(parallel.1, serial.1, "trace v2 bytes diverged under faults");
+    assert_eq!(parallel.2, serial.2, "fault logs diverged");
 }

@@ -73,7 +73,7 @@ fn shared_memory_overrun_is_a_device_fault_with_a_full_report() {
     // Threads 2 and 3 index past the 16-byte shared window. This used to
     // panic the host mid-kernel; it must surface as a device fault instead,
     // with the profiler still producing a complete report afterwards.
-    let cfg = LaunchConfig::cover(4, 4).with_shared_mem(16);
+    let cfg = LaunchConfig::cover(4, 4).unwrap().with_shared_mem(16);
     let err = ctx
         .launch("oob_shared", cfg, StreamId::DEFAULT, |t| {
             let i = t.global_x();

@@ -63,14 +63,14 @@ fn multi_stream_overlap_beats_serialized_execution() {
         let b = ctx.malloc(n * 4, "b").unwrap();
         ctx.memset(a, 0, n * 4).unwrap();
         ctx.memset(b, 0, n * 4).unwrap();
-        ctx.launch("ka", LaunchConfig::cover(n, 256), s1, move |t| {
+        ctx.launch("ka", LaunchConfig::cover(n, 256).unwrap(), s1, move |t| {
             let i = t.global_x();
             if i < n {
                 t.store_f32(a + i * 4, 1.0);
             }
         })
         .unwrap();
-        ctx.launch("kb", LaunchConfig::cover(n, 256), s2, move |t| {
+        ctx.launch("kb", LaunchConfig::cover(n, 256).unwrap(), s2, move |t| {
             let i = t.global_x();
             if i < n {
                 t.store_f32(b + i * 4, 2.0);

@@ -100,7 +100,7 @@ fn execute(ctx: &mut DeviceContext, program: &Program) -> (u64, usize) {
                     let write = *write;
                     ctx.launch(
                         "touch",
-                        LaunchConfig::cover(elems, 32),
+                        LaunchConfig::cover(elems, 32).unwrap(),
                         StreamId::DEFAULT,
                         move |t| {
                             let i = t.global_x();

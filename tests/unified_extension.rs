@@ -14,7 +14,7 @@ fn run_thrashing(ctx: &mut DeviceContext) -> Result<(), SimError> {
         ctx.managed_write_f32(shared, v + 1.0)?;
         ctx.launch(
             "bump",
-            LaunchConfig::cover(1, 1),
+            LaunchConfig::cover(1, 1).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 let v = t.load_f32(shared);
@@ -56,7 +56,7 @@ fn migrations_cost_simulated_time() {
         clean_ctx
             .launch(
                 "bump",
-                LaunchConfig::cover(1, 1),
+                LaunchConfig::cover(1, 1).unwrap(),
                 StreamId::DEFAULT,
                 move |t| {
                     let v = t.load_f32(buf);
@@ -83,7 +83,7 @@ fn managed_memory_computes_correct_results() {
     ctx.managed_write_f32s(buf, &data).unwrap();
     ctx.launch(
         "triple",
-        LaunchConfig::cover(n, 64),
+        LaunchConfig::cover(n, 64).unwrap(),
         StreamId::DEFAULT,
         move |t| {
             let i = t.global_x();
@@ -138,7 +138,7 @@ fn plain_device_memory_never_reports_extension_patterns() {
         ctx.memset(buf, 0, PAGE).unwrap();
         ctx.launch(
             "k",
-            LaunchConfig::cover(16, 16),
+            LaunchConfig::cover(16, 16).unwrap(),
             StreamId::DEFAULT,
             move |t| {
                 let i = t.global_x();
