@@ -279,6 +279,12 @@ impl RangeSet {
         RangeSet::default()
     }
 
+    /// Bytes of host memory the interval list occupies (16 bytes per
+    /// stored interval) — metered by the session governor.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.ranges.len() as u64 * 16
+    }
+
     /// Inserts `[start, end)`, merging with existing intervals.
     pub fn insert(&mut self, start: u64, end: u64) {
         if start >= end {

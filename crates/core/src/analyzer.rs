@@ -5,6 +5,7 @@
 
 use crate::collector::Collector;
 use crate::depgraph::DependencyGraph;
+use crate::governor::CancelToken;
 use crate::object::ObjectSource;
 use crate::patterns::{
     intra, object_level, redundant, ObjectAccess, ObjectView, PatternFinding, TraceView,
@@ -17,6 +18,7 @@ use crate::report::{
 use gpu_sim::{CallPath, FrameTable};
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// Builds the [`TraceView`] — the timestamp-augmented object-level memory
 /// access trace of Fig. 2 — from the collector's raw data.
@@ -155,13 +157,45 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Outcome of one isolated detector run: findings, or the panic payload.
-type DetectorResult = std::result::Result<Vec<PatternFinding>, Box<dyn std::any::Any + Send>>;
+/// Outcome of one isolated detector run: findings, `None` if the detector
+/// observed cancellation (watchdog deadline), or the panic payload.
+type DetectorResult =
+    std::result::Result<Option<Vec<PatternFinding>>, Box<dyn std::any::Any + Send>>;
 
 /// Runs one detector family under panic isolation. Safe to call from a
 /// worker thread; pair with [`record_detector`] on the owning thread.
-fn run_detector(body: impl FnOnce() -> Vec<PatternFinding>) -> DetectorResult {
+fn run_detector(body: impl FnOnce() -> Option<Vec<PatternFinding>>) -> DetectorResult {
     catch_unwind(AssertUnwindSafe(body))
+}
+
+/// Fault-injection hook for the watchdog tests: when
+/// `DRGPUM_FAULT_STALL_DETECTOR` is set to `<name>:<millis>`, the named
+/// detector family busy-waits that long (polling its cancel token) before
+/// doing any real work — a deterministic stand-in for a wedged detector.
+fn injected_stall(name: &str) -> Option<u64> {
+    let spec = std::env::var("DRGPUM_FAULT_STALL_DETECTOR").ok()?;
+    let (who, millis) = spec.split_once(':')?;
+    if who != name {
+        return None;
+    }
+    millis.trim().parse().ok()
+}
+
+/// Cooperatively sleeps through an injected stall. Returns `None` (the
+/// cancelled outcome) if the token is cancelled before the stall elapses.
+fn serve_stall(name: &str, cancel: &CancelToken) -> Option<()> {
+    let millis = match injected_stall(name) {
+        Some(ms) => ms,
+        None => return Some(()),
+    };
+    let until = Instant::now() + Duration::from_millis(millis);
+    while Instant::now() < until {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    Some(())
 }
 
 /// Folds one detector outcome into the report accumulators, appending its
@@ -169,11 +203,12 @@ fn run_detector(body: impl FnOnce() -> Vec<PatternFinding>) -> DetectorResult {
 fn record_detector(
     name: &str,
     result: DetectorResult,
+    deadline_ms: Option<u64>,
     raw: &mut Vec<PatternFinding>,
     statuses: &mut Vec<DetectorStatus>,
 ) {
     match result {
-        Ok(found) => {
+        Ok(Some(found)) => {
             statuses.push(DetectorStatus {
                 name: name.to_owned(),
                 outcome: DetectorOutcome::Ok {
@@ -181,6 +216,14 @@ fn record_detector(
                 },
             });
             raw.extend(found);
+        }
+        Ok(None) => {
+            statuses.push(DetectorStatus {
+                name: name.to_owned(),
+                outcome: DetectorOutcome::TimedOut {
+                    deadline_ms: deadline_ms.unwrap_or(0),
+                },
+            });
         }
         Err(payload) => {
             statuses.push(DetectorStatus {
@@ -212,6 +255,43 @@ pub fn assemble_report(
     platform: &str,
     degradations: Vec<DegradationRecord>,
 ) -> Report {
+    // The offline path (reanalysis of a saved trace) honors the same env
+    // knobs as a live session; an explicit budget is threaded through
+    // `assemble_report_governed` by `analyze`.
+    let budget = crate::governor::ResourceBudget::default().apply_env();
+    assemble_report_governed(
+        trace,
+        intra,
+        usage,
+        objects,
+        unified,
+        thresholds,
+        platform,
+        degradations,
+        budget.detector_deadline_ms,
+    )
+}
+
+/// [`assemble_report`] with an explicit per-detector watchdog deadline.
+///
+/// When `detector_deadline_ms` is set, a watchdog polls the four detector
+/// threads; any family still running at the deadline has its
+/// [`CancelToken`] cancelled and is recorded as
+/// [`DetectorOutcome::TimedOut`]. Families that finished in time are
+/// unaffected — their findings land in the report exactly as without a
+/// deadline.
+#[allow(clippy::too_many_arguments)] // pass-through of prepared inputs, same as assemble_report
+pub fn assemble_report_governed(
+    trace: &TraceView,
+    intra: &[crate::patterns::intra::IntraObjectData],
+    usage: &[crate::peaks::UsageSample],
+    objects: &[ObjectMeta],
+    unified: &[crate::patterns::unified::UnifiedPageStats],
+    thresholds: &crate::options::Thresholds,
+    platform: &str,
+    degradations: Vec<DegradationRecord>,
+    detector_deadline_ms: Option<u64>,
+) -> Report {
     // Pattern detection. The four families are independent, so they run on
     // scoped worker threads, each under the same per-family panic isolation
     // as before. Results are folded in a fixed order (the serial order), so
@@ -219,16 +299,66 @@ pub fn assemble_report(
     // single-threaded run.
     let mut raw: Vec<PatternFinding> = Vec::new();
     let mut detectors: Vec<DetectorStatus> = Vec::new();
+    let cancels: [CancelToken; 4] = std::array::from_fn(|_| CancelToken::new());
+    let (c_obj, c_red, c_intra, c_uni) = (&cancels[0], &cancels[1], &cancels[2], &cancels[3]);
     let (r_obj, r_red, r_intra, r_uni) = std::thread::scope(|s| {
-        let obj = s.spawn(|| run_detector(|| object_level::detect_all(trace, thresholds)));
-        let red = s.spawn(|| {
+        let obj = s.spawn(|| {
             run_detector(|| {
-                redundant::detect_redundant_allocations(trace, thresholds.redundant_size_pct)
+                serve_stall("object_level", c_obj)?;
+                object_level::detect_all_cancellable(trace, thresholds, c_obj)
             })
         });
-        let intra_h = s.spawn(|| run_detector(|| intra::detect_all(intra, trace, thresholds)));
-        let uni =
-            s.spawn(|| run_detector(|| crate::patterns::unified::detect_all(unified, thresholds)));
+        let red = s.spawn(|| {
+            run_detector(|| {
+                serve_stall("redundant", c_red)?;
+                redundant::detect_redundant_allocations_cancellable(
+                    trace,
+                    thresholds.redundant_size_pct,
+                    c_red,
+                )
+            })
+        });
+        let intra_h = s.spawn(|| {
+            run_detector(|| {
+                serve_stall("intra", c_intra)?;
+                intra::detect_all_cancellable(intra, trace, thresholds, c_intra)
+            })
+        });
+        let uni = s.spawn(|| {
+            run_detector(|| {
+                serve_stall("unified", c_uni)?;
+                crate::patterns::unified::detect_all_cancellable(unified, thresholds, c_uni)
+            })
+        });
+        // Watchdog: poll until every family finished or the deadline
+        // passed, then cancel only the stragglers. Cancellation is
+        // cooperative — the join below still waits for the detector to
+        // observe its token, which the polling loops do within one
+        // iteration.
+        if let Some(ms) = detector_deadline_ms {
+            let deadline = Instant::now() + Duration::from_millis(ms);
+            let unfinished = || {
+                !(obj.is_finished()
+                    && red.is_finished()
+                    && intra_h.is_finished()
+                    && uni.is_finished())
+            };
+            while unfinished() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            if !obj.is_finished() {
+                c_obj.cancel();
+            }
+            if !red.is_finished() {
+                c_red.cancel();
+            }
+            if !intra_h.is_finished() {
+                c_intra.cancel();
+            }
+            if !uni.is_finished() {
+                c_uni.cancel();
+            }
+        }
         // A detector panic is caught *inside* the worker; a join error can
         // only be a secondary panic (e.g. in a Drop) — treat its payload
         // the same way.
@@ -236,10 +366,11 @@ pub fn assemble_report(
             |h: std::thread::ScopedJoinHandle<'_, DetectorResult>| h.join().unwrap_or_else(Err);
         (join(obj), join(red), join(intra_h), join(uni))
     });
-    record_detector("object_level", r_obj, &mut raw, &mut detectors);
-    record_detector("redundant", r_red, &mut raw, &mut detectors);
-    record_detector("intra", r_intra, &mut raw, &mut detectors);
-    record_detector("unified", r_uni, &mut raw, &mut detectors);
+    let ms = detector_deadline_ms;
+    record_detector("object_level", r_obj, ms, &mut raw, &mut detectors);
+    record_detector("redundant", r_red, ms, &mut raw, &mut detectors);
+    record_detector("intra", r_intra, ms, &mut raw, &mut detectors);
+    record_detector("unified", r_uni, ms, &mut raw, &mut detectors);
 
     // Peak analysis over the object metadata.
     let by_id: HashMap<_, &ObjectMeta> = objects.iter().map(|o| (o.id, o)).collect();
@@ -349,7 +480,7 @@ pub fn analyze(collector: &Collector, frames: &FrameTable, platform: &str) -> Re
     let trace = build_trace_view(collector);
     let intra_data: Vec<_> = collector.intra_data().into_iter().cloned().collect();
     let objects = object_metas(collector, frames);
-    assemble_report(
+    assemble_report_governed(
         &trace,
         &intra_data,
         collector.usage_curve(),
@@ -358,6 +489,7 @@ pub fn analyze(collector: &Collector, frames: &FrameTable, platform: &str) -> Re
         &collector.options().thresholds,
         platform,
         collector.degradations().to_vec(),
+        collector.budget().detector_deadline_ms,
     )
 }
 

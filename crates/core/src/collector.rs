@@ -16,6 +16,8 @@
 
 use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use crate::depgraph::VertexAccess;
+use crate::error::ProfilerError;
+use crate::governor::{CollectionRung, ResourceBudget, SessionGovernor};
 use crate::object::{ObjectId, ObjectRegistry, ObjectSource};
 use crate::options::{AnalysisLevel, ProfilerOptions};
 use crate::patterns::intra::IntraObjectData;
@@ -23,11 +25,17 @@ use crate::patterns::unified::UnifiedPageStats;
 use crate::patterns::AccessVia;
 use crate::peaks::UsageSample;
 use crate::report::DegradationRecord;
+use crate::trace_stream::StreamState;
 use gpu_sim::kernel::KernelCounters;
 use gpu_sim::pool::{PoolEvent, PoolObserver};
-use gpu_sim::sanitizer::{KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks, TouchedObject};
+use gpu_sim::sanitizer::{
+    CollectionHint, KernelInfo, MemAccessRecord, PatchMode, SanitizerHooks, TouchedObject,
+};
 use gpu_sim::unified::{PageMigration, Side};
-use gpu_sim::{AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, SimError, StreamId};
+use gpu_sim::{
+    AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, FrameId, SimError, SourceLoc,
+    StreamId,
+};
 use std::collections::{HashMap, HashSet};
 
 /// One GPU API in the collector's trace (pattern-relevant kinds only).
@@ -94,6 +102,9 @@ struct IntraState {
     /// Ranges touched by the kernel currently executing.
     current_ranges: RangeSet,
     freq: Option<FreqMap>,
+    /// Bytes this state last charged against the session governor's
+    /// resident-memory budget (kept current by `Collector::remeter_intra`).
+    charged: u64,
 }
 
 impl IntraState {
@@ -102,9 +113,15 @@ impl IntraState {
             data: IntraObjectData::new(object, size),
             current_ranges: RangeSet::new(),
             freq: None,
+            charged: 0,
         }
     }
 }
+
+/// Records the record-buffer cap the collector requests through the
+/// sanitizer backpressure hint once it has degraded to coalesced-or-worse
+/// collection: smaller buffers mean less staging memory between flushes.
+const BACKPRESSURE_BUFFER_RECORDS: usize = 4096;
 
 /// Per-kernel aggregation state for one object owned by one shard worker.
 ///
@@ -188,6 +205,16 @@ pub struct Collector {
     /// Per-shard aggregation scratch for the kernel currently executing
     /// (parallel mode only); drained into `intra`/`accesses` at kernel end.
     shard_scratch: Vec<HashMap<ObjectId, KernelScratch>>,
+    /// The session governor: meters profiler-resident bytes against the
+    /// configured [`ResourceBudget`] and walks the degradation ladder when
+    /// a budget trips.
+    governor: SessionGovernor,
+    /// Mirror of the context-owned frame table (`FrameId.0` → rendered
+    /// location), fed by [`SanitizerHooks::on_frame`]; lets the streaming
+    /// writer resolve call paths without access to the [`gpu_sim::FrameTable`].
+    frame_mirror: Vec<String>,
+    /// Crash-consistent streaming-trace state, when `--stream-trace` is on.
+    stream: Option<StreamState>,
 }
 
 impl Collector {
@@ -195,6 +222,7 @@ impl Collector {
     /// platform's device memory size, used by the adaptive map-placement
     /// decision.
     pub fn new(opts: ProfilerOptions, device_capacity: u64) -> Self {
+        let governor = SessionGovernor::new(opts.budget.clone().apply_env());
         Collector {
             opts,
             registry: ObjectRegistry::new(),
@@ -215,7 +243,66 @@ impl Collector {
             degradations: Vec::new(),
             force_cpu_maps: false,
             shard_scratch: Vec::new(),
+            governor,
+            frame_mirror: Vec::new(),
+            stream: None,
         }
+    }
+
+    /// The effective resource budget (options merged with the
+    /// `DRGPUM_MEM_BUDGET` / `DRGPUM_DETECTOR_DEADLINE_MS` environment).
+    pub fn budget(&self) -> &ResourceBudget {
+        self.governor.budget()
+    }
+
+    /// The session governor (metered bytes, current collection rung).
+    pub fn governor(&self) -> &SessionGovernor {
+        &self.governor
+    }
+
+    /// The current rung on the adaptive degradation ladder.
+    pub fn collection_rung(&self) -> CollectionRung {
+        self.governor.rung()
+    }
+
+    /// Attaches a crash-consistent streaming-trace writer; every subsequent
+    /// API event is flushed (fsynced) as a delta section.
+    pub fn start_stream(&mut self, state: StreamState) {
+        self.stream = Some(state);
+    }
+
+    /// Whether a streaming-trace writer is attached and still writing.
+    pub fn is_streaming(&self) -> bool {
+        self.stream.as_ref().is_some_and(|s| !s.stopped())
+    }
+
+    /// Writes the final checkpoint and the clean-finish marker to the
+    /// streaming trace, if one is attached. Idempotent once finished.
+    pub fn finish_stream(&mut self) -> Result<(), ProfilerError> {
+        let Some(mut state) = self.stream.take() else {
+            return Ok(());
+        };
+        if state.stopped() {
+            return Ok(());
+        }
+        state.finish(self)
+    }
+
+    /// Resolves a call path against the frame mirror, innermost-first —
+    /// the same rendering [`crate::trace_io::save`] produces from the
+    /// context-owned frame table.
+    pub(crate) fn resolve_call_path(&self, path: &CallPath) -> Vec<String> {
+        path.frames()
+            .iter()
+            .rev()
+            .map(|id| {
+                self.frame_mirror
+                    .get(id.0 as usize)
+                    .filter(|s| !s.is_empty())
+                    .cloned()
+                    .unwrap_or_else(|| format!("<unknown frame {}>", id.0))
+            })
+            .collect()
     }
 
     /// The options this collector runs with.
@@ -279,6 +366,8 @@ impl Collector {
             api_idx: self.gpu_apis.len() - 1,
             bytes_in_use: self.in_use_bytes,
         });
+        self.governor
+            .charge(std::mem::size_of::<UsageSample>() as u64);
     }
 
     fn push_api(&mut self, event: &ApiEvent, detail: String, mut vertex: VertexAccess) -> usize {
@@ -299,7 +388,11 @@ impl Collector {
             start_ns: event.start.as_ns(),
             end_ns: event.end.as_ns(),
         });
-        self.gpu_apis.len() - 1
+        let idx = self.gpu_apis.len() - 1;
+        let a = &self.gpu_apis[idx];
+        self.governor
+            .charge(std::mem::size_of::<GpuApi>() as u64 + (a.name.len() + a.detail.len()) as u64);
+        idx
     }
 
     fn note_access(
@@ -326,6 +419,8 @@ impl Collector {
             write,
             via,
         });
+        self.governor
+            .charge(std::mem::size_of::<RawAccess>() as u64);
         let v = &mut api.vertex;
         if read {
             v.reads.push(object);
@@ -358,10 +453,31 @@ impl Collector {
         )
     }
 
+    /// Re-meters one intra-object state against the governor: charges (or
+    /// credits) the delta between its current footprint and what it last
+    /// charged. Associated function so callers can hold a `&mut` into
+    /// `self.intra` alongside the governor borrow.
+    fn remeter_intra(governor: &mut SessionGovernor, st: &mut IntraState) {
+        let now = st.data.footprint_bytes()
+            + st.freq.as_ref().map(FreqMap::footprint_bytes).unwrap_or(0)
+            + st.current_ranges.footprint_bytes();
+        if now >= st.charged {
+            governor.charge(now - st.charged);
+        } else {
+            governor.credit(st.charged - now);
+        }
+        st.charged = now;
+    }
+
     /// Applies a range access (from a memcpy/memset, whose accessed range
     /// the Sanitizer reports directly — paper footnote 4) to the object's
     /// intra maps, attributed to GPU API `api_idx`.
     fn intra_range_access(&mut self, api_idx: usize, object: ObjectId, offset: u64, len: u64) {
+        let rung = self.governor.rung();
+        if rung >= CollectionRung::CountersOnly {
+            // Counters-only rung: no intra maps at all.
+            return;
+        }
         let elem_size = self.opts.elem_size.max(1);
         let size = self.registry.get(object).map(|o| o.size()).unwrap_or(0);
         if let Some(st) = self.intra_state(object) {
@@ -369,15 +485,22 @@ impl Collector {
             let mut rs = RangeSet::new();
             rs.insert(offset, offset + len);
             st.data.per_api.push((api_idx, rs));
-            let lf = st
-                .data
-                .lifetime_freq
-                .get_or_insert_with(|| FreqMap::new(size, elem_size));
-            // One bulk access counts once per touched element.
-            lf.record(
-                offset,
-                u32::try_from(len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
-            );
+            // Frequency analytics are the first thing the degradation
+            // ladder sheds (coalesced-only rung and below).
+            if rung < CollectionRung::CoalescedOnly {
+                let lf = st
+                    .data
+                    .lifetime_freq
+                    .get_or_insert_with(|| FreqMap::new(size, elem_size));
+                // One bulk access counts once per touched element.
+                lf.record(
+                    offset,
+                    u32::try_from(len.min(u64::from(u32::MAX))).unwrap_or(u32::MAX),
+                );
+            }
+        }
+        if let Some(st) = self.intra.get_mut(&object) {
+            Self::remeter_intra(&mut self.governor, st);
         }
     }
 
@@ -497,6 +620,10 @@ impl Collector {
             .collect();
         merged.sort_by_key(|(id, _)| *id);
         let elem_size = self.opts.elem_size.max(1);
+        // On the coalesced-only rung and below, the per-shard scratch still
+        // builds transient frequency maps, but nothing frequency-derived is
+        // persisted — the same observable outcome as the serial gating.
+        let keep_freq = self.governor.rung() < CollectionRung::CoalescedOnly;
         for (obj, scratch) in merged {
             self.note_access(api_idx, obj, scratch.read, scratch.write, AccessVia::Kernel);
             let Some(si) = scratch.intra else { continue };
@@ -517,26 +644,29 @@ impl Collector {
             if !si.ranges.is_empty() {
                 st.data.per_api.push((api_idx, si.ranges));
             }
-            let cov = si.freq.coefficient_of_variation_pct();
-            let better = st
-                .data
-                .nuaf_peak
-                .as_ref()
-                .map(|(_, best, _)| cov > *best)
-                .unwrap_or(true);
-            if better && cov > 0.0 {
-                st.data.nuaf_peak = Some((api_idx, cov, si.freq.histogram()));
+            if keep_freq {
+                let cov = si.freq.coefficient_of_variation_pct();
+                let better = st
+                    .data
+                    .nuaf_peak
+                    .as_ref()
+                    .map(|(_, best, _)| cov > *best)
+                    .unwrap_or(true);
+                if better && cov > 0.0 {
+                    st.data.nuaf_peak = Some((api_idx, cov, si.freq.histogram()));
+                }
+                let lf = st
+                    .data
+                    .lifetime_freq
+                    .get_or_insert_with(|| FreqMap::new(si.size, elem_size));
+                if let Err(e) = lf.merge(&si.freq) {
+                    self.degradations.push(DegradationRecord::new(
+                        "collector",
+                        format!("dropped lifetime frequencies for {obj}: {e}"),
+                    ));
+                }
             }
-            let lf = st
-                .data
-                .lifetime_freq
-                .get_or_insert_with(|| FreqMap::new(si.size, elem_size));
-            if let Err(e) = lf.merge(&si.freq) {
-                self.degradations.push(DegradationRecord::new(
-                    "collector",
-                    format!("dropped lifetime frequencies for {obj}: {e}"),
-                ));
-            }
+            Self::remeter_intra(&mut self.governor, st);
         }
     }
 
@@ -590,10 +720,87 @@ impl Collector {
                     }
                 }
                 st.freq = None;
+                Self::remeter_intra(&mut self.governor, st);
             }
         }
         self.current_objects.clear();
         self.current_mode = PatchMode::None;
+    }
+
+    /// Budget enforcement at a deterministic boundary (end of a GPU API,
+    /// kernel end): while the metered footprint exceeds the resident budget,
+    /// walk the degradation ladder one rung at a time, shedding state to
+    /// match, until the footprint fits or the ladder bottoms out.
+    fn enforce_budget(&mut self) {
+        while self.governor.over_resident_budget() {
+            match self.governor.demote("resident budget exceeded") {
+                Some((rung, record)) => {
+                    self.degradations.push(record);
+                    match rung {
+                        CollectionRung::CoalescedOnly => self.shed_frequency_maps(),
+                        CollectionRung::CountersOnly => self.shed_intra_maps(),
+                        // `Sampled` sheds nothing retroactively: it thins
+                        // *future* kernel patching via the scaled sampling
+                        // period.
+                        _ => {}
+                    }
+                }
+                None => {
+                    if let Some(rec) = self.governor.exhaustion_record() {
+                        self.degradations.push(rec);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Coalesced-only rung: drops per-object frequency maps (both the
+    /// per-kernel scratch and the lifetime accumulation), crediting their
+    /// footprint back to the governor. Bitmaps and range sets survive.
+    fn shed_frequency_maps(&mut self) {
+        for st in self.intra.values_mut() {
+            st.freq = None;
+            st.data.lifetime_freq = None;
+            Self::remeter_intra(&mut self.governor, st);
+        }
+    }
+
+    /// Counters-only rung: drops all intra-object state, crediting every
+    /// charged byte back to the governor. Future kernels are patched with
+    /// hit flags only (see `on_kernel_begin`).
+    fn shed_intra_maps(&mut self) {
+        for (_, st) in self.intra.drain() {
+            self.governor.credit(st.charged);
+        }
+        self.current_touched_intra.clear();
+    }
+
+    /// Flushes pending state to the streaming trace, if one is attached and
+    /// still writing. A write/sync failure stops the stream (recorded as a
+    /// degradation) but never aborts profiling; tripping the trace-bytes
+    /// budget writes a final checkpoint and then stops.
+    fn stream_flush(&mut self) {
+        let Some(mut state) = self.stream.take() else {
+            return;
+        };
+        if !state.stopped() {
+            if let Err(e) = state.flush(&*self) {
+                state.stop();
+                self.degradations.push(DegradationRecord::at(
+                    "stream",
+                    format!("streaming trace stopped: {e}"),
+                    self.governor.elapsed_ms(),
+                ));
+            } else if let Some(rec) = self.governor.note_trace_bytes(state.bytes_written()) {
+                // Over the trace budget: one final checkpoint so `--resume`
+                // can still replay analysis state, then stop appending.
+                let _ = state.final_checkpoint(&*self);
+                state.stop();
+                self.degradations.push(rec);
+            }
+        }
+        self.stream = Some(state);
     }
 }
 
@@ -742,13 +949,31 @@ impl SanitizerHooks for Collector {
             // information.
             _ => {}
         }
+        // Deterministic governance boundary: every hook sees the same API
+        // sequence regardless of sharding or kernel workers, so budget
+        // trips (and stream deltas) land identically across modes.
+        self.enforce_budget();
+        self.stream_flush();
     }
 
     fn on_kernel_begin(&mut self, info: &KernelInfo) -> PatchMode {
+        // Counters-only rung: hit flags regardless of the analysis level.
+        if self.governor.rung() >= CollectionRung::CountersOnly {
+            self.current_mode = PatchMode::HitFlags;
+            self.current_objects.clear();
+            self.current_touched_intra.clear();
+            return PatchMode::HitFlags;
+        }
         let mut mode = match self.opts.analysis {
             AnalysisLevel::ObjectLevel => PatchMode::HitFlags,
             AnalysisLevel::IntraObject => {
-                if self.opts.sampling.samples(&info.name, info.instance) {
+                // On the `Sampled` rung the period is stretched by the
+                // governor's demotion scale.
+                if self.opts.sampling.samples_scaled(
+                    &info.name,
+                    info.instance,
+                    self.governor.sampling_scale(),
+                ) {
                     PatchMode::Full
                 } else {
                     PatchMode::HitFlags
@@ -805,6 +1030,8 @@ impl SanitizerHooks for Collector {
             return;
         }
         let elem_size = self.opts.elem_size.max(1);
+        // Frequency analytics are shed on the coalesced-only rung and below.
+        let keep_freq = self.governor.rung() < CollectionRung::CoalescedOnly;
         for r in records {
             let Some((obj, off)) = self.resolve_range(r.addr, u64::from(r.size)) else {
                 continue;
@@ -822,14 +1049,17 @@ impl SanitizerHooks for Collector {
                     .or_insert_with(|| IntraState::new(obj, size));
                 st.data.bitmap.set_range(off, off + u64::from(r.size));
                 st.current_ranges.insert(off, off + u64::from(r.size));
-                // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
-                // created at the kernel's first touch of the object.
-                let freq = st.freq.get_or_insert_with(|| FreqMap::new(size, elem_size));
-                freq.record(off, r.size);
-                st.data
-                    .lifetime_freq
-                    .get_or_insert_with(|| FreqMap::new(size, elem_size))
-                    .record(off, r.size);
+                if keep_freq {
+                    // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
+                    // created at the kernel's first touch of the object.
+                    let freq = st.freq.get_or_insert_with(|| FreqMap::new(size, elem_size));
+                    freq.record(off, r.size);
+                    st.data
+                        .lifetime_freq
+                        .get_or_insert_with(|| FreqMap::new(size, elem_size))
+                        .record(off, r.size);
+                }
+                Self::remeter_intra(&mut self.governor, st);
                 self.current_touched_intra.insert(obj);
             }
         }
@@ -842,6 +1072,33 @@ impl SanitizerHooks for Collector {
         _counters: &KernelCounters,
     ) {
         self.finish_kernel(touched);
+        // The kernel's accesses were attributed to its (already-emitted)
+        // KernelLaunch trace row: re-check the budget and flush the updated
+        // row to the stream before the next API.
+        self.enforce_budget();
+        self.stream_flush();
+    }
+
+    fn on_frame(&mut self, id: FrameId, loc: &SourceLoc) {
+        let idx = id.0 as usize;
+        if self.frame_mirror.len() <= idx {
+            self.frame_mirror.resize(idx + 1, String::new());
+        }
+        self.frame_mirror[idx] = loc.to_string();
+    }
+
+    fn collection_hint(&self) -> CollectionHint {
+        if self.governor.rung() >= CollectionRung::CoalescedOnly {
+            // Backpressure: once degraded, ask the sanitizer to coalesce
+            // warp accesses and to flush smaller record buffers, shrinking
+            // both the record stream and the staging memory between flushes.
+            CollectionHint {
+                coalesce: true,
+                buffer_capacity: Some(BACKPRESSURE_BUFFER_RECORDS),
+            }
+        } else {
+            CollectionHint::default()
+        }
     }
 
     fn on_alloc_failure(&mut self, requested: u64, label: &str, error: &SimError) {

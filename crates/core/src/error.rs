@@ -114,6 +114,29 @@ pub enum ProfilerError {
         /// Panic message, if one could be recovered.
         message: String,
     },
+    /// A pattern detector exceeded its watchdog deadline and was cancelled;
+    /// its findings were dropped but the rest of the report survived.
+    DetectorTimedOut {
+        /// Name of the detector family.
+        detector: String,
+        /// The deadline it exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
+    /// A streaming-trace I/O operation failed (create, append, or fsync).
+    Stream {
+        /// What the writer was doing, e.g. `"creating /tmp/run.stream"`.
+        context: String,
+        /// The underlying OS error message.
+        message: String,
+    },
+    /// A resource budget was exhausted with nothing left to shed: the
+    /// degradation ladder is already at its lowest rung.
+    BudgetExhausted {
+        /// Which limit tripped, e.g. `"resident bytes"`.
+        limit: String,
+        /// Human-readable detail (current value vs. limit).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ProfilerError {
@@ -123,6 +146,20 @@ impl fmt::Display for ProfilerError {
             ProfilerError::DetectorFailed { detector, message } => {
                 write!(f, "detector `{detector}` failed: {message}")
             }
+            ProfilerError::DetectorTimedOut {
+                detector,
+                deadline_ms,
+            } => write!(
+                f,
+                "detector `{detector}` exceeded its {deadline_ms}ms watchdog \
+                 deadline and was cancelled"
+            ),
+            ProfilerError::Stream { context, message } => {
+                write!(f, "streaming trace I/O failed while {context}: {message}")
+            }
+            ProfilerError::BudgetExhausted { limit, detail } => {
+                write!(f, "resource budget exhausted ({limit}): {detail}")
+            }
         }
     }
 }
@@ -131,7 +168,7 @@ impl std::error::Error for ProfilerError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ProfilerError::Trace(e) => Some(e),
-            ProfilerError::DetectorFailed { .. } => None,
+            _ => None,
         }
     }
 }

@@ -146,6 +146,11 @@ fn detector_json(d: &DetectorStatus) -> Value {
             "status": "skipped",
             "reason": reason,
         }),
+        DetectorOutcome::TimedOut { deadline_ms } => json!({
+            "name": d.name,
+            "status": "timed_out",
+            "deadline_ms": deadline_ms,
+        }),
     }
 }
 
@@ -159,6 +164,7 @@ pub fn report_json(report: &Report) -> Value {
         "degradations": report.degradations.iter().map(|d| json!({
             "stage": d.stage,
             "detail": d.detail,
+            "at_ms": d.at_ms,
         })).collect::<Vec<_>>(),
         "stats": {
             "gpu_apis": report.stats.gpu_apis,

@@ -59,6 +59,7 @@ pub mod collector;
 pub mod depgraph;
 pub mod error;
 pub mod export;
+pub mod governor;
 pub mod guidance;
 pub mod html;
 pub mod metrics;
@@ -70,11 +71,13 @@ pub mod perfetto;
 pub mod profiler;
 pub mod report;
 pub mod trace_io;
+pub mod trace_stream;
 
 pub use advisor::{estimate as estimate_savings, SavingsEstimate};
 pub use analyzer::{analyze, build_trace_view};
 pub use collector::Collector;
 pub use error::{ProfilerError, TraceError};
+pub use governor::{CancelToken, CollectionRung, ResourceBudget, SessionGovernor};
 pub use guidance::OverallocGuidance;
 pub use object::{DataObject, ObjectId, ObjectRegistry, ObjectSource};
 pub use options::{AnalysisLevel, ProfilerOptions, SamplingPolicy, Thresholds};
@@ -82,3 +85,4 @@ pub use patterns::{PatternEvidence, PatternFinding, PatternKind};
 pub use profiler::Profiler;
 pub use report::{DegradationRecord, DetectorOutcome, DetectorStatus, Finding, Report};
 pub use trace_io::SavedTrace;
+pub use trace_stream::StreamingTraceWriter;

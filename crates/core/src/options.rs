@@ -5,6 +5,7 @@
 //! GPU APIs, overallocation 80 % accessed / 80 % fragmentation,
 //! non-uniform-access-frequency CoV 20 %, top-2 memory peaks.
 
+use crate::governor::ResourceBudget;
 use std::collections::HashSet;
 
 /// Which of DrGPUM's two analyses to run (Sec. 1.1).
@@ -100,12 +101,20 @@ impl SamplingPolicy {
     /// Decides whether instance `instance` of kernel `name` is sampled for
     /// full patching.
     pub fn samples(&self, name: &str, instance: u64) -> bool {
+        self.samples_scaled(name, instance, 1)
+    }
+
+    /// Like [`samples`](Self::samples), with the effective period multiplied
+    /// by `scale`. The session governor uses this on the `Sampled` rung of
+    /// the degradation ladder to thin collection without replacing the
+    /// user's policy; `scale <= 1` is identical to `samples`.
+    pub fn samples_scaled(&self, name: &str, instance: u64, scale: u64) -> bool {
         if let Some(wl) = &self.whitelist {
             if !wl.contains(name) {
                 return false;
             }
         }
-        let period = self.period.max(1);
+        let period = self.period.max(1).saturating_mul(scale.max(1));
         instance.is_multiple_of(period)
     }
 }
@@ -142,6 +151,13 @@ pub struct ProfilerOptions {
     /// the paper's "merging memory accesses" (Sec. 5.5). Does not change
     /// any analysis result or simulated timestamp.
     pub coalesce_accesses: bool,
+    /// Resource limits enforced by the session governor. The default is
+    /// unlimited; any unset field may still be filled from the environment
+    /// (`DRGPUM_MEM_BUDGET`, `DRGPUM_DETECTOR_DEADLINE_MS`) when the
+    /// collector is created, so explicit settings always win. When no limit
+    /// ever trips, the governor is inert and reports are byte-identical to
+    /// a run without it.
+    pub budget: ResourceBudget,
 }
 
 impl ProfilerOptions {
@@ -155,6 +171,7 @@ impl ProfilerOptions {
             elem_size: DEFAULT_ELEM_SIZE,
             collector_shards: 1,
             coalesce_accesses: false,
+            budget: ResourceBudget::default(),
         }
     }
 
@@ -168,6 +185,7 @@ impl ProfilerOptions {
             elem_size: DEFAULT_ELEM_SIZE,
             collector_shards: 1,
             coalesce_accesses: false,
+            budget: ResourceBudget::default(),
         }
     }
 
@@ -200,6 +218,12 @@ impl ProfilerOptions {
     /// style).
     pub fn with_coalescing(mut self) -> Self {
         self.coalesce_accesses = true;
+        self
+    }
+
+    /// Replaces the resource budget (builder style).
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
+        self.budget = budget;
         self
     }
 }

@@ -42,6 +42,22 @@ impl IntraObjectData {
             lifetime_freq: None,
         }
     }
+
+    /// Approximate bytes of host memory this record occupies — the
+    /// quantity the session governor meters against the resident budget.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.bitmap.footprint_bytes()
+            + self
+                .per_api
+                .iter()
+                .map(|(_, rs)| 16 + rs.footprint_bytes())
+                .sum::<u64>()
+            + self
+                .lifetime_freq
+                .as_ref()
+                .map(FreqMap::footprint_bytes)
+                .unwrap_or(0)
+    }
 }
 
 /// Overallocation (Def. 3.8): fewer than `overalloc_accessed_pct` percent of
@@ -212,13 +228,33 @@ pub fn detect_all(
     trace: &TraceView,
     thresholds: &Thresholds,
 ) -> Vec<PatternFinding> {
+    detect_all_cancellable(
+        intra,
+        trace,
+        thresholds,
+        &crate::governor::CancelToken::new(),
+    )
+    .expect("fresh token is never cancelled")
+}
+
+/// Like [`detect_all`], polling `cancel` between objects; returns `None`
+/// (dropping partial findings) once cancellation is observed.
+pub fn detect_all_cancellable(
+    intra: &[IntraObjectData],
+    trace: &TraceView,
+    thresholds: &Thresholds,
+    cancel: &crate::governor::CancelToken,
+) -> Option<Vec<PatternFinding>> {
     let mut findings = Vec::new();
     for data in intra {
+        if cancel.is_cancelled() {
+            return None;
+        }
         findings.extend(detect_overallocation(data, thresholds));
         findings.extend(detect_structured_access(data, trace, thresholds));
         findings.extend(detect_nuaf(data, trace, thresholds));
     }
-    findings
+    Some(findings)
 }
 
 #[cfg(test)]

@@ -8,13 +8,28 @@
 //! algorithm in [`crate::patterns::redundant`].
 
 use super::{AccessVia, IdleSpan, ObjectView, PatternEvidence, PatternFinding, TraceView};
+use crate::governor::CancelToken;
 use crate::options::Thresholds;
 
 /// Runs all six rule-based object-level detectors over every analyzable
 /// object in the trace.
 pub fn detect_all(trace: &TraceView, thresholds: &Thresholds) -> Vec<PatternFinding> {
+    detect_all_cancellable(trace, thresholds, &CancelToken::new())
+        .expect("fresh token is never cancelled")
+}
+
+/// Like [`detect_all`], polling `cancel` between objects; returns `None`
+/// (dropping partial findings) once cancellation is observed.
+pub fn detect_all_cancellable(
+    trace: &TraceView,
+    thresholds: &Thresholds,
+    cancel: &CancelToken,
+) -> Option<Vec<PatternFinding>> {
     let mut findings = Vec::new();
     for obj in trace.objects.iter().filter(|o| o.analyzable) {
+        if cancel.is_cancelled() {
+            return None;
+        }
         findings.extend(detect_early_allocation(trace, obj));
         findings.extend(detect_late_deallocation(trace, obj));
         findings.extend(detect_unused_allocation(obj));
@@ -26,7 +41,7 @@ pub fn detect_all(trace: &TraceView, thresholds: &Thresholds) -> Vec<PatternFind
         ));
         findings.extend(detect_dead_writes(obj));
     }
-    findings
+    Some(findings)
 }
 
 /// Early allocation (Def. 3.1): GPU API invocations exist between the

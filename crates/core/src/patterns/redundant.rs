@@ -61,6 +61,18 @@ struct Event {
 /// algorithm of Fig. 3. `size_pct` is the size-compatibility window
 /// (paper default 10 %).
 pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<PatternFinding> {
+    detect_redundant_allocations_cancellable(trace, size_pct, &crate::governor::CancelToken::new())
+        .expect("fresh token is never cancelled")
+}
+
+/// Like [`detect_redundant_allocations`], polling `cancel` during the
+/// tail→head traversal; returns `None` (dropping partial findings) once
+/// cancellation is observed.
+pub fn detect_redundant_allocations_cancellable(
+    trace: &TraceView,
+    size_pct: f64,
+    cancel: &crate::governor::CancelToken,
+) -> Option<Vec<PatternFinding>> {
     // ① Extract first/last accessing APIs per object. Objects never
     // accessed cannot participate (they are *unused allocations* instead).
     let candidates: Vec<&ObjectView> = trace
@@ -69,7 +81,7 @@ pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<Pat
         .filter(|o| o.analyzable && !o.accesses.is_empty())
         .collect();
     if candidates.len() < 2 {
-        return Vec::new();
+        return Some(Vec::new());
     }
 
     // ② Build and sort the event list: by timestamp, with `Last` after
@@ -101,6 +113,9 @@ pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<Pat
     let mut reused = vec![false; candidates.len()];
     let mut findings = Vec::new();
     for pos in (0..events.len()).rev() {
+        if cancel.is_cancelled() {
+            return None;
+        }
         let ev = events[pos];
         let st = progress.entry(ev.obj).or_insert(Progress::NotVisited);
         match ev.kind {
@@ -154,7 +169,7 @@ pub fn detect_redundant_allocations(trace: &TraceView, size_pct: f64) -> Vec<Pat
         }
     }
     findings.sort_by_key(|f| f.object);
-    findings
+    Some(findings)
 }
 
 /// Convenience: the set of (consumer, reuse source) pairs.

@@ -48,8 +48,22 @@ impl UnifiedPageStats {
 
 /// Classifies every thrashing page.
 pub fn detect_all(pages: &[UnifiedPageStats], thresholds: &Thresholds) -> Vec<PatternFinding> {
+    detect_all_cancellable(pages, thresholds, &crate::governor::CancelToken::new())
+        .expect("fresh token is never cancelled")
+}
+
+/// Like [`detect_all`], polling `cancel` between pages; returns `None`
+/// (dropping partial findings) once cancellation is observed.
+pub fn detect_all_cancellable(
+    pages: &[UnifiedPageStats],
+    thresholds: &Thresholds,
+    cancel: &crate::governor::CancelToken,
+) -> Option<Vec<PatternFinding>> {
     let mut findings = Vec::new();
     for p in pages {
+        if cancel.is_cancelled() {
+            return None;
+        }
         if p.migrations < thresholds.thrash_min_migrations {
             continue;
         }
@@ -74,7 +88,7 @@ pub fn detect_all(pages: &[UnifiedPageStats], thresholds: &Thresholds) -> Vec<Pa
             evidence,
         });
     }
-    findings
+    Some(findings)
 }
 
 #[cfg(test)]

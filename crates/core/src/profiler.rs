@@ -6,12 +6,15 @@
 
 use crate::analyzer;
 use crate::collector::Collector;
+use crate::error::ProfilerError;
 use crate::options::ProfilerOptions;
 use crate::report::Report;
+use crate::trace_stream::{StreamState, StreamingTraceWriter};
 use gpu_sim::pool::CachingPool;
 use gpu_sim::DeviceContext;
 use parking_lot::Mutex;
 use serde_json::Value;
+use std::path::Path;
 use std::sync::Arc;
 
 /// An attached DrGPUM profiler.
@@ -57,6 +60,41 @@ impl Profiler {
         )));
         ctx.sanitizer_mut().register(collector.clone());
         Profiler { collector }
+    }
+
+    /// Like [`Profiler::attach`], with a crash-consistent streaming trace:
+    /// every API event is appended to `path` as an fsynced delta frame, so
+    /// a `kill -9` loses at most the events after the last fsync.
+    /// [`crate::trace_io::salvage`] (or `drgpum run --resume`) recovers the
+    /// prefix. Call [`Profiler::finish_stream`] for a clean finish marker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfilerError::Stream`] when the trace file cannot be
+    /// created or its header cannot be written.
+    pub fn attach_streaming(
+        ctx: &mut DeviceContext,
+        options: ProfilerOptions,
+        path: impl AsRef<Path>,
+    ) -> Result<Self, ProfilerError> {
+        let writer = StreamingTraceWriter::create(path, &ctx.config().name)?;
+        let profiler = Profiler::attach(ctx, options);
+        profiler
+            .collector
+            .lock()
+            .start_stream(StreamState::new(writer));
+        Ok(profiler)
+    }
+
+    /// Writes the final checkpoint and clean-finish marker to the
+    /// streaming trace, if one is attached. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfilerError::Stream`] when the final frames cannot be
+    /// written and synced.
+    pub fn finish_stream(&self) -> Result<(), ProfilerError> {
+        self.collector.lock().finish_stream()
     }
 
     /// Additionally observes a caching pool's custom allocation APIs

@@ -109,6 +109,12 @@ pub enum DetectorOutcome {
         /// Why it was skipped.
         reason: String,
     },
+    /// Exceeded its watchdog deadline and was cooperatively cancelled; its
+    /// findings were dropped but all other detectors ran to completion.
+    TimedOut {
+        /// The deadline it exceeded, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl DetectorStatus {
@@ -124,18 +130,32 @@ impl DetectorStatus {
 /// not see.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DegradationRecord {
-    /// Pipeline stage that degraded (`"collector"`, `"trace-salvage"`, …).
+    /// Pipeline stage that degraded (`"collector"`, `"trace-salvage"`,
+    /// `"governor"`, …).
     pub stage: String,
     /// Human-readable description of what was lost or downgraded.
     pub detail: String,
+    /// Milliseconds since session start when the degradation happened, if
+    /// the stage tracks wall-clock time (the session governor does).
+    pub at_ms: Option<u64>,
 }
 
 impl DegradationRecord {
-    /// Convenience constructor.
+    /// Convenience constructor (no timestamp).
     pub fn new(stage: impl Into<String>, detail: impl Into<String>) -> Self {
         DegradationRecord {
             stage: stage.into(),
             detail: detail.into(),
+            at_ms: None,
+        }
+    }
+
+    /// Constructor with a session-relative timestamp in milliseconds.
+    pub fn at(stage: impl Into<String>, detail: impl Into<String>, at_ms: u64) -> Self {
+        DegradationRecord {
+            stage: stage.into(),
+            detail: detail.into(),
+            at_ms: Some(at_ms),
         }
     }
 }
@@ -228,10 +248,25 @@ impl Report {
                 DetectorOutcome::Skipped { reason } => {
                     let _ = writeln!(out, "  detector {} skipped: {reason}", d.name);
                 }
+                DetectorOutcome::TimedOut { deadline_ms } => {
+                    let _ = writeln!(
+                        out,
+                        "  detector {} TIMED OUT (exceeded the {deadline_ms}ms \
+                         watchdog deadline; cancelled)",
+                        d.name
+                    );
+                }
             }
         }
         for deg in &self.degradations {
-            let _ = writeln!(out, "  degraded [{}]: {}", deg.stage, deg.detail);
+            match deg.at_ms {
+                Some(ms) => {
+                    let _ = writeln!(out, "  degraded [{}] at {ms}ms: {}", deg.stage, deg.detail);
+                }
+                None => {
+                    let _ = writeln!(out, "  degraded [{}]: {}", deg.stage, deg.detail);
+                }
+            }
         }
         for (i, peak) in self.peaks.iter().enumerate() {
             let _ = writeln!(

@@ -36,10 +36,10 @@
 
 use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use crate::analyzer::{self, ObjectMeta};
-use crate::collector::Collector;
+use crate::collector::{Collector, GpuApi, RawAccess};
 use crate::depgraph::{DependencyGraph, VertexAccess};
 use crate::error::TraceError;
-use crate::object::{ObjectId, ObjectSource};
+use crate::object::{DataObject, ObjectId, ObjectSource};
 use crate::options::Thresholds;
 use crate::patterns::intra::{IntraObjectData, NuafObservation};
 use crate::patterns::unified::UnifiedPageStats;
@@ -162,6 +162,88 @@ fn source_parse(s: &str) -> ObjectSource {
     }
 }
 
+/// Builds one serializable API row from the collector's in-memory record
+/// and its already-resolved call path. Shared by [`save`] and the
+/// streaming-delta writer.
+fn api_row(a: &GpuApi, call_path: Vec<String>) -> SavedApi {
+    SavedApi {
+        name: a.name.clone(),
+        detail: a.detail.clone(),
+        mnemonic: a.mnemonic.to_owned(),
+        stream: a.stream.0,
+        reads: a.vertex.reads.iter().map(|o| o.0).collect(),
+        writes: a.vertex.writes.iter().map(|o| o.0).collect(),
+        frees: a.vertex.frees.iter().map(|o| o.0).collect(),
+        after: a.vertex.after.clone(),
+        start_ns: a.start_ns,
+        end_ns: a.end_ns,
+        call_path,
+    }
+}
+
+fn access_row(a: &RawAccess) -> SavedAccess {
+    SavedAccess {
+        api_idx: a.api_idx,
+        object: a.object.0,
+        read: a.read,
+        write: a.write,
+        via: via_str(a.via).to_owned(),
+    }
+}
+
+fn object_row(o: &DataObject, alloc_path: Vec<String>) -> SavedObject {
+    SavedObject {
+        id: o.id.0,
+        label: o.label.clone(),
+        size: o.size(),
+        source: source_str(o.source).to_owned(),
+        alloc_api: o.alloc_api,
+        alloc_is_api: o.alloc_is_api,
+        free_api: o.free_api,
+        free_is_api: o.free_is_api,
+        alloc_path,
+    }
+}
+
+fn intra_row(d: &IntraObjectData) -> SavedIntra {
+    // Run-length encode the bitmap as its accessed ranges (word-scan:
+    // the former per-bit loop dominated export of large objects).
+    SavedIntra {
+        object: d.object.0,
+        size: d.bitmap.len(),
+        accessed_ranges: d.bitmap.accessed_ranges(),
+        per_api: d
+            .per_api
+            .iter()
+            .map(|(idx, rs)| (*idx, rs.ranges().to_vec()))
+            .collect(),
+        nuaf_peak: d.nuaf_peak.clone(),
+        lifetime_elem_size: d.lifetime_freq.as_ref().map(FreqMap::elem_size),
+        lifetime_counts: d
+            .lifetime_freq
+            .as_ref()
+            .map(|f| {
+                f.counts()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i as u64, c))
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+fn unified_row(p: &UnifiedPageStats) -> SavedUnifiedPage {
+    SavedUnifiedPage {
+        object: p.object.0,
+        page_index: p.page_index,
+        migrations: p.migrations,
+        host_ranges: p.host_ranges.ranges().to_vec(),
+        device_ranges: p.device_ranges.ranges().to_vec(),
+    }
+}
+
 /// Serializes a collector's recording.
 pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> SavedTrace {
     let resolve = |path: &gpu_sim::CallPath| -> Vec<String> {
@@ -179,45 +261,13 @@ pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> Saved
     let apis = collector
         .gpu_apis()
         .iter()
-        .map(|a| SavedApi {
-            name: a.name.clone(),
-            detail: a.detail.clone(),
-            mnemonic: a.mnemonic.to_owned(),
-            stream: a.stream.0,
-            reads: a.vertex.reads.iter().map(|o| o.0).collect(),
-            writes: a.vertex.writes.iter().map(|o| o.0).collect(),
-            frees: a.vertex.frees.iter().map(|o| o.0).collect(),
-            after: a.vertex.after.clone(),
-            start_ns: a.start_ns,
-            end_ns: a.end_ns,
-            call_path: resolve(&a.call_path),
-        })
+        .map(|a| api_row(a, resolve(&a.call_path)))
         .collect();
-    let accesses = collector
-        .accesses()
-        .iter()
-        .map(|a| SavedAccess {
-            api_idx: a.api_idx,
-            object: a.object.0,
-            read: a.read,
-            write: a.write,
-            via: via_str(a.via).to_owned(),
-        })
-        .collect();
+    let accesses = collector.accesses().iter().map(access_row).collect();
     let objects = collector
         .registry()
         .iter()
-        .map(|o| SavedObject {
-            id: o.id.0,
-            label: o.label.clone(),
-            size: o.size(),
-            source: source_str(o.source).to_owned(),
-            alloc_api: o.alloc_api,
-            alloc_is_api: o.alloc_is_api,
-            free_api: o.free_api,
-            free_is_api: o.free_is_api,
-            alloc_path: resolve(&o.alloc_path),
-        })
+        .map(|o| object_row(o, resolve(&o.alloc_path)))
         .collect();
     let usage = collector
         .usage_curve()
@@ -227,46 +277,12 @@ pub fn save(collector: &Collector, frames: &FrameTable, platform: &str) -> Saved
     let intra = collector
         .intra_data()
         .iter()
-        .map(|d| {
-            // Run-length encode the bitmap as its accessed ranges (word-scan:
-            // the former per-bit loop dominated export of large objects).
-            let accessed_ranges = d.bitmap.accessed_ranges();
-            SavedIntra {
-                object: d.object.0,
-                size: d.bitmap.len(),
-                accessed_ranges,
-                per_api: d
-                    .per_api
-                    .iter()
-                    .map(|(idx, rs)| (*idx, rs.ranges().to_vec()))
-                    .collect(),
-                nuaf_peak: d.nuaf_peak.clone(),
-                lifetime_elem_size: d.lifetime_freq.as_ref().map(FreqMap::elem_size),
-                lifetime_counts: d
-                    .lifetime_freq
-                    .as_ref()
-                    .map(|f| {
-                        f.counts()
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, &c)| c > 0)
-                            .map(|(i, &c)| (i as u64, c))
-                            .collect()
-                    })
-                    .unwrap_or_default(),
-            }
-        })
+        .map(|d| intra_row(d))
         .collect();
     let unified = collector
         .unified_page_stats()
         .iter()
-        .map(|p| SavedUnifiedPage {
-            object: p.object.0,
-            page_index: p.page_index,
-            migrations: p.migrations,
-            host_ranges: p.host_ranges.ranges().to_vec(),
-            device_ranges: p.device_ranges.ranges().to_vec(),
-        })
+        .map(unified_row)
         .collect();
     SavedTrace {
         version: FORMAT_VERSION,
@@ -986,6 +1002,14 @@ const SECTION_ORDER: [&str; 7] = [
 /// at a GPU API or object that does not exist). Use [`salvage`] to read
 /// as much as possible of a damaged trace instead.
 pub fn load(text: &str) -> Result<SavedTrace, TraceError> {
+    if is_stream_trace(text) {
+        return Err(TraceError::Malformed {
+            section: "header".to_owned(),
+            reason: "this is a streaming trace (DRGPUM-STREAM); recover it with \
+                     salvage or `drgpum run --resume`"
+                .to_owned(),
+        });
+    }
     let bytes = text.as_bytes();
     let mut pos = 0usize;
     let version = parse_header(read_line(bytes, &mut pos))?;
@@ -1034,6 +1058,9 @@ impl SalvageReport {
 /// the returned [`SalvageReport`] so the eventual report can carry
 /// explicit [`DegradationRecord`]s instead of silently analyzing less.
 pub fn salvage(text: &str) -> (SavedTrace, SalvageReport) {
+    if is_stream_trace(text) {
+        return salvage_stream(text);
+    }
     let mut notes = Vec::new();
     let bytes = text.as_bytes();
     let mut pos = 0usize;
@@ -1144,6 +1171,333 @@ fn salvage_decode(frames: &Frames, notes: &mut Vec<String>) -> SavedTrace {
 pub fn reanalyze_salvaged(text: &str, thresholds: &Thresholds) -> Report {
     let (trace, losses) = salvage(text);
     trace.reanalyze_with(thresholds, losses.to_degradations())
+}
+
+// ---------------------------------------------------------------------------
+// Streaming (crash-consistent) format
+// ---------------------------------------------------------------------------
+//
+// A streaming trace shares the section framing of the batch format but is
+// append-only and fsynced at API-event granularity:
+//
+// ```text
+// DRGPUM-STREAM 2
+// section meta <len> <crc>
+// {"platform": ...}
+// section delta <len> <crc>
+// {"apis": [...], "api_updates": [[idx, row], ...], "accesses": [...],
+//  "objects": [...], "object_updates": [row, ...], "usage": [[idx, bytes], ...]}
+// section checkpoint <len> <crc>
+// {"api_count": N, "intra": [...], "unified": [...]}
+// ...
+// end
+// ```
+//
+// Deltas are strictly positional (API rows append in trace order), so
+// recovery is prefix-shaped: everything up to the last intact, fsynced
+// frame is recovered exactly; the first damaged frame ends the replay.
+// Intra-object and unified-memory maps are mutated in place by collection,
+// so they travel in periodic `checkpoint` snapshots (latest wins) rather
+// than deltas.
+
+/// Magic word opening every streaming trace file.
+pub(crate) const STREAM_MAGIC: &str = "DRGPUM-STREAM";
+
+/// Whether `text` is a streaming trace (as opposed to the batch format).
+pub fn is_stream_trace(text: &str) -> bool {
+    text.starts_with(STREAM_MAGIC)
+}
+
+/// The header + meta section every streaming trace starts with.
+pub(crate) fn stream_header(platform: &str) -> String {
+    let mut out = format!("{STREAM_MAGIC} {FORMAT_VERSION}\n");
+    let mut meta = Map::new();
+    meta.insert("platform".into(), platform.to_json());
+    write_section(&mut out, "meta", &Value::Object(meta));
+    out
+}
+
+/// High-water marks of what a streaming writer has already emitted, plus
+/// per-object fingerprints for update detection.
+#[derive(Debug, Default)]
+pub(crate) struct StreamCursor {
+    apis: usize,
+    accesses: usize,
+    objects: usize,
+    usage: usize,
+    /// `(free_api, free_is_api, source)` per emitted object row; a change
+    /// (free observed, pool-slab reclassification) re-emits the row.
+    fingerprints: Vec<(Option<usize>, bool, String)>,
+}
+
+/// Encodes everything the collector gathered since `cur` as one framed
+/// `delta` section, advancing the cursor. Returns `None` when nothing new
+/// happened (no section is written).
+pub(crate) fn delta_section(collector: &Collector, cur: &mut StreamCursor) -> Option<String> {
+    let apis = collector.gpu_apis();
+    let accesses = collector.accesses();
+    let usage = collector.usage_curve();
+    let objects: Vec<&DataObject> = collector.registry().iter().collect();
+
+    // A new access attributed to an already-emitted API row means its
+    // def/use sets changed at kernel end: re-emit the row as an update.
+    let mut updated: Vec<usize> = accesses[cur.accesses.min(accesses.len())..]
+        .iter()
+        .map(|a| a.api_idx)
+        .filter(|&i| i < cur.apis)
+        .collect();
+    updated.sort_unstable();
+    updated.dedup();
+
+    let row = |a: &GpuApi| api_value(&api_row(a, collector.resolve_call_path(&a.call_path)));
+    let new_apis: Vec<Value> = apis[cur.apis.min(apis.len())..].iter().map(row).collect();
+    let api_updates: Vec<Value> = updated
+        .iter()
+        .map(|&i| Value::Array(vec![i.to_json(), row(&apis[i])]))
+        .collect();
+    let new_accesses: Vec<Value> = accesses[cur.accesses.min(accesses.len())..]
+        .iter()
+        .map(|a| access_value(&access_row(a)))
+        .collect();
+
+    let fingerprint = |o: &DataObject| (o.free_api, o.free_is_api, source_str(o.source).to_owned());
+    let mut object_updates = Vec::new();
+    for (i, o) in objects.iter().enumerate().take(cur.objects) {
+        let fp = fingerprint(o);
+        if cur.fingerprints.get(i) != Some(&fp) {
+            object_updates.push(object_value(&object_row(
+                o,
+                collector.resolve_call_path(&o.alloc_path),
+            )));
+            if let Some(slot) = cur.fingerprints.get_mut(i) {
+                *slot = fp;
+            }
+        }
+    }
+    let mut new_objects = Vec::new();
+    for o in objects.iter().skip(cur.objects) {
+        cur.fingerprints.push(fingerprint(o));
+        new_objects.push(object_value(&object_row(
+            o,
+            collector.resolve_call_path(&o.alloc_path),
+        )));
+    }
+    let new_usage: Vec<Value> = usage[cur.usage.min(usage.len())..]
+        .iter()
+        .map(|s| Value::Array(vec![s.api_idx.to_json(), s.bytes_in_use.to_json()]))
+        .collect();
+
+    cur.apis = apis.len();
+    cur.accesses = accesses.len();
+    cur.objects = objects.len();
+    cur.usage = usage.len();
+
+    if new_apis.is_empty()
+        && api_updates.is_empty()
+        && new_accesses.is_empty()
+        && new_objects.is_empty()
+        && object_updates.is_empty()
+        && new_usage.is_empty()
+    {
+        return None;
+    }
+    let mut m = Map::new();
+    m.insert("apis".into(), Value::Array(new_apis));
+    m.insert("api_updates".into(), Value::Array(api_updates));
+    m.insert("accesses".into(), Value::Array(new_accesses));
+    m.insert("objects".into(), Value::Array(new_objects));
+    m.insert("object_updates".into(), Value::Array(object_updates));
+    m.insert("usage".into(), Value::Array(new_usage));
+    let mut out = String::new();
+    write_section(&mut out, "delta", &Value::Object(m));
+    Some(out)
+}
+
+/// Encodes the collector's full intra-object and unified-memory state as
+/// one framed `checkpoint` section.
+pub(crate) fn checkpoint_section(collector: &Collector) -> String {
+    let mut m = Map::new();
+    m.insert("api_count".into(), collector.gpu_apis().len().to_json());
+    m.insert(
+        "intra".into(),
+        Value::Array(
+            collector
+                .intra_data()
+                .iter()
+                .map(|d| intra_value(&intra_row(d)))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "unified".into(),
+        Value::Array(
+            collector
+                .unified_page_stats()
+                .iter()
+                .map(|p| unified_value(&unified_row(p)))
+                .collect(),
+        ),
+    );
+    let mut out = String::new();
+    write_section(&mut out, "checkpoint", &Value::Object(m));
+    out
+}
+
+/// Applies one decoded `delta` payload to the accumulating trace.
+fn apply_stream_delta(trace: &mut SavedTrace, v: &Value) -> Result<(), String> {
+    for row in get_arr(v, "apis")? {
+        trace.apis.push(parse_api(row)?);
+    }
+    for upd in get_arr(v, "api_updates")? {
+        let arr = upd
+            .as_array()
+            .filter(|a| a.len() == 2)
+            .ok_or("api update is not a [index, row] pair")?;
+        let idx = usize::try_from(as_u64_item(&arr[0], "api update index")?)
+            .map_err(|_| "api update index exceeds usize".to_owned())?;
+        let row = parse_api(&arr[1])?;
+        let slot = trace
+            .apis
+            .get_mut(idx)
+            .ok_or("api update index out of range")?;
+        *slot = row;
+    }
+    for row in get_arr(v, "accesses")? {
+        trace.accesses.push(parse_access(row)?);
+    }
+    for row in get_arr(v, "objects")? {
+        trace.objects.push(parse_object(row)?);
+    }
+    for row in get_arr(v, "object_updates")? {
+        let o = parse_object(row)?;
+        match trace.objects.iter_mut().find(|x| x.id == o.id) {
+            Some(slot) => *slot = o,
+            None => trace.objects.push(o),
+        }
+    }
+    for p in get_arr(v, "usage")? {
+        let (idx, bytes) = parse_pair(p, "usage sample")?;
+        trace.usage.push((
+            usize::try_from(idx).map_err(|_| "usage api_idx exceeds usize".to_owned())?,
+            bytes,
+        ));
+    }
+    Ok(())
+}
+
+fn parse_stream_checkpoint(
+    v: &Value,
+) -> Result<(usize, Vec<SavedIntra>, Vec<SavedUnifiedPage>), String> {
+    let api_count = usize::try_from(get_u64(v, "api_count")?)
+        .map_err(|_| "api_count exceeds usize".to_owned())?;
+    let intra = get_arr(v, "intra")?
+        .iter()
+        .map(parse_intra)
+        .collect::<Result<Vec<_>, _>>()?;
+    let unified = get_arr(v, "unified")?
+        .iter()
+        .map(parse_unified)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((api_count, intra, unified))
+}
+
+/// Recovers a streaming trace: replays every intact, fsynced frame in
+/// order, stopping at the first damaged one (crash-consistent prefix
+/// semantics). Never fails; [`salvage`] dispatches here on the
+/// `DRGPUM-STREAM` magic.
+fn salvage_stream(text: &str) -> (SavedTrace, SalvageReport) {
+    let mut notes = Vec::new();
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let header_ok = read_line(bytes, &mut pos)
+        .and_then(|line| std::str::from_utf8(line).ok())
+        .map(|text| {
+            let mut words = text.split_ascii_whitespace();
+            let magic = words.next() == Some(STREAM_MAGIC);
+            match words.next().and_then(|w| w.parse::<u32>().ok()) {
+                Some(v) if v != FORMAT_VERSION => notes.push(format!(
+                    "stream declares format version {v} (this build writes \
+                     {FORMAT_VERSION}); attempting best-effort read"
+                )),
+                _ => {}
+            }
+            magic
+        })
+        .unwrap_or(false);
+    if !header_ok {
+        notes.push("missing stream header; nothing could be recovered".to_owned());
+        return (empty_trace(), SalvageReport { notes });
+    }
+    let mut trace = empty_trace();
+    let mut clean_end = false;
+    let mut deltas = 0usize;
+    let mut checkpoint: Option<(usize, Vec<SavedIntra>, Vec<SavedUnifiedPage>)> = None;
+    loop {
+        match next_frame(bytes, &mut pos) {
+            Ok(FrameStep::End) => {
+                clean_end = true;
+                break;
+            }
+            Ok(FrameStep::Section(name, value)) => match name.as_str() {
+                "meta" => match get_str(&value, "platform") {
+                    Ok(p) => trace.platform = p,
+                    Err(_) => notes.push("platform name lost with the meta section".to_owned()),
+                },
+                "delta" => {
+                    deltas += 1;
+                    if let Err(reason) = apply_stream_delta(&mut trace, &value) {
+                        // Positional replay cannot continue past a bad
+                        // delta: later rows would land at wrong indices.
+                        notes.push(format!("stopped at undecodable delta: {reason}"));
+                        break;
+                    }
+                }
+                "checkpoint" => match parse_stream_checkpoint(&value) {
+                    Ok(cp) if cp.0 <= trace.apis.len() => checkpoint = Some(cp),
+                    Ok(cp) => notes.push(format!(
+                        "ignored checkpoint claiming {} APIs (only {} replayed)",
+                        cp.0,
+                        trace.apis.len()
+                    )),
+                    Err(reason) => notes.push(format!("dropped undecodable checkpoint: {reason}")),
+                },
+                other => notes.push(format!("ignored unknown streaming section `{other}`")),
+            },
+            Err(e) => {
+                notes.push(format!("stopped at damaged streaming frame: {e}"));
+                break;
+            }
+        }
+    }
+    if !clean_end {
+        notes.push(format!(
+            "stream has no clean-finish marker; recovered the fsynced prefix \
+             ({} APIs, {} delta frames)",
+            trace.apis.len(),
+            deltas
+        ));
+    }
+    match checkpoint {
+        Some((api_count, intra, unified)) => {
+            if api_count < trace.apis.len() {
+                notes.push(format!(
+                    "intra-object and unified-memory maps are as of the last \
+                     checkpoint (API {api_count} of {})",
+                    trace.apis.len()
+                ));
+            }
+            trace.intra = intra;
+            trace.unified = unified;
+        }
+        None if !trace.apis.is_empty() => {
+            notes.push(
+                "no checkpoint recovered; intra-object and unified-memory maps lost".to_owned(),
+            );
+        }
+        None => {}
+    }
+    notes.extend(scrub(&mut trace));
+    (trace, SalvageReport { notes })
 }
 
 impl SavedTrace {

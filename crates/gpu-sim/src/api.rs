@@ -16,8 +16,9 @@ use crate::stream::{EventId, SimTime, StreamId, StreamSet};
 use crate::unified::{Side, UnifiedManager};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// The kind (and operands) of one GPU API invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -231,6 +232,9 @@ pub struct DeviceContext {
     fault: Option<FaultInjector>,
     /// Worker threads for parallel block execution (1 = serial loop).
     kernel_workers: usize,
+    /// Wall-clock deadline applied to each kernel's block loop
+    /// (see [`SimConfig::kernel_deadline_ms`]). `None` = unlimited.
+    kernel_deadline: Option<Duration>,
 }
 
 /// Reads the `DRGPUM_KERNEL_WORKERS` override once per process. Lets CI
@@ -243,6 +247,19 @@ fn env_kernel_workers() -> Option<usize> {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
+    })
+}
+
+/// Reads the `DRGPUM_KERNEL_DEADLINE_MS` override once per process: a
+/// wall-clock watchdog deadline for each kernel's block loop, the
+/// simulator-side arm of the profiler's resource governor.
+fn env_kernel_deadline_ms() -> Option<u64> {
+    static DEADLINE: OnceLock<Option<u64>> = OnceLock::new();
+    *DEADLINE.get_or_init(|| {
+        std::env::var("DRGPUM_KERNEL_DEADLINE_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&ms| ms >= 1)
     })
 }
 
@@ -271,6 +288,9 @@ impl DeviceContext {
         if let Some(workers) = env_kernel_workers() {
             sim.kernel_workers = workers;
         }
+        if let Some(ms) = env_kernel_deadline_ms() {
+            sim.kernel_deadline_ms = Some(ms);
+        }
         DeviceContext::with_config(sim)
     }
 
@@ -280,6 +300,7 @@ impl DeviceContext {
         let SimConfig {
             platform: config,
             kernel_workers,
+            kernel_deadline_ms,
         } = sim;
         let alloc = DeviceAllocator::new(config.device_memory_bytes);
         DeviceContext {
@@ -297,6 +318,7 @@ impl DeviceContext {
             stats: ContextStats::default(),
             fault: None,
             kernel_workers: kernel_workers.max(1),
+            kernel_deadline: kernel_deadline_ms.map(Duration::from_millis),
         }
     }
 
@@ -361,9 +383,20 @@ impl DeviceContext {
         self.stats
     }
 
+    /// The per-kernel wall-clock watchdog deadline, if configured.
+    pub fn kernel_deadline_ms(&self) -> Option<u64> {
+        self.kernel_deadline.map(|d| d.as_millis() as u64)
+    }
+
+    /// Sets (or clears) the per-kernel wall-clock watchdog deadline.
+    pub fn set_kernel_deadline_ms(&mut self, ms: Option<u64>) {
+        self.kernel_deadline = ms.filter(|&ms| ms >= 1).map(Duration::from_millis);
+    }
+
     /// Pushes a host call-stack frame; pair with [`DeviceContext::pop_frame`].
     pub fn push_frame(&mut self, loc: SourceLoc) {
-        self.call_stack.push(loc);
+        let id = self.call_stack.push(loc.clone());
+        self.sanitizer.dispatch_frame(id, &loc);
     }
 
     /// Pops the innermost host call-stack frame.
@@ -1034,7 +1067,7 @@ impl DeviceContext {
             && !cfg.serial_only
             && self.fault.is_none()
             && self.unified.region_count() == 0;
-        let (mut sink, counters, executed) = if parallel {
+        let (mut sink, counters, executed, deadline_hit) = if parallel {
             self.run_blocks_parallel(&cfg, &info, mode, &body)
         } else {
             self.run_blocks_serial(&cfg, &info, mode, thread_budget, &body)
@@ -1074,6 +1107,16 @@ impl DeviceContext {
             .dispatch_kernel_end(&info, &touched, &counters);
         // Faults are reported only after the API event and all hook
         // dispatches, so profilers observe the partial execution.
+        if deadline_hit {
+            return Err(SimError::KernelFaulted {
+                kernel: name.as_ref().to_owned(),
+                reason: format!(
+                    "exceeded the {}ms kernel watchdog deadline after \
+                     {executed} of {total_threads} threads",
+                    self.kernel_deadline.map(|d| d.as_millis()).unwrap_or(0)
+                ),
+            });
+        }
         if injected_kill {
             return Err(SimError::KernelFaulted {
                 kernel: name.as_ref().to_owned(),
@@ -1104,26 +1147,30 @@ impl DeviceContext {
         mode: PatchMode,
         thread_budget: u64,
         body: &F,
-    ) -> (AccessSink, KernelCounters, u64)
+    ) -> (AccessSink, KernelCounters, u64, bool)
     where
         F: Fn(&mut ThreadCtx<'_>),
     {
-        let mut sink = AccessSink::new(
-            mode,
-            self.sanitizer.buffer_capacity(),
-            self.sanitizer.coalescing(),
-            self.sanitizer.coalesce_alignment(),
-        );
+        let mut sink = self.serial_sink(mode);
         let mut counters = KernelCounters::default();
         let mut shared = vec![0u8; cfg.shared_mem_bytes as usize];
         let mut executed: u64 = 0;
         let mut first_block = true;
+        let deadline = self.kernel_deadline.map(|d| Instant::now() + d);
+        let mut deadline_hit = false;
 
         let grid = cfg.grid;
         let block = cfg.block;
         'grid: for bz in 0..grid.z {
             for by in 0..grid.y {
                 for bx in 0..grid.x {
+                    // Cooperative watchdog: checked between blocks, so a
+                    // runaway grid stops at the next block boundary with
+                    // partial results intact.
+                    if deadline.is_some_and(|dl| Instant::now() >= dl) {
+                        deadline_hit = true;
+                        break 'grid;
+                    }
                     let block_idx = Dim3::xyz(bx, by, bz);
                     // The buffer is allocated zeroed; later blocks must not
                     // see the previous block's scratch.
@@ -1164,7 +1211,26 @@ impl DeviceContext {
                 }
             }
         }
-        (sink, counters, executed)
+        (sink, counters, executed, deadline_hit)
+    }
+
+    /// Builds the serial-shaped [`AccessSink`] for one kernel, applying any
+    /// [`crate::CollectionHint`] backpressure the registered tools request.
+    /// With the default hint this is exactly the sanitizer-wide
+    /// configuration, so undegraded runs are byte-identical.
+    fn serial_sink(&self, mode: PatchMode) -> AccessSink {
+        let hint = self.sanitizer.dispatch_collection_hint();
+        let capacity = hint
+            .buffer_capacity
+            .map_or(self.sanitizer.buffer_capacity(), |cap| {
+                cap.clamp(1, self.sanitizer.buffer_capacity())
+            });
+        AccessSink::new(
+            mode,
+            capacity,
+            self.sanitizer.coalescing() || hint.coalesce,
+            self.sanitizer.coalesce_alignment(),
+        )
     }
 
     /// Executes the grid's blocks on a scoped worker pool and merges the
@@ -1187,7 +1253,7 @@ impl DeviceContext {
         info: &KernelInfo,
         mode: PatchMode,
         body: &F,
-    ) -> (AccessSink, KernelCounters, u64)
+    ) -> (AccessSink, KernelCounters, u64, bool)
     where
         F: Fn(&mut ThreadCtx<'_>) + Sync,
     {
@@ -1203,20 +1269,34 @@ impl DeviceContext {
         let alloc = &self.alloc;
         let shared_bytes = cfg.shared_mem_bytes as usize;
         let next_block = AtomicU64::new(0);
+        let deadline = self.kernel_deadline.map(|d| Instant::now() + d);
+        let expired = AtomicBool::new(false);
 
-        let results: Vec<std::thread::Result<(AccessSink, KernelCounters)>> =
+        let results: Vec<std::thread::Result<(AccessSink, KernelCounters, u64)>> =
             std::thread::scope(|s| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         let view = &view;
                         let next_block = &next_block;
+                        let expired = &expired;
                         let body = &body;
                         s.spawn(move || {
                             let mut sink = AccessSink::new_staging(mode);
                             let mut counters = KernelCounters::default();
                             let mut shared = vec![0u8; shared_bytes];
                             let mut first_block = true;
+                            let mut executed: u64 = 0;
                             loop {
+                                // Cooperative watchdog, checked before
+                                // claiming each block; once one worker sees
+                                // the deadline pass, every worker stops at
+                                // its next claim.
+                                if expired.load(Ordering::Relaxed)
+                                    || deadline.is_some_and(|dl| Instant::now() >= dl)
+                                {
+                                    expired.store(true, Ordering::Relaxed);
+                                    break;
+                                }
                                 let flat_block = next_block.fetch_add(1, Ordering::Relaxed);
                                 if flat_block >= grid_blocks {
                                     break;
@@ -1260,8 +1340,9 @@ impl DeviceContext {
                                     }
                                 }
                                 sink.end_block();
+                                executed += block.count();
                             }
-                            (sink, counters)
+                            (sink, counters, executed)
                         })
                     })
                     .collect();
@@ -1273,11 +1354,13 @@ impl DeviceContext {
 
         let mut worker_sinks = Vec::with_capacity(results.len());
         let mut counters = KernelCounters::default();
+        let mut executed: u64 = 0;
         let mut panic_payload = None;
         for result in results {
             match result {
-                Ok((sink, c)) => {
+                Ok((sink, c, e)) => {
                     counters.merge(&c);
+                    executed += e;
                     worker_sinks.push(sink);
                 }
                 Err(p) => panic_payload = Some(p),
@@ -1286,14 +1369,10 @@ impl DeviceContext {
         if let Some(p) = panic_payload {
             std::panic::resume_unwind(p);
         }
-        let mut sink = AccessSink::new(
-            mode,
-            self.sanitizer.buffer_capacity(),
-            self.sanitizer.coalescing(),
-            self.sanitizer.coalesce_alignment(),
-        );
+        let mut sink = self.serial_sink(mode);
         sink.merge_staged(&self.sanitizer, info, &worker_sinks);
-        (sink, counters, cfg.total_threads())
+        let deadline_hit = expired.load(Ordering::Relaxed);
+        (sink, counters, executed, deadline_hit)
     }
 
     /// Simulated kernel duration from the work counters plus the

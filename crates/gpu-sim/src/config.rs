@@ -164,6 +164,16 @@ pub struct SimConfig {
     /// unified memory or run under an active fault plan automatically fall
     /// back to the serial loop. `0` is treated as `1`.
     pub kernel_workers: usize,
+    /// Wall-clock watchdog deadline, in milliseconds, for each kernel's
+    /// block loop. When a kernel's execution exceeds the deadline the
+    /// simulator stops at the next block boundary, delivers the partial
+    /// results to every registered tool, and the launch returns
+    /// [`crate::SimError::KernelFaulted`] — mirroring how a profiler's
+    /// watchdog cancels a runaway kernel without losing the run. `None`
+    /// (the default) never interrupts; the
+    /// `DRGPUM_KERNEL_DEADLINE_MS` environment variable fills this for
+    /// contexts built via [`crate::DeviceContext::new`].
+    pub kernel_deadline_ms: Option<u64>,
 }
 
 impl SimConfig {
@@ -172,12 +182,20 @@ impl SimConfig {
         SimConfig {
             platform,
             kernel_workers: 1,
+            kernel_deadline_ms: None,
         }
     }
 
     /// Sets the kernel worker count (builder style).
     pub fn with_kernel_workers(mut self, workers: usize) -> Self {
         self.kernel_workers = workers.max(1);
+        self
+    }
+
+    /// Sets the per-kernel wall-clock watchdog deadline (builder style);
+    /// `0` disables the watchdog.
+    pub fn with_kernel_deadline_ms(mut self, ms: u64) -> Self {
+        self.kernel_deadline_ms = (ms >= 1).then_some(ms);
         self
     }
 }

@@ -74,8 +74,8 @@ pub use fault::{
 pub use kernel::{Dim3, KernelCounters, LaunchConfig, ThreadCtx};
 pub use mem::{AddrRange, DevicePtr};
 pub use sanitizer::{
-    AccessKind, KernelInfo, MemAccessRecord, PatchMode, Sanitizer, SanitizerHooks, TouchedObject,
-    WARP_SIZE,
+    AccessKind, CollectionHint, KernelInfo, MemAccessRecord, PatchMode, Sanitizer, SanitizerHooks,
+    TouchedObject, WARP_SIZE,
 };
 pub use stream::{EventId, SimTime, StreamId};
 pub use unified::{PageMigration, Side, UnifiedManager};

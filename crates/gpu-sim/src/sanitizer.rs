@@ -17,6 +17,7 @@
 //!   work counters.
 
 use crate::api::ApiEvent;
+use crate::callstack::{FrameId, SourceLoc};
 use crate::error::SimError;
 use crate::kernel::{Dim3, KernelCounters};
 use crate::mem::{DeviceAllocator, DevicePtr};
@@ -136,6 +137,22 @@ struct LastHit {
     written: bool,
 }
 
+/// A collection-pressure hint a tool returns before each kernel launch.
+///
+/// This is the backpressure channel of the resource governor: a tool under
+/// memory pressure can request cheaper record delivery without changing the
+/// [`PatchMode`] contract. The default hint changes nothing, so tools that
+/// never degrade observe byte-identical behavior.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectionHint {
+    /// Request warp-level access coalescing for this kernel even if the
+    /// sanitizer-wide setting is off.
+    pub coalesce: bool,
+    /// Cap the device-side record-buffer capacity (in records) for this
+    /// kernel; `None` keeps the sanitizer-wide capacity.
+    pub buffer_capacity: Option<usize>,
+}
+
 /// Callbacks a profiling tool registers with the simulated Sanitizer API.
 ///
 /// All methods have empty default bodies so tools override only what they
@@ -174,6 +191,19 @@ pub trait SanitizerHooks {
     /// hook is how tools learn about it and can downgrade to cheaper
     /// collection modes instead of losing the run.
     fn on_alloc_failure(&mut self, _requested: u64, _label: &str, _error: &SimError) {}
+
+    /// Called when a host call-stack frame is interned, with its id and
+    /// source location. Lets tools mirror the frame table incrementally —
+    /// e.g. to resolve call paths while streaming a crash-consistent trace,
+    /// without access to the context-owned [`crate::FrameTable`].
+    fn on_frame(&mut self, _id: FrameId, _loc: &SourceLoc) {}
+
+    /// Queried before each kernel launch (after
+    /// [`SanitizerHooks::on_kernel_begin`]); lets a tool under resource
+    /// pressure ask for cheaper record delivery. See [`CollectionHint`].
+    fn collection_hint(&self) -> CollectionHint {
+        CollectionHint::default()
+    }
 }
 
 /// A shared, lockable hook registration.
@@ -370,6 +400,27 @@ impl Sanitizer {
         for h in &self.hooks {
             h.lock().on_alloc_failure(requested, label, error);
         }
+    }
+
+    pub(crate) fn dispatch_frame(&self, id: FrameId, loc: &SourceLoc) {
+        for h in &self.hooks {
+            h.lock().on_frame(id, loc);
+        }
+    }
+
+    /// Merges every tool's [`CollectionHint`]: coalescing requests OR
+    /// together, buffer caps take the minimum.
+    pub(crate) fn dispatch_collection_hint(&self) -> CollectionHint {
+        let mut merged = CollectionHint::default();
+        for h in &self.hooks {
+            let hint = h.lock().collection_hint();
+            merged.coalesce |= hint.coalesce;
+            merged.buffer_capacity = match (merged.buffer_capacity, hint.buffer_capacity) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        merged
     }
 }
 

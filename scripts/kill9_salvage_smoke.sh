@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# kill -9 crash-consistency smoke: start a profiled run with a streaming
+# trace, SIGKILL it mid-flight, then prove the fsynced prefix recovers via
+# `drgpum run --resume` (degraded exit code 3; --strict escalates to 1).
+#
+# Usage: scripts/kill9_salvage_smoke.sh [path/to/drgpum]
+set -euo pipefail
+
+BIN="${1:-target/release/drgpum}"
+TRACE="$(mktemp -t drgpum-smoke-XXXXXX.trace)"
+trap 'rm -f "$TRACE"' EXIT
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (run \`cargo build --release\` first)" >&2
+    exit 1
+fi
+
+echo "== streaming a profiled run to $TRACE, then kill -9"
+"$BIN" run Darknet --intra --stream-trace "$TRACE" >/dev/null 2>&1 &
+VICTIM=$!
+
+# Wait until a few fsynced delta frames are on disk.
+for _ in $(seq 1 1200); do
+    if [ "$(grep -c 'section delta ' "$TRACE" 2>/dev/null || echo 0)" -ge 3 ]; then
+        break
+    fi
+    if ! kill -0 "$VICTIM" 2>/dev/null; then
+        echo "error: profiled run exited before it could be killed" >&2
+        exit 1
+    fi
+    sleep 0.05
+done
+kill -9 "$VICTIM" 2>/dev/null || true
+wait "$VICTIM" 2>/dev/null || true
+echo "   killed pid $VICTIM with $(grep -c 'section delta ' "$TRACE") delta frames on disk"
+
+echo "== drgpum run --resume must recover the prefix and exit 3"
+set +e
+"$BIN" run --resume "$TRACE" > /tmp/drgpum-smoke-resume.out 2>&1
+CODE=$?
+set -e
+if [ "$CODE" -ne 3 ]; then
+    echo "error: expected exit code 3 from --resume, got $CODE" >&2
+    cat /tmp/drgpum-smoke-resume.out >&2
+    exit 1
+fi
+grep -q "recovered prefix" /tmp/drgpum-smoke-resume.out
+grep -q "GPU APIs" /tmp/drgpum-smoke-resume.out
+
+echo "== --strict must escalate the same recovery to exit 1"
+set +e
+"$BIN" run --resume "$TRACE" --strict >/dev/null 2>&1
+CODE=$?
+set -e
+if [ "$CODE" -ne 1 ]; then
+    echo "error: expected exit code 1 from --resume --strict, got $CODE" >&2
+    exit 1
+fi
+
+echo "ok: kill -9 trace salvaged and resumed"

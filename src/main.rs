@@ -5,8 +5,12 @@
 //! drgpum run <workload> [--optimized] [--intra] [--platform rtx3090|a100]
 //!                       [--period N] [--kernel NAME] [--estimate] [--json FILE]
 //!                       [--html FILE] [--perfetto FILE] [--save-trace FILE]
+//!                       [--mem-budget SIZE] [--deadline MS]
+//!                       [--stream-trace FILE] [--strict]
+//! drgpum run --resume <trace> [--json FILE] [--strict]
 //! drgpum reanalyze <trace.json> [--idleness N] [--overalloc-pct X]
 //!                               [--nuaf-cov X] [--redundant-pct X] [--json FILE]
+//!                               [--strict]
 //! drgpum diff <before.json> <after.json>
 //! ```
 //!
@@ -15,9 +19,18 @@
 //! thresholds — no program re-run required; `diff` compares two recordings
 //! (e.g. before and after applying the suggested fixes) the way the
 //! paper's evaluation compares unoptimized and optimized programs.
+//!
+//! # Exit codes
+//!
+//! * `0` — clean run, full-fidelity report;
+//! * `1` — error (or, under `--strict`, a degraded/salvaged report);
+//! * `2` — usage error;
+//! * `3` — the report is degraded (budget demotions, timed-out detectors)
+//!   or was recovered by salvage. CI pipelines can gate on `0` only.
 
 use drgpum::prelude::*;
-use drgpum::profiler::{export, trace_io, SavedTrace};
+use drgpum::profiler::governor::parse_byte_size;
+use drgpum::profiler::{export, trace_io, ResourceBudget, SavedTrace};
 use drgpum::workloads::common::Variant;
 use drgpum::workloads::registry::RunConfig;
 use std::process::ExitCode;
@@ -26,15 +39,33 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  drgpum list\n  drgpum run <workload> [--optimized] [--intra] \
          [--platform rtx3090|a100] [--period N] [--kernel NAME] [--estimate] [--json FILE] \
-         [--html FILE] [--perfetto FILE] [--save-trace FILE]\n  drgpum reanalyze <trace.json> [--idleness N] \
-         [--overalloc-pct X] [--nuaf-cov X] [--redundant-pct X] [--json FILE]\n  \
-         drgpum diff <before.json> <after.json>"
+         [--html FILE] [--perfetto FILE] [--save-trace FILE] [--mem-budget SIZE] \
+         [--deadline MS] [--stream-trace FILE] [--strict]\n  \
+         drgpum run --resume <trace> [--json FILE] [--strict]\n  \
+         drgpum reanalyze <trace.json> [--idleness N] \
+         [--overalloc-pct X] [--nuaf-cov X] [--redundant-pct X] [--json FILE] [--strict]\n  \
+         drgpum diff <before.json> <after.json>\n\n\
+         exit codes: 0 clean, 1 error (or --strict escalation), 2 usage, \
+         3 degraded/salvaged report"
     );
     ExitCode::from(2)
 }
 
+/// Removes `--flag value` or `--flag=value` from `args`, returning the value.
 fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
-    if let Some(pos) = args.iter().position(|a| a == flag) {
+    let prefix = format!("{flag}=");
+    if let Some(pos) = args
+        .iter()
+        .position(|a| a == flag || a.starts_with(&prefix))
+    {
+        if args[pos] != flag {
+            // `--flag=value` in one token.
+            let value = args.remove(pos).split_off(prefix.len());
+            if value.is_empty() {
+                return Err(format!("{flag} requires a value"));
+            }
+            return Ok(Some(value));
+        }
         if pos + 1 >= args.len() {
             return Err(format!("{flag} requires a value"));
         }
@@ -43,6 +74,20 @@ fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Stri
         Ok(Some(value))
     } else {
         Ok(None)
+    }
+}
+
+/// Maps a run/reanalysis outcome to the process exit code: `0` for a clean,
+/// full-fidelity report, `3` when it is degraded or salvaged, escalated to
+/// `1` under `--strict`.
+fn outcome_code(degraded: bool, strict: bool) -> ExitCode {
+    if !degraded {
+        ExitCode::SUCCESS
+    } else if strict {
+        eprintln!("error: report is degraded or salvaged and --strict was given");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::from(3)
     }
 }
 
@@ -78,6 +123,16 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     let perfetto_out = take_value(&mut args, "--perfetto")?;
     let trace_out = take_value(&mut args, "--save-trace")?;
     let html_out = take_value(&mut args, "--html")?;
+    let mem_budget = take_value(&mut args, "--mem-budget")?;
+    let deadline_ms: Option<u64> = take_value(&mut args, "--deadline")?
+        .map(|v| {
+            v.parse()
+                .map_err(|_| "--deadline must be a number of milliseconds".to_owned())
+        })
+        .transpose()?;
+    let stream_trace = take_value(&mut args, "--stream-trace")?;
+    let resume = take_value(&mut args, "--resume")?;
+    let strict = take_flag(&mut args, "--strict");
     let platform_name = take_value(&mut args, "--platform")?.unwrap_or_else(|| "rtx3090".into());
     let period: u64 = take_value(&mut args, "--period")?
         .map(|v| {
@@ -90,6 +145,9 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     let optimized = take_flag(&mut args, "--optimized");
     let intra = take_flag(&mut args, "--intra");
     let estimate = take_flag(&mut args, "--estimate");
+    if let Some(trace_path) = resume {
+        return cmd_resume(&trace_path, json_out, strict);
+    }
     let Some(name) = args.first() else {
         return Err("run: missing workload name".into());
     };
@@ -120,7 +178,25 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
     if spec.uses_pool {
         options.track_pool_tensors = true;
     }
-    let profiler = Profiler::attach(&mut ctx, options);
+    let mut budget = ResourceBudget::unlimited();
+    if let Some(size) = mem_budget {
+        budget = budget.with_resident_bytes(parse_byte_size(&size)?);
+    }
+    if let Some(ms) = deadline_ms {
+        // One wall-clock deadline governs both watchdogs: each offline
+        // detector and each kernel's block loop.
+        budget = budget
+            .with_detector_deadline_ms(ms)
+            .with_kernel_deadline_ms(ms);
+        ctx.set_kernel_deadline_ms(Some(ms));
+    }
+    options.budget = budget;
+    let profiler = match &stream_trace {
+        Some(path) => {
+            Profiler::attach_streaming(&mut ctx, options, path).map_err(|e| e.to_string())?
+        }
+        None => Profiler::attach(&mut ctx, options),
+    };
     let cfg = RunConfig {
         pool_observer: spec
             .uses_pool
@@ -132,6 +208,13 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         Variant::Unoptimized
     };
     let outcome = (spec.run)(&mut ctx, variant, &cfg).map_err(|e| e.to_string())?;
+    let mut stream_failed = false;
+    if stream_trace.is_some() {
+        if let Err(e) = profiler.finish_stream() {
+            eprintln!("warning: {e}; the trace keeps everything up to the last fsync");
+            stream_failed = true;
+        }
+    }
     let report = profiler.report(&ctx);
     println!("{}", report.render_text());
     println!(
@@ -177,11 +260,44 @@ fn cmd_run(mut args: Vec<String>) -> Result<ExitCode, String> {
         std::fs::write(&path, saved.to_text()).map_err(|e| format!("writing {path}: {e}"))?;
         println!("raw trace written to {path} (reanalyze with `drgpum reanalyze`)");
     }
-    Ok(ExitCode::SUCCESS)
+    if let Some(path) = stream_trace {
+        println!("streaming trace written to {path} (recover with `drgpum run --resume`)");
+    }
+    Ok(outcome_code(report.is_degraded() || stream_failed, strict))
+}
+
+/// `drgpum run --resume <trace>`: salvages a (possibly crash-truncated)
+/// streaming or batch trace and re-runs the offline analysis on the
+/// recovered prefix — the recovery half of `--stream-trace`.
+fn cmd_resume(path: &str, json_out: Option<String>, strict: bool) -> Result<ExitCode, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let (saved, losses) = trace_io::salvage(&text);
+    let lossless = losses.is_lossless();
+    println!(
+        "resumed trace: {} GPU APIs, {} objects, platform {}{}",
+        saved.api_count(),
+        saved.object_count(),
+        saved.platform,
+        if lossless {
+            " (clean finish)"
+        } else {
+            " (recovered prefix)"
+        }
+    );
+    let report = saved.reanalyze_with(&Thresholds::default(), losses.to_degradations());
+    println!("{}", report.render_text());
+    if let Some(out) = json_out {
+        let v = export::report_json(&report);
+        std::fs::write(&out, serde_json::to_string_pretty(&v).expect("serialize"))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("report JSON written to {out}");
+    }
+    Ok(outcome_code(report.is_degraded(), strict))
 }
 
 fn cmd_reanalyze(mut args: Vec<String>) -> Result<ExitCode, String> {
     let json_out = take_value(&mut args, "--json")?;
+    let strict = take_flag(&mut args, "--strict");
     let mut thresholds = Thresholds::default();
     if let Some(v) = take_value(&mut args, "--idleness")? {
         thresholds.idleness_min_apis = v.parse().map_err(|_| "--idleness must be a number")?;
@@ -232,7 +348,7 @@ fn cmd_reanalyze(mut args: Vec<String>) -> Result<ExitCode, String> {
             .map_err(|e| format!("writing {out}: {e}"))?;
         println!("report JSON written to {out}");
     }
-    Ok(ExitCode::SUCCESS)
+    Ok(outcome_code(report.is_degraded(), strict))
 }
 
 fn cmd_diff(args: Vec<String>) -> Result<ExitCode, String> {
@@ -323,5 +439,77 @@ fn main() -> ExitCode {
             eprintln!("error: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| (*w).to_owned()).collect()
+    }
+
+    #[test]
+    fn take_value_space_separated() {
+        let mut args = argv(&["--json", "out.json", "workload"]);
+        assert_eq!(
+            take_value(&mut args, "--json").unwrap().as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(args, argv(&["workload"]));
+    }
+
+    #[test]
+    fn take_value_equals_form() {
+        let mut args = argv(&["--json=out.json", "workload"]);
+        assert_eq!(
+            take_value(&mut args, "--json").unwrap().as_deref(),
+            Some("out.json")
+        );
+        assert_eq!(args, argv(&["workload"]));
+    }
+
+    #[test]
+    fn take_value_equals_form_keeps_later_equals_signs() {
+        let mut args = argv(&["--kernel=vec=add"]);
+        assert_eq!(
+            take_value(&mut args, "--kernel").unwrap().as_deref(),
+            Some("vec=add")
+        );
+        assert!(args.is_empty());
+    }
+
+    #[test]
+    fn take_value_absent_flag() {
+        let mut args = argv(&["workload"]);
+        assert_eq!(take_value(&mut args, "--json").unwrap(), None);
+        assert_eq!(args, argv(&["workload"]));
+    }
+
+    #[test]
+    fn take_value_missing_value_is_an_error() {
+        let mut args = argv(&["--json"]);
+        assert!(take_value(&mut args, "--json").is_err());
+        let mut args = argv(&["--json="]);
+        assert!(take_value(&mut args, "--json").is_err());
+    }
+
+    #[test]
+    fn take_value_does_not_match_prefix_flags() {
+        // `--jsonx` must not be mistaken for `--json`.
+        let mut args = argv(&["--jsonx", "v"]);
+        assert_eq!(take_value(&mut args, "--json").unwrap(), None);
+        assert_eq!(args, argv(&["--jsonx", "v"]));
+    }
+
+    #[test]
+    fn outcome_code_policy() {
+        // `ExitCode` has no `PartialEq`; compare via its `Debug` form.
+        let code = |degraded, strict| format!("{:?}", outcome_code(degraded, strict));
+        assert_eq!(code(false, false), format!("{:?}", ExitCode::SUCCESS));
+        assert_eq!(code(false, true), format!("{:?}", ExitCode::SUCCESS));
+        assert_eq!(code(true, false), format!("{:?}", ExitCode::from(3)));
+        assert_eq!(code(true, true), format!("{:?}", ExitCode::FAILURE));
     }
 }

@@ -1,0 +1,112 @@
+//! Crash-consistency end to end: SIGKILL a real `drgpum run --stream-trace`
+//! process mid-run, then recover the fsynced prefix with salvage and with
+//! `drgpum run --resume`. No cooperation from the dying process — this is
+//! the `kill -9` the streaming writer exists for.
+
+use drgpum::profiler::{trace_io, Thresholds};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("drgpum-kill9-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn sigkill_mid_run_leaves_a_salvageable_resumable_trace() {
+    let trace = temp_path("victim.trace");
+    let bin = env!("CARGO_BIN_EXE_drgpum");
+
+    // Darknet under intra-object profiling runs for seconds — plenty of
+    // fsynced delta frames to kill in the middle of.
+    let mut child = Command::new(bin)
+        .args(["run", "Darknet", "--intra", "--stream-trace"])
+        .arg(&trace)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn drgpum");
+
+    // Wait until at least a few delta frames are on disk, then SIGKILL.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let deltas = std::fs::read_to_string(&trace)
+            .map(|t| t.matches("section delta ").count())
+            .unwrap_or(0);
+        if deltas >= 3 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no delta frames appeared within 60s"
+        );
+        assert!(
+            child.try_wait().expect("try_wait").is_none(),
+            "the profiled run finished before it could be killed; \
+             pick a longer workload"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+
+    // Salvage recovers the fsynced prefix and says so.
+    let text = std::fs::read_to_string(&trace).expect("trace readable");
+    let (salvaged, losses) = trace_io::salvage(&text);
+    assert!(
+        salvaged.api_count() >= 3,
+        "every fsynced API event is recovered (got {})",
+        salvaged.api_count()
+    );
+    assert!(
+        !losses.is_lossless(),
+        "a killed run cannot have a clean finish"
+    );
+    assert!(
+        losses
+            .notes
+            .iter()
+            .any(|n| n.contains("no clean-finish marker")),
+        "the missing finish marker is reported: {:?}",
+        losses.notes
+    );
+    let report = salvaged.reanalyze_with(&Thresholds::default(), losses.to_degradations());
+    assert!(report.is_degraded());
+    assert_eq!(report.detectors.len(), 4);
+    assert_eq!(report.stats.gpu_apis, salvaged.api_count() as u64);
+
+    // `drgpum run --resume` agrees: same recovery, degraded exit code 3.
+    let resumed = Command::new(bin)
+        .args(["run", "--resume"])
+        .arg(&trace)
+        .stderr(Stdio::null())
+        .output()
+        .expect("run --resume");
+    assert_eq!(
+        resumed.status.code(),
+        Some(3),
+        "a recovered-prefix resume exits with the degraded code"
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(
+        stdout.contains("recovered prefix"),
+        "resume announces the recovery: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("{} GPU APIs", salvaged.api_count())),
+        "resume replays exactly the salvaged events: {stdout}"
+    );
+
+    // And `--strict` escalates the same recovery to a hard failure.
+    let strict = Command::new(bin)
+        .args(["run", "--resume"])
+        .arg(&trace)
+        .arg("--strict")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run --resume --strict");
+    assert_eq!(strict.code(), Some(1));
+
+    std::fs::remove_file(&trace).ok();
+}

@@ -1,0 +1,123 @@
+//! Watchdog deadlines with cooperative cancellation: a wedged detector is
+//! cancelled at the deadline and reported `TimedOut` while the others run
+//! to completion, and a runaway kernel is stopped at a block boundary with
+//! its partial results still delivered to the profiler.
+
+use drgpum::prelude::*;
+use drgpum::profiler::{DetectorOutcome, ResourceBudget};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: the detector-stall fault is
+/// injected through a process-global environment variable, which must not
+/// leak into the other test's `report()` call.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn stalled_detector_times_out_and_the_others_are_unaffected() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    // Wedge the redundant-allocation family for far longer than the
+    // deadline; the watchdog must cancel it and only it.
+    std::env::set_var("DRGPUM_FAULT_STALL_DETECTOR", "redundant:10000");
+
+    let budget = ResourceBudget::unlimited().with_detector_deadline_ms(150);
+    let mut ctx = DeviceContext::new_default();
+    let profiler = Profiler::attach(
+        &mut ctx,
+        ProfilerOptions::intra_object().with_budget(budget),
+    );
+    let a = ctx.malloc(1024, "a").unwrap();
+    ctx.memset(a, 0, 1024).unwrap();
+    ctx.launch(
+        "touch",
+        LaunchConfig::cover(256, 64).unwrap(),
+        StreamId::DEFAULT,
+        |t| {
+            let i = t.global_x();
+            let v = t.load_f32(a + i * 4);
+            t.store_f32(a + i * 4, v + 1.0);
+        },
+    )
+    .unwrap();
+    let report = profiler.report(&ctx);
+    std::env::remove_var("DRGPUM_FAULT_STALL_DETECTOR");
+
+    let outcome = |name: &str| {
+        report
+            .detectors
+            .iter()
+            .find(|d| d.name == name)
+            .unwrap_or_else(|| panic!("detector `{name}` missing from the report"))
+            .outcome
+            .clone()
+    };
+    match outcome("redundant") {
+        DetectorOutcome::TimedOut { deadline_ms } => assert_eq!(deadline_ms, 150),
+        other => panic!("the stalled detector must time out, got {other:?}"),
+    }
+    for name in ["object_level", "intra", "unified"] {
+        assert!(
+            matches!(outcome(name), DetectorOutcome::Ok { .. }),
+            "detector `{name}` must be unaffected by the stalled one"
+        );
+    }
+    assert!(
+        report.is_degraded(),
+        "a timed-out detector marks the report degraded"
+    );
+}
+
+#[test]
+fn runaway_kernel_hits_the_deadline_and_partial_results_survive() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let cfg = SimConfig::default().with_kernel_deadline_ms(25);
+    let mut ctx = DeviceContext::with_config(cfg);
+    let profiler = Profiler::attach(&mut ctx, ProfilerOptions::object_level());
+    let out = ctx.malloc(16 << 10, "out").unwrap();
+
+    // Every simulated thread burns real wall-clock time, so the whole
+    // grid takes far longer than the 25ms deadline.
+    let err = ctx
+        .launch(
+            "runaway",
+            LaunchConfig::cover(4096, 64).unwrap(),
+            StreamId::DEFAULT,
+            |t| {
+                let i = t.global_x();
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = std::hint::black_box(acc.wrapping_add(k));
+                }
+                t.store_f32(out + (i % 4096) * 4, acc as f32);
+            },
+        )
+        .expect_err("the watchdog must fault the runaway kernel");
+    match err {
+        SimError::KernelFaulted { kernel, reason } => {
+            assert_eq!(kernel, "runaway");
+            assert!(
+                reason.contains("watchdog deadline"),
+                "fault names the watchdog: {reason}"
+            );
+        }
+        other => panic!("expected KernelFaulted, got {other:?}"),
+    }
+
+    // Later kernels on the same context are unaffected ...
+    ctx.launch(
+        "well_behaved",
+        LaunchConfig::cover(64, 64).unwrap(),
+        StreamId::DEFAULT,
+        |t| {
+            let i = t.global_x();
+            t.store_f32(out + i * 4, 1.0);
+        },
+    )
+    .expect("a fast kernel finishes well inside the deadline");
+    ctx.free(out).unwrap();
+
+    // ... and the partial work executed before the deadline was delivered:
+    // the profiler saw both launches plus the alloc/free.
+    let report = profiler.report(&ctx);
+    assert_eq!(report.stats.gpu_apis, 4);
+    assert_eq!(report.detectors.len(), 4);
+}
