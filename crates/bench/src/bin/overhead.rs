@@ -1,30 +1,57 @@
 //! Collection-pipeline and execution-parallelism overhead comparison
-//! (Sec. 5.5): serial vs. parallel (sharded aggregation) vs. coalesced
-//! (warp-level record merging) vs. both, on the largest PolyBench workload
-//! (3MM), with full intra-object analysis of every kernel instance — plus
-//! the block-parallel execution path (`SimConfig::kernel_workers`).
+//! (Sec. 5.5) on the largest PolyBench workload (3MM), with full
+//! intra-object analysis of every kernel instance.
 //!
-//! Three properties are checked:
+//! Two generations of the collection pipeline run side by side:
+//!
+//! * **slow-path modes** route through the pre-overhaul hot path
+//!   (per-record descending `BTreeMap` resolution, per-byte map updates,
+//!   per-record governor remetering, no resolve caches or pc memo) via the
+//!   hidden `ProfilerOptions::with_slow_path` hook;
+//! * **fast-path modes** use the epoch-snapshot allocation index, resolve
+//!   caches, and word-level aggregation.
+//!
+//! Checked properties:
 //!
 //! 1. **Determinism** — the rendered report and the serialized trace
-//!    (format v2 text) are byte-identical across all four collection modes
-//!    *and* across worker counts (1 vs. 4). Trace v2 round-trips depend on
-//!    this; it is asserted, not sampled.
-//! 2. **Collection speedup** — profiling overhead (profiled wall time minus
-//!    native wall time) of parallel+coalesced is at least 2x lower than the
-//!    serial baseline.
-//! 3. **Execution speedup** — the native end-to-end run with 4 kernel
-//!    workers is at least 1.8x faster than with 1. Only enforced when the
-//!    host actually has 4+ cores; the measurement is always recorded.
+//!    (format v2 text) are byte-identical across *every* mode: slow path
+//!    vs. fast path, all collection modes, and worker counts 1 vs. 4.
+//!    Asserted on every run, not sampled.
+//! 2. **Fast-path speedup** — profiling overhead (profiled wall time minus
+//!    native wall time at the same worker count) of the fast-path
+//!    sharded+coalesced mode is at least 1.5x lower than the slow-path
+//!    sharded+coalesced mode. Single-core by construction (1 worker), so
+//!    it is always enforced.
+//! 3. **Collection speedup** — fast-path sharded+coalesced overhead is at
+//!    least 2x lower than fast-path serial. Enforced when the host has
+//!    2+ cores; always recorded.
+//! 4. **Execution speedup** — the native run with 4 kernel workers is at
+//!    least 1.8x faster than with 1. Enforced when the host has 4+ cores;
+//!    always recorded.
 //!
-//! Results land in `results/BENCH_3.json`.
+//! Host parallelism is detected exactly once at startup; every gate keys
+//! off that one reading, and skipped gates say so on stdout and in the
+//! JSON (`checks[].skipped_reason`). Per-mode resolve/aggregate/flush
+//! phase timings (from `Collector::phase_timings`) land in the JSON too.
+//!
+//! Measurement is noise-hardened for shared hosts: native and profiled
+//! runs are interleaved round-robin (so load drift hits every mode
+//! equally), each per-round sample is the min of `DRGPUM_INNER`
+//! back-to-back runs (scheduler noise is one-sided, so min filters it),
+//! overhead is the *paired* difference `profiled - native` within each
+//! round, and the final figure is the median across rounds (robust to
+//! the spikes a min-of-separate-loops design turns into negative
+//! overheads). One warmup round is discarded.
+//!
+//! Results land in `results/BENCH_5.json` — written *before* any gate is
+//! enforced, so a failing run still leaves the artifact for inspection.
 //!
 //! Run with `cargo run --release -p drgpum-bench --bin overhead`.
-//! `DRGPUM_RUNS` overrides the repetition count (default 7; minimum is
-//! used, so more runs only reduce noise).
+//! `DRGPUM_RUNS` overrides the round count (default 7; medians are
+//! taken, so more rounds only reduce noise).
 
-use drgpum_bench::profile_in_ctx;
-use drgpum_core::{ProfilerOptions, Report};
+use drgpum_bench::{median, profile_in_ctx_timed};
+use drgpum_core::{PhaseTimings, ProfilerOptions, Report};
 use drgpum_workloads::{by_name, Variant, WorkloadSpec};
 use gpu_sim::{DeviceContext, PlatformConfig, SimConfig};
 use std::time::{Duration, Instant};
@@ -41,18 +68,54 @@ fn native_once(spec: &WorkloadSpec, platform: &PlatformConfig, workers: usize) -
 
 /// Wall-clock of one profiled run (instrumented workload only — report
 /// rendering and trace serialization are mode-invariant and excluded),
-/// plus its report text and trace bytes.
+/// plus its report, trace bytes, and hot-path phase timings.
 fn profiled_once(
     spec: &WorkloadSpec,
     platform: &PlatformConfig,
     options: &ProfilerOptions,
     workers: usize,
-) -> (Duration, Report, String) {
+) -> (Duration, Report, String, PhaseTimings) {
     let sim = SimConfig::new(platform.clone()).with_kernel_workers(workers);
     let ctx = DeviceContext::with_config(sim);
-    let (report, trace, _, elapsed) =
-        profile_in_ctx(spec, Variant::Unoptimized, options.clone(), ctx);
-    (elapsed, report, trace)
+    let (report, trace, _, elapsed, phases) =
+        profile_in_ctx_timed(spec, Variant::Unoptimized, options.clone(), ctx);
+    (elapsed, report, trace, phases)
+}
+
+/// One collection mode under measurement.
+struct Mode {
+    name: &'static str,
+    options: ProfilerOptions,
+    workers: usize,
+}
+
+/// Median-of-rounds result for one mode.
+struct Measured {
+    name: &'static str,
+    workers: usize,
+    slow_path: bool,
+    wall_ms: f64,
+    overhead_ms: f64,
+    phases: PhaseTimings,
+}
+
+/// Per-round samples for one mode, folded into a [`Measured`] at the end.
+#[derive(Default)]
+struct Samples {
+    wall_ms: Vec<f64>,
+    overhead_ms: Vec<f64>,
+    /// Phase timings of the fastest round (least contaminated by noise).
+    best: Option<(Duration, PhaseTimings)>,
+}
+
+/// One enforceable metric: always recorded, asserted only when its gate
+/// (decided from the single startup core-count reading) is open.
+struct Check {
+    name: &'static str,
+    value: f64,
+    threshold: f64,
+    enforced: bool,
+    skipped_reason: Option<String>,
 }
 
 fn main() {
@@ -60,6 +123,7 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(7);
+    // The one and only parallelism probe: every gate below keys off this.
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -67,128 +131,245 @@ fn main() {
     let platform = PlatformConfig::rtx3090();
     let spec = by_name("3MM").expect("3MM is registered");
 
-    let modes: [(&str, ProfilerOptions, usize); 6] = [
-        ("serial", ProfilerOptions::intra_object(), 1),
-        (
-            "sharded",
-            ProfilerOptions::intra_object().with_collector_shards(shards),
-            1,
-        ),
-        (
-            "coalesced",
-            ProfilerOptions::intra_object().with_coalescing(),
-            1,
-        ),
-        (
-            "sharded+coalesced",
-            ProfilerOptions::intra_object()
+    let intra = ProfilerOptions::intra_object;
+    let modes: Vec<Mode> = vec![
+        Mode {
+            name: "slow-path serial",
+            options: intra().with_slow_path(),
+            workers: 1,
+        },
+        Mode {
+            name: "slow-path sharded+coalesced",
+            options: intra()
                 .with_collector_shards(shards)
-                .with_coalescing(),
-            1,
-        ),
-        ("workers4", ProfilerOptions::intra_object(), 4),
-        (
-            "workers4+sharded+coalesced",
-            ProfilerOptions::intra_object()
-                .with_collector_shards(shards)
-                .with_coalescing(),
-            4,
-        ),
+                .with_coalescing()
+                .with_slow_path(),
+            workers: 1,
+        },
+        Mode {
+            name: "serial",
+            options: intra(),
+            workers: 1,
+        },
+        Mode {
+            name: "sharded",
+            options: intra().with_collector_shards(shards),
+            workers: 1,
+        },
+        Mode {
+            name: "coalesced",
+            options: intra().with_coalescing(),
+            workers: 1,
+        },
+        Mode {
+            name: "sharded+coalesced",
+            options: intra().with_collector_shards(shards).with_coalescing(),
+            workers: 1,
+        },
+        Mode {
+            name: "workers4",
+            options: intra(),
+            workers: 4,
+        },
+        Mode {
+            name: "workers4+sharded+coalesced",
+            options: intra().with_collector_shards(shards).with_coalescing(),
+            workers: 4,
+        },
     ];
 
     println!(
-        "Collection-pipeline overhead on {} ({} shards, min of {} runs, {} cores)\n",
+        "Collection-pipeline overhead on {} ({} shards, median of {} rounds, {} host core(s))\n",
         spec.name, shards, runs, cores
     );
 
-    let native = (0..runs)
-        .map(|_| native_once(&spec, &platform, 1))
-        .min()
-        .expect("at least one run");
-    let native_w4 = (0..runs)
-        .map(|_| native_once(&spec, &platform, 4))
-        .min()
-        .expect("at least one run");
-
+    // The byte-identity baseline is the *slow-path* serial run: every
+    // other mode — fast path included — is pinned against the pre-overhaul
+    // pipeline's exact report text and trace v2 bytes.
     let mut baseline: Option<(String, String)> = None;
-    let mut overheads: Vec<(&str, Duration)> = Vec::new();
-    for (name, options, workers) in &modes {
-        let mut best: Option<Duration> = None;
-        for _ in 0..runs {
-            let (elapsed, report, trace) = profiled_once(&spec, &platform, options, *workers);
-            best = Some(best.map_or(elapsed, |b| b.min(elapsed)));
-            let text = report.render_text();
-            match &baseline {
-                None => baseline = Some((text, trace)),
-                Some((base_text, base_trace)) => {
-                    assert_eq!(
-                        &text, base_text,
-                        "report text diverged from serial baseline in mode `{name}`"
-                    );
-                    assert_eq!(
-                        &trace, base_trace,
-                        "trace v2 bytes diverged from serial baseline in mode `{name}`"
-                    );
+    let mut native1_ms: Vec<f64> = Vec::new();
+    let mut native4_ms: Vec<f64> = Vec::new();
+    let mut samples: Vec<Samples> = modes.iter().map(|_| Samples::default()).collect();
+    // Scheduler noise is one-sided (preemption only ever adds time), so
+    // each per-round sample is the min of `inner` back-to-back runs —
+    // taken inside the round's short window, where min filters spikes
+    // without the cross-session drift that a global min suffers from.
+    let inner: usize = std::env::var("DRGPUM_INNER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    // Round 0 is a discarded warmup (page cache, allocator pools); the
+    // byte-identity asserts still run on it.
+    for round in 0..=runs {
+        let warmup = round == 0;
+        let n1 = (0..inner)
+            .map(|_| native_once(&spec, &platform, 1))
+            .min()
+            .expect("inner >= 1");
+        let n4 = (0..inner)
+            .map(|_| native_once(&spec, &platform, 4))
+            .min()
+            .expect("inner >= 1");
+        if !warmup {
+            native1_ms.push(n1.as_secs_f64() * 1e3);
+            native4_ms.push(n4.as_secs_f64() * 1e3);
+        }
+        for (mode, sample) in modes.iter().zip(samples.iter_mut()) {
+            let mut round_best: Option<(Duration, PhaseTimings)> = None;
+            for _ in 0..inner {
+                let (elapsed, report, trace, phases) =
+                    profiled_once(&spec, &platform, &mode.options, mode.workers);
+                if round_best
+                    .as_ref()
+                    .map(|(b, _)| elapsed < *b)
+                    .unwrap_or(true)
+                {
+                    round_best = Some((elapsed, phases));
+                }
+                let text = report.render_text();
+                match &baseline {
+                    None => baseline = Some((text, trace)),
+                    Some((base_text, base_trace)) => {
+                        assert_eq!(
+                            &text, base_text,
+                            "report text diverged from slow-path baseline in mode `{}`",
+                            mode.name
+                        );
+                        assert_eq!(
+                            &trace, base_trace,
+                            "trace v2 bytes diverged from slow-path baseline in mode `{}`",
+                            mode.name
+                        );
+                    }
                 }
             }
+            if warmup {
+                continue;
+            }
+            let (elapsed, phases) = round_best.expect("inner >= 1");
+            // Overhead is the *paired* difference against the native run
+            // of the same round and worker count: pairing cancels load
+            // drift, and matching worker counts keeps execution
+            // parallelism from masquerading as a cheaper pipeline.
+            let native_same = if mode.workers == 4 { n4 } else { n1 };
+            sample
+                .overhead_ms
+                .push((elapsed.as_secs_f64() - native_same.as_secs_f64()).max(0.0) * 1e3);
+            sample.wall_ms.push(elapsed.as_secs_f64() * 1e3);
+            if sample
+                .best
+                .as_ref()
+                .map(|(b, _)| elapsed < *b)
+                .unwrap_or(true)
+            {
+                sample.best = Some((elapsed, phases));
+            }
         }
-        let best = best.expect("at least one run");
-        overheads.push((name, best.saturating_sub(native)));
     }
 
+    let native_ms = median(&mut native1_ms.clone());
+    let native4_med_ms = median(&mut native4_ms.clone());
+    let mut measured: Vec<Measured> = Vec::new();
+    for (mode, sample) in modes.iter().zip(samples.iter_mut()) {
+        let (_, phases) = sample.best.expect("at least one round");
+        measured.push(Measured {
+            name: mode.name,
+            workers: mode.workers,
+            slow_path: mode.options.slow_path,
+            wall_ms: median(&mut sample.wall_ms),
+            overhead_ms: median(&mut sample.overhead_ms),
+            phases,
+        });
+    }
+
+    let by_name = |n: &str| {
+        measured
+            .iter()
+            .find(|m| m.name == n)
+            .unwrap_or_else(|| panic!("mode `{n}` measured"))
+    };
+    let slow_serial = by_name("slow-path serial");
+    let slow_sc = by_name("slow-path sharded+coalesced");
+    let fast_serial = by_name("serial");
+    let fast_sc = by_name("sharded+coalesced");
+
+    println!("native run (1 worker): {native_ms:>10.3} ms");
+    println!("native run (4 workers):{native4_med_ms:>10.3} ms");
+    let slow_overhead_ms = slow_serial.overhead_ms;
     println!(
-        "native run (1 worker): {:>10.3} ms",
-        native.as_secs_f64() * 1e3
+        "{:<28} {:>12} {:>9} {:>9} {:>9} {:>9}",
+        "mode", "overhead", "speedup", "resolve", "aggr", "flush"
     );
-    println!(
-        "native run (4 workers):{:>10.3} ms",
-        native_w4.as_secs_f64() * 1e3
-    );
-    let serial_overhead = overheads[0].1;
-    println!("{:<28} {:>12} {:>10}", "mode", "overhead", "speedup");
-    println!("{}", "-".repeat(52));
+    println!("{}", "-".repeat(82));
     let mut mode_json = Vec::new();
-    for (name, overhead) in &overheads {
-        let speedup = serial_overhead.as_secs_f64() / overhead.as_secs_f64().max(1e-9);
+    for m in &measured {
+        let speedup = slow_overhead_ms / m.overhead_ms.max(1e-6);
         println!(
-            "{:<28} {:>9.3} ms {:>9.2}x",
-            name,
-            overhead.as_secs_f64() * 1e3,
-            speedup
+            "{:<28} {:>9.3} ms {:>8.2}x {:>6.2} ms {:>6.2} ms {:>6.2} ms",
+            m.name,
+            m.overhead_ms,
+            speedup,
+            m.phases.resolve_ns as f64 / 1e6,
+            m.phases.aggregate_ns as f64 / 1e6,
+            m.phases.flush_ns as f64 / 1e6,
         );
         mode_json.push(serde_json::json!({
-            "mode": name,
-            "overhead_ms": overhead.as_secs_f64() * 1e3,
-            "overhead_speedup_vs_serial": speedup,
+            "mode": m.name,
+            "workers": m.workers,
+            "slow_path": m.slow_path,
+            "wall_ms": m.wall_ms,
+            "overhead_ms": m.overhead_ms,
+            "overhead_speedup_vs_slow_serial": speedup,
+            "phases": {
+                "resolve_ns": m.phases.resolve_ns,
+                "aggregate_ns": m.phases.aggregate_ns,
+                "flush_ns": m.phases.flush_ns,
+            },
         }));
     }
-    println!("\nreports and traces: byte-identical across all modes and worker counts");
+    println!("\nreports and traces: byte-identical across slow/fast paths, modes, worker counts");
 
-    let combined = overheads
-        .iter()
-        .find(|(n, _)| *n == "sharded+coalesced")
-        .expect("mode present")
-        .1;
-    let collect_speedup = serial_overhead.as_secs_f64() / combined.as_secs_f64().max(1e-9);
-    assert!(
-        collect_speedup >= 2.0,
-        "sharded+coalesced must cut profiling overhead by at least 2x \
-         (got {collect_speedup:.2}x: serial {:?} vs sharded+coalesced {:?})",
-        serial_overhead,
-        combined
-    );
-    println!("sharded+coalesced overhead speedup: {collect_speedup:.2}x (>= 2x required)");
-
-    let exec_speedup = native.as_secs_f64() / native_w4.as_secs_f64().max(1e-9);
-    let enforce_exec = cores >= 4;
-    println!(
-        "4-worker end-to-end speedup: {exec_speedup:.2}x ({})",
-        if enforce_exec {
-            ">= 1.8x required"
-        } else {
-            "not enforced: fewer than 4 cores"
+    let ratio = |num: f64, den: f64| num / den.max(1e-6);
+    let checks = vec![
+        Check {
+            name: "fastpath_overhead_speedup",
+            value: ratio(slow_sc.overhead_ms, fast_sc.overhead_ms),
+            threshold: 1.5,
+            enforced: true,
+            skipped_reason: None,
+        },
+        Check {
+            name: "sharded_coalesced_speedup_vs_serial",
+            value: ratio(fast_serial.overhead_ms, fast_sc.overhead_ms),
+            threshold: 2.0,
+            enforced: cores >= 2,
+            skipped_reason: (cores < 2).then(|| {
+                format!("host has {cores} core(s); sharded aggregation needs 2+ to be enforced")
+            }),
+        },
+        Check {
+            name: "exec_speedup_workers4",
+            value: ratio(native_ms, native4_med_ms),
+            threshold: 1.8,
+            enforced: cores >= 4,
+            skipped_reason: (cores < 4).then(|| {
+                format!("host has {cores} core(s); 4-worker execution needs 4+ to be enforced")
+            }),
+        },
+    ];
+    for c in &checks {
+        match &c.skipped_reason {
+            None => println!(
+                "check {}: {:.2}x (>= {:.1}x required)",
+                c.name, c.value, c.threshold
+            ),
+            Some(reason) => println!(
+                "check {}: {:.2}x recorded, NOT enforced — {reason}",
+                c.name, c.value
+            ),
         }
-    );
+    }
 
     let out = serde_json::json!({
         "bench": "overhead",
@@ -196,30 +377,37 @@ fn main() {
         "runs": runs,
         "host_cores": cores,
         "collector_shards": shards,
-        "native_ms_workers1": native.as_secs_f64() * 1e3,
-        "native_ms_workers4": native_w4.as_secs_f64() * 1e3,
-        "exec_speedup_workers4": exec_speedup,
-        "exec_speedup_enforced": enforce_exec,
-        "collection_overhead_speedup": collect_speedup,
+        "native_ms_workers1": native_ms,
+        "native_ms_workers4": native4_med_ms,
         "byte_identical_across_modes_and_workers": true,
         "modes": mode_json,
+        "checks": checks.iter().map(|c| serde_json::json!({
+            "check": c.name,
+            "value": c.value,
+            "threshold": c.threshold,
+            "enforced": c.enforced,
+            "skipped_reason": c.skipped_reason,
+        })).collect::<Vec<_>>(),
     });
     std::fs::create_dir_all("results").expect("create results dir");
     std::fs::write(
-        "results/BENCH_3.json",
+        "results/BENCH_5.json",
         serde_json::to_string_pretty(&out).expect("serialize"),
     )
-    .expect("write results/BENCH_3.json");
-    println!("wrote results/BENCH_3.json");
+    .expect("write results/BENCH_5.json");
+    println!("wrote results/BENCH_5.json");
 
-    if enforce_exec {
-        assert!(
-            exec_speedup >= 1.8,
-            "4 kernel workers must yield at least a 1.8x end-to-end speedup on \
-             {} (got {exec_speedup:.2}x: {:?} vs {:?})",
-            spec.name,
-            native,
-            native_w4
-        );
+    // Gates are enforced only after the artifact is on disk, so a failing
+    // run still leaves the numbers behind for inspection.
+    for c in &checks {
+        if c.enforced {
+            assert!(
+                c.value >= c.threshold,
+                "check `{}` below threshold: got {:.2}x, need >= {:.1}x",
+                c.name,
+                c.value,
+                c.threshold
+            );
+        }
     }
 }

@@ -16,7 +16,7 @@
 
 pub mod timing;
 
-use drgpum_core::{AnalysisLevel, Profiler, ProfilerOptions, Report, SamplingPolicy};
+use drgpum_core::{AnalysisLevel, PhaseTimings, Profiler, ProfilerOptions, Report, SamplingPolicy};
 use drgpum_workloads::common::{RunOutcome, Variant};
 use drgpum_workloads::registry::{RunConfig, WorkloadSpec};
 use gpu_sim::{DeviceContext, PlatformConfig};
@@ -94,9 +94,27 @@ pub fn profile_with_options(
 pub fn profile_in_ctx(
     spec: &WorkloadSpec,
     variant: Variant,
+    options: ProfilerOptions,
+    ctx: DeviceContext,
+) -> (Report, String, RunOutcome, Duration) {
+    let (report, trace, outcome, elapsed, _) = profile_in_ctx_timed(spec, variant, options, ctx);
+    (report, trace, outcome, elapsed)
+}
+
+/// Like [`profile_in_ctx`], additionally returning the collector's
+/// cumulative hot-path [`PhaseTimings`] (resolve / aggregate / flush) —
+/// the overhead bench's per-phase breakdown.
+///
+/// # Panics
+///
+/// Panics if the workload itself fails (a workload bug, not a profiler
+/// condition).
+pub fn profile_in_ctx_timed(
+    spec: &WorkloadSpec,
+    variant: Variant,
     mut options: ProfilerOptions,
     mut ctx: DeviceContext,
-) -> (Report, String, RunOutcome, Duration) {
+) -> (Report, String, RunOutcome, Duration, PhaseTimings) {
     if let Some(elem) = spec.elem_size_hint {
         options.elem_size = elem;
     }
@@ -114,12 +132,15 @@ pub fn profile_in_ctx(
     let outcome = (spec.run)(&mut ctx, variant, &cfg)
         .unwrap_or_else(|e| panic!("workload {} failed: {e}", spec.name));
     let elapsed = start.elapsed();
-    let trace = {
+    let (trace, phases) = {
         let collector = profiler.collector();
         let collector = collector.lock();
-        drgpum_core::trace_io::save(&collector, ctx.call_stack().table(), "rtx3090").to_text()
+        (
+            drgpum_core::trace_io::save(&collector, ctx.call_stack().table(), "rtx3090").to_text(),
+            collector.phase_timings(),
+        )
     };
-    (profiler.report(&ctx), trace, outcome, elapsed)
+    (profiler.report(&ctx), trace, outcome, elapsed, phases)
 }
 
 /// Convenience: profile with the paper's defaults (intra-object analysis,

@@ -290,39 +290,44 @@ impl RangeSet {
         if start >= end {
             return;
         }
-        // Find the insertion window of intervals that touch [start, end).
+        // Access streams arrive overwhelmingly in ascending offset order,
+        // so the common case touches at most the last stored interval —
+        // O(1), no shifting.
+        match self.ranges.last_mut() {
+            None => {
+                self.ranges.push((start, end));
+                return;
+            }
+            Some(&mut (last_s, ref mut last_e)) if start >= last_s => {
+                if start > *last_e {
+                    self.ranges.push((start, end));
+                } else if end > *last_e {
+                    *last_e = end;
+                }
+                return;
+            }
+            _ => {}
+        }
+        // General case: binary-search the first interval whose end reaches
+        // `start`, then absorb everything touching `[start, end)`.
+        let first = self.ranges.partition_point(|&(_, e)| e < start);
         let mut new_start = start;
         let mut new_end = end;
-        let mut i = 0;
-        let mut remove_from = None;
-        let mut remove_to = 0;
-        while i < self.ranges.len() {
-            let (s, e) = self.ranges[i];
-            if e < new_start {
-                i += 1;
-                continue;
-            }
+        let mut to = first;
+        while to < self.ranges.len() {
+            let (s, e) = self.ranges[to];
             if s > new_end {
                 break;
             }
-            // Touching or overlapping: absorb.
             new_start = new_start.min(s);
             new_end = new_end.max(e);
-            if remove_from.is_none() {
-                remove_from = Some(i);
-            }
-            remove_to = i + 1;
-            i += 1;
+            to += 1;
         }
-        match remove_from {
-            Some(from) => {
-                self.ranges.drain(from..remove_to);
-                self.ranges.insert(from, (new_start, new_end));
-            }
-            None => {
-                let pos = self.ranges.partition_point(|&(s, _)| s < new_start);
-                self.ranges.insert(pos, (new_start, new_end));
-            }
+        if to == first {
+            self.ranges.insert(first, (new_start, new_end));
+        } else {
+            self.ranges[first] = (new_start, new_end);
+            self.ranges.drain(first + 1..to);
         }
     }
 
@@ -332,10 +337,45 @@ impl RangeSet {
     /// maps this merge cannot mismatch. The result is canonical (sorted,
     /// non-overlapping, non-adjacent) regardless of merge order, which is
     /// what makes the sharded collector's output order-independent.
+    ///
+    /// A single two-pointer sweep over both sorted lists — O(n + m) where
+    /// per-interval `insert` was O(n·m) with a `Vec::drain` per overlap.
     pub fn merge(&mut self, other: &RangeSet) {
-        for &(s, e) in &other.ranges {
-            self.insert(s, e);
+        if other.ranges.is_empty() {
+            return;
         }
+        if self.ranges.is_empty() {
+            self.ranges.clone_from(&other.ranges);
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        let (mut i, mut j) = (0, 0);
+        let mut cur: Option<(u64, u64)> = None;
+        while i < self.ranges.len() || j < other.ranges.len() {
+            let take_self = j >= other.ranges.len()
+                || (i < self.ranges.len() && self.ranges[i].0 <= other.ranges[j].0);
+            let (s, e) = if take_self {
+                i += 1;
+                self.ranges[i - 1]
+            } else {
+                j += 1;
+                other.ranges[j - 1]
+            };
+            match &mut cur {
+                // Touching or overlapping the open interval: absorb.
+                Some((_, ce)) if s <= *ce => *ce = (*ce).max(e),
+                _ => {
+                    if let Some(done) = cur.take() {
+                        out.push(done);
+                    }
+                    cur = Some((s, e));
+                }
+            }
+        }
+        if let Some(done) = cur {
+            out.push(done);
+        }
+        self.ranges = out;
     }
 
     /// The merged intervals, sorted.
@@ -438,9 +478,16 @@ impl FreqMap {
             return;
         }
         let first = (offset / u64::from(self.elem_size)) as usize;
-        let last = ((offset + u64::from(size) - 1) / u64::from(self.elem_size)) as usize;
-        for i in first..=last.min(self.counts.len() - 1) {
-            self.counts[i] = self.counts[i].saturating_add(1);
+        if first >= self.counts.len() {
+            return;
+        }
+        let last = (((offset + u64::from(size) - 1) / u64::from(self.elem_size)) as usize)
+            .min(self.counts.len() - 1);
+        // Slice iteration instead of per-index bounds checks: coalesced
+        // records can span thousands of elements, making this the inner
+        // loop of frequency collection.
+        for c in &mut self.counts[first..=last] {
+            *c = c.saturating_add(1);
         }
     }
 
@@ -890,6 +937,30 @@ mod tests {
                     sequential.counts(),
                     "trial {trial}: sharded merge must equal sequential aggregation"
                 );
+            }
+        }
+
+        #[test]
+        fn rangeset_two_pointer_merge_matches_sequential_inserts() {
+            let mut rng = SplitMix64::new(0x2B01_57E9);
+            for trial in 0..100 {
+                let mut a = RangeSet::new();
+                let mut b = RangeSet::new();
+                for _ in 0..rng.next_below(20) {
+                    let s = rng.next_below(400);
+                    a.insert(s, s + 1 + rng.next_below(50));
+                }
+                for _ in 0..rng.next_below(20) {
+                    let s = rng.next_below(400);
+                    b.insert(s, s + 1 + rng.next_below(50));
+                }
+                let mut merged = a.clone();
+                merged.merge(&b);
+                let mut expected = a.clone();
+                for &(s, e) in b.ranges() {
+                    expected.insert(s, e);
+                }
+                assert_eq!(merged, expected, "trial {trial}");
             }
         }
 

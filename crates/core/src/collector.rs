@@ -18,7 +18,7 @@ use crate::accessmap::{AccessBitmap, FreqMap, RangeSet};
 use crate::depgraph::VertexAccess;
 use crate::error::ProfilerError;
 use crate::governor::{CollectionRung, ResourceBudget, SessionGovernor};
-use crate::object::{ObjectId, ObjectRegistry, ObjectSource};
+use crate::object::{ObjectId, ObjectRegistry, ObjectSource, ResolveCache};
 use crate::options::{AnalysisLevel, ProfilerOptions};
 use crate::patterns::intra::IntraObjectData;
 use crate::patterns::unified::UnifiedPageStats;
@@ -36,7 +36,42 @@ use gpu_sim::{
     AccessKind, AddrRange, ApiEvent, ApiKind, CallPath, DevicePtr, FrameId, SimError, SourceLoc,
     StreamId,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Cumulative wall-clock time the collector spent in each hot-path phase.
+///
+/// `resolve` is address→object resolution (pass 1 of the serial fast path,
+/// phase A of the sharded path), `aggregate` is per-object map updates
+/// (pass 2 / phase B), `flush` is kernel-end finalization (scratch drain,
+/// per-API range publication, frequency-peak comparison). Maintained with
+/// two clock reads per flushed buffer plus one per kernel — far below
+/// measurement noise — and surfaced by the overhead bench's per-phase
+/// breakdown. Timings never feed reports or traces.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTimings {
+    /// Nanoseconds resolving addresses against the memory map.
+    pub resolve_ns: u64,
+    /// Nanoseconds updating per-object aggregation state.
+    pub aggregate_ns: u64,
+    /// Nanoseconds finalizing kernels (drain/merge/publish).
+    pub flush_ns: u64,
+}
+
+/// Per-kernel per-object flags, held in a dense table indexed by object id
+/// (ids are allocated sequentially, so the table stays small and the hot
+/// path never hashes). Cleared by walking the touched list, not the table.
+mod kernel_flags {
+    /// Object was touched by the current kernel (it is on the touched list).
+    pub const SEEN: u8 = 1 << 0;
+    /// At least one read reached the object this kernel.
+    pub const READ: u8 = 1 << 1;
+    /// At least one write reached the object this kernel.
+    pub const WRITE: u8 = 1 << 2;
+    /// Intra-object maps were updated for the object this kernel.
+    pub const INTRA: u8 = 1 << 3;
+}
 
 /// One GPU API in the collector's trace (pattern-relevant kinds only).
 #[derive(Debug, Clone)]
@@ -150,11 +185,13 @@ fn shard_of(object: ObjectId, shards: usize) -> usize {
     (object.0 % shards as u64) as usize
 }
 
-/// Resolves a device address to the innermost containing object and the
-/// offset within it. Free function so shard workers can share the registry
-/// without borrowing the whole collector.
-fn resolve_in(registry: &ObjectRegistry, addr: DevicePtr) -> Option<(ObjectId, u64)> {
-    let id = registry.resolve(addr)?;
+/// Slow-path resolution: the pre-epoch-index descending `BTreeMap` walk,
+/// one per record, with no caching. Free function so shard workers can
+/// share the registry without borrowing the whole collector. Only the
+/// `slow_path` baseline hook routes through here; the fast path uses
+/// [`ObjectRegistry::resolve_cached`].
+fn resolve_in_slow(registry: &ObjectRegistry, addr: DevicePtr) -> Option<(ObjectId, u64)> {
+    let id = registry.resolve_slow(addr)?;
     let base = registry.get(id)?.range.start;
     Some((id, addr.offset_from(base)))
 }
@@ -166,6 +203,11 @@ const RESOLVE_CHUNK: usize = 1024;
 /// on the calling thread (still through the shard scratch, so the merged
 /// result is identical).
 const PARALLEL_THRESHOLD: usize = 2048;
+
+/// Memo table from a shared frame list to its rendered call path: the
+/// frames are hash-consed `Arc<str>`s, so identical paths share every
+/// rendered location by refcount.
+type CallPathMemo = HashMap<Arc<[FrameId]>, Arc<[Arc<str>]>>;
 
 /// The online data collector. Register it with
 /// [`gpu_sim::Sanitizer::register`] (and, for pool workloads, with
@@ -179,11 +221,19 @@ pub struct Collector {
     accesses: Vec<RawAccess>,
     usage: Vec<UsageSample>,
     in_use_bytes: u64,
-    intra: HashMap<ObjectId, IntraState>,
+    /// Intra-object state, dense by object id (`intra[id]`). Object ids are
+    /// allocated sequentially by the registry, so indexing replaces hashing
+    /// on the per-record hot path; iteration in index order is iteration in
+    /// object-id order, which the reporting paths require anyway.
+    intra: Vec<Option<IntraState>>,
     /// State of the kernel currently executing.
     current_mode: PatchMode,
-    current_objects: HashMap<ObjectId, (bool, bool)>,
-    current_touched_intra: HashSet<ObjectId>,
+    /// Per-object flags for the current kernel, dense by object id (see
+    /// [`kernel_flags`]). Only entries named by `kernel_touched` are live;
+    /// everything else is zero.
+    kernel_flag_table: Vec<u8>,
+    /// Objects touched by the current kernel, in first-touch order.
+    kernel_touched: Vec<ObjectId>,
     mode_decisions: Vec<ModeDecision>,
     /// Last GPU-API trace index seen per stream (for event edges).
     last_api_on_stream: HashMap<u32, usize>,
@@ -212,9 +262,25 @@ pub struct Collector {
     /// Mirror of the context-owned frame table (`FrameId.0` → rendered
     /// location), fed by [`SanitizerHooks::on_frame`]; lets the streaming
     /// writer resolve call paths without access to the [`gpu_sim::FrameTable`].
-    frame_mirror: Vec<String>,
+    /// Frames are hash-consed `Arc<str>`s: each location is rendered once
+    /// and every resolved call path shares it by refcount.
+    frame_mirror: Vec<Arc<str>>,
+    /// Memoized call-path renderings keyed by the shared frame list:
+    /// identical paths (the common case — most APIs are invoked from a
+    /// handful of sites) are resolved once per session. Invalidated if a
+    /// mirrored frame is ever re-rendered differently.
+    call_path_memo: parking_lot::Mutex<CallPathMemo>,
     /// Crash-consistent streaming-trace state, when `--stream-trace` is on.
     stream: Option<StreamState>,
+    /// Per-resolver-thread last-hit cache for the serial hot path (shard
+    /// workers carry stack-local caches instead). Epoch-validated: any
+    /// alloc/free since the fill forces a re-search.
+    resolve_cache: ResolveCache,
+    /// Reused scratch for the per-buffer resolve pass — one allocation per
+    /// session instead of one per flushed buffer.
+    resolved_scratch: Vec<Option<(ObjectId, u64)>>,
+    /// Cumulative hot-path phase timings (resolve / aggregate / flush).
+    phase: PhaseTimings,
 }
 
 impl Collector {
@@ -230,10 +296,10 @@ impl Collector {
             accesses: Vec::new(),
             usage: Vec::new(),
             in_use_bytes: 0,
-            intra: HashMap::new(),
+            intra: Vec::new(),
             current_mode: PatchMode::None,
-            current_objects: HashMap::new(),
-            current_touched_intra: HashSet::new(),
+            kernel_flag_table: Vec::new(),
+            kernel_touched: Vec::new(),
             mode_decisions: Vec::new(),
             last_api_on_stream: HashMap::new(),
             event_record_points: HashMap::new(),
@@ -245,7 +311,11 @@ impl Collector {
             shard_scratch: Vec::new(),
             governor,
             frame_mirror: Vec::new(),
+            call_path_memo: parking_lot::Mutex::new(HashMap::new()),
             stream: None,
+            resolve_cache: ResolveCache::new(),
+            resolved_scratch: Vec::new(),
+            phase: PhaseTimings::default(),
         }
     }
 
@@ -291,8 +361,16 @@ impl Collector {
     /// Resolves a call path against the frame mirror, innermost-first —
     /// the same rendering [`crate::trace_io::save`] produces from the
     /// context-owned frame table.
-    pub(crate) fn resolve_call_path(&self, path: &CallPath) -> Vec<String> {
-        path.frames()
+    ///
+    /// Memoized on the shared frame list: most APIs are invoked from a
+    /// handful of sites, so identical paths render once per session and
+    /// every later resolution is one map hit returning shared `Arc`s.
+    pub(crate) fn resolve_call_path(&self, path: &CallPath) -> Arc<[Arc<str>]> {
+        if let Some(hit) = self.call_path_memo.lock().get(path.frames()) {
+            return hit.clone();
+        }
+        let rendered: Arc<[Arc<str>]> = path
+            .frames()
             .iter()
             .rev()
             .map(|id| {
@@ -300,9 +378,13 @@ impl Collector {
                     .get(id.0 as usize)
                     .filter(|s| !s.is_empty())
                     .cloned()
-                    .unwrap_or_else(|| format!("<unknown frame {}>", id.0))
+                    .unwrap_or_else(|| Arc::from(format!("<unknown frame {}>", id.0)))
             })
-            .collect()
+            .collect();
+        self.call_path_memo
+            .lock()
+            .insert(path.frames_shared(), rendered.clone());
+        rendered
     }
 
     /// The options this collector runs with.
@@ -330,11 +412,18 @@ impl Collector {
         &self.usage
     }
 
-    /// Intra-object data for every monitored object.
+    /// Intra-object data for every monitored object, in object-id order
+    /// (the dense table's natural order).
     pub fn intra_data(&self) -> Vec<&IntraObjectData> {
-        let mut v: Vec<&IntraObjectData> = self.intra.values().map(|s| &s.data).collect();
-        v.sort_by_key(|d| d.object);
-        v
+        self.intra
+            .iter()
+            .filter_map(|s| s.as_ref().map(|st| &st.data))
+            .collect()
+    }
+
+    /// Cumulative hot-path phase timings (resolve / aggregate / flush).
+    pub fn phase_timings(&self) -> PhaseTimings {
+        self.phase
     }
 
     /// Adaptive map-placement decisions (one per fully-patched kernel).
@@ -441,16 +530,52 @@ impl Collector {
             .unwrap_or(false)
     }
 
+    /// The dense intra-state slot for `object`, growing the table on first
+    /// touch of a new id. Associated function over the field so callers can
+    /// hold the slot alongside borrows of other collector fields.
+    fn intra_slot_in(
+        intra: &mut Vec<Option<IntraState>>,
+        object: ObjectId,
+    ) -> &mut Option<IntraState> {
+        let idx = object.0 as usize;
+        if intra.len() <= idx {
+            intra.resize_with(idx + 1, || None);
+        }
+        &mut intra[idx]
+    }
+
     fn intra_state(&mut self, object: ObjectId) -> Option<&mut IntraState> {
         if !self.monitors_intra(object) {
             return None;
         }
         let size = self.registry.get(object)?.size();
         Some(
-            self.intra
-                .entry(object)
-                .or_insert_with(|| IntraState::new(object, size)),
+            Self::intra_slot_in(&mut self.intra, object)
+                .get_or_insert_with(|| IntraState::new(object, size)),
         )
+    }
+
+    /// Marks `object` as touched by the current kernel and ORs `flags` into
+    /// its per-kernel flag byte, returning the previous flags.
+    fn touch_kernel_flags(&mut self, object: ObjectId, flags: u8) -> u8 {
+        let idx = object.0 as usize;
+        if self.kernel_flag_table.len() <= idx {
+            self.kernel_flag_table.resize(idx + 1, 0);
+        }
+        let prev = self.kernel_flag_table[idx];
+        if prev & kernel_flags::SEEN == 0 {
+            self.kernel_touched.push(object);
+        }
+        self.kernel_flag_table[idx] = prev | kernel_flags::SEEN | flags;
+        prev
+    }
+
+    /// Resets per-kernel state by walking the touched list (the flag table
+    /// itself is dense and stays allocated).
+    fn clear_kernel_state(&mut self) {
+        for obj in self.kernel_touched.drain(..) {
+            self.kernel_flag_table[obj.0 as usize] = 0;
+        }
     }
 
     /// Re-meters one intra-object state against the governor: charges (or
@@ -499,14 +624,43 @@ impl Collector {
                 );
             }
         }
-        if let Some(st) = self.intra.get_mut(&object) {
+        if let Some(st) = self
+            .intra
+            .get_mut(object.0 as usize)
+            .and_then(Option::as_mut)
+        {
             Self::remeter_intra(&mut self.governor, st);
         }
     }
 
-    /// Resolves a device range to the innermost containing object.
-    fn resolve_range(&self, start: DevicePtr, _len: u64) -> Option<(ObjectId, u64)> {
-        resolve_in(&self.registry, start)
+    /// Attributes a byte-span access (memcpy/memset — the Sanitizer reports
+    /// the accessed range directly, paper footnote 4) to every live object
+    /// the span covers. A span crossing an object's end is split at the
+    /// boundary, so accesses are never silently attributed past the first
+    /// byte's object; bytes covered by no object stay unattributed, exactly
+    /// as a fully-unresolved span always did.
+    fn range_access(
+        &mut self,
+        api_idx: usize,
+        start: DevicePtr,
+        len: u64,
+        read: bool,
+        write: bool,
+        via: AccessVia,
+    ) {
+        let segments = self.registry.resolve_span(start, len);
+        // Around a nested pool tensor the enclosing slab contributes one
+        // segment per side: attribute the object-level access once.
+        let mut noted: Vec<ObjectId> = Vec::with_capacity(segments.len());
+        for s in &segments {
+            if !noted.contains(&s.object) {
+                noted.push(s.object);
+                self.note_access(api_idx, s.object, read, write, via);
+            }
+        }
+        for s in &segments {
+            self.intra_range_access(api_idx, s.object, s.offset, s.len);
+        }
     }
 
     /// Parallel-mode record aggregation: resolves the buffer against the
@@ -520,44 +674,64 @@ impl Collector {
         }
         let elem_size = self.opts.elem_size.max(1);
         let monitor_intra = self.opts.analysis == AnalysisLevel::IntraObject;
+        let slow = self.opts.slow_path;
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
         let registry = &self.registry;
         let small = records.len() < PARALLEL_THRESHOLD;
 
         // Phase A: resolve every record to (object, offset). Workers claim
         // fixed-size chunks from a shared cursor (dynamic load balancing —
         // resolution cost varies with map depth) and scatter results back
-        // under the output lock.
-        let resolved: Vec<Option<(ObjectId, u64)>> = if small {
-            records
-                .iter()
-                .map(|r| resolve_in(registry, r.addr))
-                .collect()
+        // under the output lock. Each worker carries its own last-hit cache:
+        // the registry cannot change mid-buffer, so cache hits are pure.
+        let t_resolve = Instant::now();
+        resolved.clear();
+        if small {
+            let mut cache = ResolveCache::new();
+            resolved.extend(records.iter().map(|r| {
+                if slow {
+                    resolve_in_slow(registry, r.addr)
+                } else {
+                    registry.resolve_cached(r.addr, &mut cache)
+                }
+            }));
         } else {
-            let out = parking_lot::Mutex::new(vec![None; records.len()]);
+            resolved.resize(records.len(), None);
+            let out = parking_lot::Mutex::new(std::mem::take(&mut resolved));
             let cursor = parking_lot::Mutex::new(0usize);
             std::thread::scope(|s| {
                 for _ in 0..shards {
-                    s.spawn(|| loop {
-                        let start = {
-                            let mut c = cursor.lock();
-                            let claimed = *c;
-                            *c = (claimed + RESOLVE_CHUNK).min(records.len());
-                            claimed
-                        };
-                        if start >= records.len() {
-                            break;
+                    s.spawn(|| {
+                        let mut cache = ResolveCache::new();
+                        loop {
+                            let start = {
+                                let mut c = cursor.lock();
+                                let claimed = *c;
+                                *c = (claimed + RESOLVE_CHUNK).min(records.len());
+                                claimed
+                            };
+                            if start >= records.len() {
+                                break;
+                            }
+                            let end = (start + RESOLVE_CHUNK).min(records.len());
+                            let local: Vec<Option<(ObjectId, u64)>> = records[start..end]
+                                .iter()
+                                .map(|r| {
+                                    if slow {
+                                        resolve_in_slow(registry, r.addr)
+                                    } else {
+                                        registry.resolve_cached(r.addr, &mut cache)
+                                    }
+                                })
+                                .collect();
+                            out.lock()[start..end].copy_from_slice(&local);
                         }
-                        let end = (start + RESOLVE_CHUNK).min(records.len());
-                        let local: Vec<Option<(ObjectId, u64)>> = records[start..end]
-                            .iter()
-                            .map(|r| resolve_in(registry, r.addr))
-                            .collect();
-                        out.lock()[start..end].copy_from_slice(&local);
                     });
                 }
             });
-            out.into_inner()
-        };
+            resolved = out.into_inner();
+        }
+        self.phase.resolve_ns += t_resolve.elapsed().as_nanos() as u64;
 
         // Phase B: per-shard aggregation. Each worker owns its scratch map
         // exclusively (`iter_mut` hands out disjoint `&mut`), so no locking
@@ -595,6 +769,7 @@ impl Collector {
                 }
             }
         };
+        let t_aggregate = Instant::now();
         if small {
             for (shard_id, map) in self.shard_scratch.iter_mut().enumerate() {
                 aggregate(shard_id, map);
@@ -607,6 +782,140 @@ impl Collector {
                 }
             });
         }
+        self.phase.aggregate_ns += t_aggregate.elapsed().as_nanos() as u64;
+        self.resolved_scratch = resolved;
+        self.resolved_scratch.clear();
+    }
+
+    /// The pre-overhaul serial hot path, preserved behind the `slow_path`
+    /// hook: per-record `BTreeMap` resolution, per-record map updates, and
+    /// per-record governor remetering. The determinism suite pins the fast
+    /// path against baselines collected through here, and the overhead
+    /// bench measures (and enforces) the speedup over it.
+    fn serial_buffer_slow(&mut self, records: &[MemAccessRecord]) {
+        let elem_size = self.opts.elem_size.max(1);
+        // Frequency analytics are shed on the coalesced-only rung and below.
+        let keep_freq = self.governor.rung() < CollectionRung::CoalescedOnly;
+        let t0 = Instant::now();
+        for r in records {
+            let Some((obj, off)) = resolve_in_slow(&self.registry, r.addr) else {
+                continue;
+            };
+            let kind_flag = match r.kind {
+                AccessKind::Read => kernel_flags::READ,
+                AccessKind::Write => kernel_flags::WRITE,
+            };
+            self.touch_kernel_flags(obj, kind_flag);
+            if self.monitors_intra(obj) {
+                let size = self.registry.get(obj).map(|o| o.size()).unwrap_or_default();
+                let st = Self::intra_slot_in(&mut self.intra, obj)
+                    .get_or_insert_with(|| IntraState::new(obj, size));
+                st.data.bitmap.set_range(off, off + u64::from(r.size));
+                st.current_ranges.insert(off, off + u64::from(r.size));
+                if keep_freq {
+                    // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
+                    // created at the kernel's first touch of the object.
+                    let freq = st.freq.get_or_insert_with(|| FreqMap::new(size, elem_size));
+                    freq.record(off, r.size);
+                    st.data
+                        .lifetime_freq
+                        .get_or_insert_with(|| FreqMap::new(size, elem_size))
+                        .record(off, r.size);
+                }
+                Self::remeter_intra(&mut self.governor, st);
+                self.touch_kernel_flags(obj, kernel_flags::INTRA);
+            }
+        }
+        self.phase.aggregate_ns += t0.elapsed().as_nanos() as u64;
+    }
+
+    /// The overhauled serial hot path: a resolve pass over the whole buffer
+    /// through the epoch-snapshot index and per-thread last-hit cache, then
+    /// an aggregate pass that batches runs of consecutive same-object
+    /// records so dense-table lookups happen once per run, with governor
+    /// remetering deferred to the end of the buffer. Byte-identical to
+    /// [`Collector::serial_buffer_slow`]: per-object update order is buffer
+    /// order in both, and the governor's metered footprint is only read at
+    /// end-of-API / kernel-end boundaries, which always come after the
+    /// flush that delivered these records.
+    fn serial_buffer_fast(&mut self, records: &[MemAccessRecord]) {
+        // Pass 1: resolve. The registry cannot change mid-buffer, so every
+        // cache hit is exactly the search it elides.
+        let t_resolve = Instant::now();
+        let mut resolved = std::mem::take(&mut self.resolved_scratch);
+        resolved.clear();
+        resolved.reserve(records.len());
+        let mut cache = self.resolve_cache;
+        for r in records {
+            resolved.push(self.registry.resolve_cached(r.addr, &mut cache));
+        }
+        self.resolve_cache = cache;
+        self.phase.resolve_ns += t_resolve.elapsed().as_nanos() as u64;
+
+        // Pass 2: aggregate.
+        let t_aggregate = Instant::now();
+        let elem_size = self.opts.elem_size.max(1);
+        let keep_freq = self.governor.rung() < CollectionRung::CoalescedOnly;
+        let monitor_intra = self.opts.analysis == AnalysisLevel::IntraObject;
+        let len = records.len();
+        let mut i = 0;
+        while i < len {
+            let Some((obj, _)) = resolved[i] else {
+                i += 1;
+                continue;
+            };
+            let mut j = i + 1;
+            while j < len && matches!(resolved[j], Some((o, _)) if o == obj) {
+                j += 1;
+            }
+            let mut flags = 0u8;
+            for r in &records[i..j] {
+                flags |= match r.kind {
+                    AccessKind::Read => kernel_flags::READ,
+                    AccessKind::Write => kernel_flags::WRITE,
+                };
+            }
+            if monitor_intra {
+                if let Some(o) = self.registry.get(obj) {
+                    if o.source.is_analyzable() {
+                        flags |= kernel_flags::INTRA;
+                        let size = o.size();
+                        let st = Self::intra_slot_in(&mut self.intra, obj)
+                            .get_or_insert_with(|| IntraState::new(obj, size));
+                        for (r, res) in records[i..j].iter().zip(&resolved[i..j]) {
+                            let off = res.map(|(_, off)| off).unwrap_or_default();
+                            let end = off + u64::from(r.size);
+                            st.data.bitmap.set_range(off, end);
+                            st.current_ranges.insert(off, end);
+                            if keep_freq {
+                                st.freq
+                                    .get_or_insert_with(|| FreqMap::new(size, elem_size))
+                                    .record(off, r.size);
+                                st.data
+                                    .lifetime_freq
+                                    .get_or_insert_with(|| FreqMap::new(size, elem_size))
+                                    .record(off, r.size);
+                            }
+                        }
+                    }
+                }
+            }
+            self.touch_kernel_flags(obj, flags);
+            i = j;
+        }
+        // Deferred remetering: once per touched object per buffer instead
+        // of once per record, settled before any enforcement boundary reads
+        // the metered footprint.
+        for k in 0..self.kernel_touched.len() {
+            let obj = self.kernel_touched[k];
+            if self.kernel_flag_table[obj.0 as usize] & kernel_flags::INTRA != 0 {
+                if let Some(st) = self.intra.get_mut(obj.0 as usize).and_then(Option::as_mut) {
+                    Self::remeter_intra(&mut self.governor, st);
+                }
+            }
+        }
+        self.phase.aggregate_ns += t_aggregate.elapsed().as_nanos() as u64;
+        self.resolved_scratch = resolved;
     }
 
     /// Drains the per-shard scratch into the persistent per-object state,
@@ -627,10 +936,8 @@ impl Collector {
         for (obj, scratch) in merged {
             self.note_access(api_idx, obj, scratch.read, scratch.write, AccessVia::Kernel);
             let Some(si) = scratch.intra else { continue };
-            let st = self
-                .intra
-                .entry(obj)
-                .or_insert_with(|| IntraState::new(obj, si.size));
+            let st = Self::intra_slot_in(&mut self.intra, obj)
+                .get_or_insert_with(|| IntraState::new(obj, si.size));
             if let Err(e) = st.data.bitmap.merge(&si.bitmap) {
                 // The object was re-registered with a different size
                 // mid-kernel — impossible through the API, but never
@@ -680,14 +987,17 @@ impl Collector {
             if self.opts.collector_shards.max(1) > 1 {
                 self.finish_kernel_sharded(api_idx);
             } else {
-                let objs: Vec<(ObjectId, (bool, bool))> = {
-                    let mut v: Vec<_> =
-                        self.current_objects.iter().map(|(k, v)| (*k, *v)).collect();
-                    v.sort_by_key(|(id, _)| *id);
-                    v
-                };
-                for (obj, (read, write)) in objs {
-                    self.note_access(api_idx, obj, read, write, AccessVia::Kernel);
+                let mut objs: Vec<ObjectId> = self.kernel_touched.clone();
+                objs.sort();
+                for obj in objs {
+                    let f = self.kernel_flag_table[obj.0 as usize];
+                    self.note_access(
+                        api_idx,
+                        obj,
+                        f & kernel_flags::READ != 0,
+                        f & kernel_flags::WRITE != 0,
+                        AccessVia::Kernel,
+                    );
                 }
             }
         } else {
@@ -697,12 +1007,16 @@ impl Collector {
                 }
             }
         }
-        // Intra-object finalization for this kernel.
-        let touched_intra: Vec<ObjectId> = self.current_touched_intra.drain().collect();
-        let mut sorted = touched_intra;
+        // Intra-object finalization for this kernel, in object-id order.
+        let mut sorted: Vec<ObjectId> = self
+            .kernel_touched
+            .iter()
+            .copied()
+            .filter(|obj| self.kernel_flag_table[obj.0 as usize] & kernel_flags::INTRA != 0)
+            .collect();
         sorted.sort();
         for obj in sorted {
-            if let Some(st) = self.intra.get_mut(&obj) {
+            if let Some(st) = self.intra.get_mut(obj.0 as usize).and_then(Option::as_mut) {
                 let ranges = std::mem::take(&mut st.current_ranges);
                 if !ranges.is_empty() {
                     st.data.per_api.push((api_idx, ranges));
@@ -723,7 +1037,7 @@ impl Collector {
                 Self::remeter_intra(&mut self.governor, st);
             }
         }
-        self.current_objects.clear();
+        self.clear_kernel_state();
         self.current_mode = PatchMode::None;
     }
 
@@ -759,7 +1073,7 @@ impl Collector {
     /// per-kernel scratch and the lifetime accumulation), crediting their
     /// footprint back to the governor. Bitmaps and range sets survive.
     fn shed_frequency_maps(&mut self) {
-        for st in self.intra.values_mut() {
+        for st in self.intra.iter_mut().filter_map(Option::as_mut) {
             st.freq = None;
             st.data.lifetime_freq = None;
             Self::remeter_intra(&mut self.governor, st);
@@ -770,10 +1084,14 @@ impl Collector {
     /// charged byte back to the governor. Future kernels are patched with
     /// hit flags only (see `on_kernel_begin`).
     fn shed_intra_maps(&mut self) {
-        for (_, st) in self.intra.drain() {
-            self.governor.credit(st.charged);
+        for slot in &mut self.intra {
+            if let Some(st) = slot.take() {
+                self.governor.credit(st.charged);
+            }
         }
-        self.current_touched_intra.clear();
+        for &obj in &self.kernel_touched {
+            self.kernel_flag_table[obj.0 as usize] &= !kernel_flags::INTRA;
+        }
     }
 
     /// Flushes pending state to the streaming trace, if one is attached and
@@ -863,10 +1181,7 @@ impl SanitizerHooks for Collector {
                         ..Default::default()
                     },
                 );
-                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
-                    self.note_access(api_idx, obj, false, true, AccessVia::Memcpy);
-                    self.intra_range_access(api_idx, obj, off, *size);
-                }
+                self.range_access(api_idx, *dst, *size, false, true, AccessVia::Memcpy);
                 self.record_usage();
             }
             ApiKind::MemcpyD2H { src, size } => {
@@ -878,10 +1193,7 @@ impl SanitizerHooks for Collector {
                         ..Default::default()
                     },
                 );
-                if let Some((obj, off)) = self.resolve_range(*src, *size) {
-                    self.note_access(api_idx, obj, true, false, AccessVia::Memcpy);
-                    self.intra_range_access(api_idx, obj, off, *size);
-                }
+                self.range_access(api_idx, *src, *size, true, false, AccessVia::Memcpy);
                 self.record_usage();
             }
             ApiKind::MemcpyD2D { dst, src, size } => {
@@ -893,14 +1205,8 @@ impl SanitizerHooks for Collector {
                         ..Default::default()
                     },
                 );
-                if let Some((obj, off)) = self.resolve_range(*src, *size) {
-                    self.note_access(api_idx, obj, true, false, AccessVia::Memcpy);
-                    self.intra_range_access(api_idx, obj, off, *size);
-                }
-                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
-                    self.note_access(api_idx, obj, false, true, AccessVia::Memcpy);
-                    self.intra_range_access(api_idx, obj, off, *size);
-                }
+                self.range_access(api_idx, *src, *size, true, false, AccessVia::Memcpy);
+                self.range_access(api_idx, *dst, *size, false, true, AccessVia::Memcpy);
                 self.record_usage();
             }
             ApiKind::Memset { dst, size, .. } => {
@@ -912,10 +1218,7 @@ impl SanitizerHooks for Collector {
                         ..Default::default()
                     },
                 );
-                if let Some((obj, off)) = self.resolve_range(*dst, *size) {
-                    self.note_access(api_idx, obj, false, true, AccessVia::Memset);
-                    self.intra_range_access(api_idx, obj, off, *size);
-                }
+                self.range_access(api_idx, *dst, *size, false, true, AccessVia::Memset);
                 self.record_usage();
             }
             ApiKind::KernelLaunch { name, .. } => {
@@ -960,8 +1263,7 @@ impl SanitizerHooks for Collector {
         // Counters-only rung: hit flags regardless of the analysis level.
         if self.governor.rung() >= CollectionRung::CountersOnly {
             self.current_mode = PatchMode::HitFlags;
-            self.current_objects.clear();
-            self.current_touched_intra.clear();
+            self.clear_kernel_state();
             return PatchMode::HitFlags;
         }
         let mut mode = match self.opts.analysis {
@@ -995,7 +1297,8 @@ impl SanitizerHooks for Collector {
             // fit in device memory; otherwise stream records to the CPU.
             let map_bytes: u64 = self
                 .intra
-                .values()
+                .iter()
+                .filter_map(Option::as_ref)
                 .map(|s| {
                     s.data.bitmap.footprint_bytes()
                         + s.freq.as_ref().map(FreqMap::footprint_bytes).unwrap_or(0)
@@ -1015,8 +1318,7 @@ impl SanitizerHooks for Collector {
             });
         }
         self.current_mode = mode;
-        self.current_objects.clear();
-        self.current_touched_intra.clear();
+        self.clear_kernel_state();
         mode
     }
 
@@ -1027,41 +1329,10 @@ impl SanitizerHooks for Collector {
         let shards = self.opts.collector_shards.max(1);
         if shards > 1 {
             self.sharded_buffer(records, shards);
-            return;
-        }
-        let elem_size = self.opts.elem_size.max(1);
-        // Frequency analytics are shed on the coalesced-only rung and below.
-        let keep_freq = self.governor.rung() < CollectionRung::CoalescedOnly;
-        for r in records {
-            let Some((obj, off)) = self.resolve_range(r.addr, u64::from(r.size)) else {
-                continue;
-            };
-            let entry = self.current_objects.entry(obj).or_insert((false, false));
-            match r.kind {
-                AccessKind::Read => entry.0 = true,
-                AccessKind::Write => entry.1 = true,
-            }
-            if self.monitors_intra(obj) {
-                let size = self.registry.get(obj).map(|o| o.size()).unwrap_or_default();
-                let st = self
-                    .intra
-                    .entry(obj)
-                    .or_insert_with(|| IntraState::new(obj, size));
-                st.data.bitmap.set_range(off, off + u64::from(r.size));
-                st.current_ranges.insert(off, off + u64::from(r.size));
-                if keep_freq {
-                    // Frequency map is zeroed per GPU API (Sec. 5.2): lazily
-                    // created at the kernel's first touch of the object.
-                    let freq = st.freq.get_or_insert_with(|| FreqMap::new(size, elem_size));
-                    freq.record(off, r.size);
-                    st.data
-                        .lifetime_freq
-                        .get_or_insert_with(|| FreqMap::new(size, elem_size))
-                        .record(off, r.size);
-                }
-                Self::remeter_intra(&mut self.governor, st);
-                self.current_touched_intra.insert(obj);
-            }
+        } else if self.opts.slow_path {
+            self.serial_buffer_slow(records);
+        } else {
+            self.serial_buffer_fast(records);
         }
     }
 
@@ -1071,7 +1342,9 @@ impl SanitizerHooks for Collector {
         touched: &[TouchedObject],
         _counters: &KernelCounters,
     ) {
+        let t_flush = Instant::now();
         self.finish_kernel(touched);
+        self.phase.flush_ns += t_flush.elapsed().as_nanos() as u64;
         // The kernel's accesses were attributed to its (already-emitted)
         // KernelLaunch trace row: re-check the budget and flush the updated
         // row to the stream before the next API.
@@ -1082,9 +1355,18 @@ impl SanitizerHooks for Collector {
     fn on_frame(&mut self, id: FrameId, loc: &SourceLoc) {
         let idx = id.0 as usize;
         if self.frame_mirror.len() <= idx {
-            self.frame_mirror.resize(idx + 1, String::new());
+            self.frame_mirror.resize(idx + 1, Arc::from(""));
         }
-        self.frame_mirror[idx] = loc.to_string();
+        let rendered = loc.to_string();
+        if self.frame_mirror[idx].as_ref() != rendered.as_str() {
+            // Frames are interned once per location, so a non-empty slot
+            // never changes in practice — but if one ever did, every
+            // memoized rendering mentioning it would be stale.
+            if !self.frame_mirror[idx].is_empty() {
+                self.call_path_memo.lock().clear();
+            }
+            self.frame_mirror[idx] = Arc::from(rendered);
+        }
     }
 
     fn collection_hint(&self) -> CollectionHint {
@@ -1408,6 +1690,78 @@ mod tests {
             .find(|a| a.object == tensor.id)
             .expect("tensor access");
         assert!(acc.write);
+    }
+
+    #[test]
+    fn memcpy_spanning_two_pool_tensors_attributes_both() {
+        // Regression: the collector used to resolve only a memcpy's first
+        // byte and attribute the whole transfer to that object, so a copy
+        // spanning two adjacent pool tensors silently credited every byte
+        // to the first tensor. The span must split at the boundary.
+        use gpu_sim::pool::{CachingPool, POOL_ALIGN};
+        let mut ctx = DeviceContext::new_default();
+        let c = Arc::new(Mutex::new(Collector::new(
+            ProfilerOptions::intra_object().with_pool_tracking(),
+            ctx.config().device_memory_bytes,
+        )));
+        ctx.sanitizer_mut().register(c.clone());
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        pool.register_observer(c.clone());
+        // Exactly one pool block each, so t2 starts where t1 ends.
+        let t1 = pool.alloc(&mut ctx, POOL_ALIGN, "t1").unwrap();
+        let t2 = pool.alloc(&mut ctx, POOL_ALIGN, "t2").unwrap();
+        assert_eq!(t2, t1 + POOL_ALIGN);
+        // One h2d copy covering all of t1 and the first 128 bytes of t2.
+        let payload = vec![7u8; POOL_ALIGN as usize + 128];
+        ctx.memcpy_h2d(t1, &payload).unwrap();
+        let col = c.lock();
+        let id_of = |label: &str| col.registry().iter().find(|o| o.label == label).unwrap().id;
+        let (o1, o2) = (id_of("t1"), id_of("t2"));
+        // Both tensors see the write (tensors are innermost, so no slab
+        // segment appears inside the copied span).
+        for id in [o1, o2] {
+            let acc = col
+                .accesses()
+                .iter()
+                .find(|a| a.object == id && a.via == AccessVia::Memcpy)
+                .expect("memcpy access attributed");
+            assert!(acc.write && !acc.read);
+        }
+        // Intra coverage splits exactly at the tensor boundary: t1 gets its
+        // full 512 bytes (not the whole 640-byte transfer), t2 gets 128
+        // bytes starting at offset 0.
+        let intra = col.intra_data();
+        let of = |id| intra.iter().find(|d| d.object == id).unwrap();
+        assert_eq!(of(o1).bitmap.count_set(), POOL_ALIGN);
+        assert_eq!(of(o1).per_api[0].1.ranges(), &[(0, POOL_ALIGN)]);
+        assert_eq!(of(o2).bitmap.count_set(), 128);
+        assert_eq!(of(o2).per_api[0].1.ranges(), &[(0, 128)]);
+    }
+
+    #[test]
+    fn memcpy_crossing_object_end_is_clipped() {
+        // Regression companion: a copy overrunning a tensor's end into
+        // untracked pool space must clip the tensor's attribution at its
+        // boundary instead of crediting the overhang to it.
+        use gpu_sim::pool::CachingPool;
+        let mut ctx = DeviceContext::new_default();
+        let c = Arc::new(Mutex::new(Collector::new(
+            ProfilerOptions::intra_object().with_pool_tracking(),
+            ctx.config().device_memory_bytes,
+        )));
+        ctx.sanitizer_mut().register(c.clone());
+        let mut pool = CachingPool::reserve(&mut ctx, 1 << 16).unwrap();
+        pool.register_observer(c.clone());
+        let t = pool.alloc(&mut ctx, 256, "t").unwrap();
+        // 256-byte tensor in a 512-byte pool block: the copy spills 128
+        // bytes past the tensor's end into slab-only territory.
+        ctx.memcpy_h2d(t, &[1u8; 384]).unwrap();
+        let col = c.lock();
+        let tensor = col.registry().iter().find(|o| o.label == "t").unwrap();
+        let intra = col.intra_data();
+        let d = intra.iter().find(|d| d.object == tensor.id).unwrap();
+        assert_eq!(d.bitmap.count_set(), 256);
+        assert_eq!(d.per_api[0].1.ranges(), &[(0, 256)]);
     }
 
     #[test]

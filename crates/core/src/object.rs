@@ -108,8 +108,77 @@ impl DataObject {
 #[derive(Debug, Default)]
 pub struct ObjectRegistry {
     objects: Vec<DataObject>,
-    /// Live interval index: base address → object id.
+    /// Live interval index: base address → object id. Source of truth for
+    /// alloc/free semantics; the flat `index` below is rebuilt from it.
     live: BTreeMap<u64, ObjectId>,
+    /// Epoch-tagged flat snapshot of `live`, sorted by base address.
+    /// Rebuilt on every alloc/free (rare); queried by binary search on the
+    /// per-access hot path (frequent). The `epoch` counter invalidates any
+    /// [`ResolveCache`] or downstream hint memo filled under an older
+    /// snapshot.
+    index: Vec<IndexEntry>,
+    epoch: u64,
+}
+
+/// One live interval in the flat snapshot index.
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    start: u64,
+    end: u64,
+    /// Maximum `end` over this entry and all entries at lower indices.
+    /// Lets the backward containment scan stop as soon as no earlier
+    /// interval can still cover the probe address.
+    prefix_max_end: u64,
+    id: ObjectId,
+}
+
+/// Per-resolver-thread last-hit cache for [`ObjectRegistry::resolve_cached`].
+///
+/// Holds the address window `[lo, hi)` inside which every address resolves
+/// to `id` (the window is clamped to exclude nested pool tensors), plus the
+/// registry epoch the entry was filled under. A stale epoch — any alloc or
+/// free since the fill — misses and refills; a hit never consults the index.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolveCache {
+    epoch: u64,
+    lo: u64,
+    hi: u64,
+    /// Base address of the cached object (offsets are relative to this, not
+    /// to `lo`, which may sit past a nested tensor).
+    base: u64,
+    id: ObjectId,
+}
+
+impl Default for ResolveCache {
+    fn default() -> Self {
+        // An empty window under an impossible epoch: always misses.
+        ResolveCache {
+            epoch: u64::MAX,
+            lo: 1,
+            hi: 0,
+            base: 0,
+            id: ObjectId(u64::MAX),
+        }
+    }
+}
+
+impl ResolveCache {
+    /// Creates an empty (always-miss) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One contiguous piece of a resolved address span: `len` bytes at `offset`
+/// within `object`. See [`ObjectRegistry::resolve_span`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanSegment {
+    /// The innermost live object covering this piece.
+    pub object: ObjectId,
+    /// Byte offset of the piece within the object.
+    pub offset: u64,
+    /// Length of the piece in bytes.
+    pub len: u64,
 }
 
 impl ObjectRegistry {
@@ -141,6 +210,7 @@ impl ObjectRegistry {
             free_is_api: true,
         });
         self.live.insert(range.start.addr(), id);
+        self.rebuild_index();
         id
     }
 
@@ -163,7 +233,32 @@ impl ObjectRegistry {
         let obj = &mut self.objects[id.0 as usize];
         obj.free_api = Some(free_api);
         obj.free_is_api = is_api;
+        self.rebuild_index();
         Some(id)
+    }
+
+    /// Rebuilds the flat snapshot from the live map and bumps the epoch,
+    /// invalidating every cache filled under the previous snapshot.
+    fn rebuild_index(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.index.clear();
+        let mut max_end = 0u64;
+        for (&start, &id) in &self.live {
+            let end = self.objects[id.0 as usize].range.end().addr();
+            max_end = max_end.max(end);
+            self.index.push(IndexEntry {
+                start,
+                end,
+                prefix_max_end: max_end,
+                id,
+            });
+        }
+    }
+
+    /// The current snapshot epoch. Bumped on every allocation and free;
+    /// caches carrying an older epoch must treat their contents as stale.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Interval lookup: the live object containing `addr`, innermost wins.
@@ -171,7 +266,20 @@ impl ObjectRegistry {
     /// When a pool tensor and its backing slab both cover `addr`, the tensor
     /// (whose base is ≥ the slab's base, and which is registered later) is
     /// preferred so that accesses attribute to tensors, not slabs.
+    ///
+    /// Queries the flat snapshot index: binary search for the last interval
+    /// starting at or below `addr`, then a short backward containment scan
+    /// that stops as soon as the prefix-max end rules out every earlier
+    /// interval. Semantically identical to [`ObjectRegistry::resolve_slow`].
     pub fn resolve(&self, addr: DevicePtr) -> Option<ObjectId> {
+        self.resolve_window(addr.addr()).map(|(e, _, _)| e.id)
+    }
+
+    /// The pre-snapshot interval lookup: a descending walk over the live
+    /// `BTreeMap`. Kept as the `slow-path` baseline hook (determinism tests
+    /// pin the new hot path against it) and as the reference semantics for
+    /// the registry property tests.
+    pub fn resolve_slow(&self, addr: DevicePtr) -> Option<ObjectId> {
         // Walk candidate bases at or below `addr`, nearest first. The first
         // candidate containing `addr` is the innermost allocation because
         // inner objects (pool tensors) start at higher-or-equal bases than
@@ -193,6 +301,107 @@ impl ObjectRegistry {
             }
         }
         None
+    }
+
+    /// Cache-assisted interval lookup returning `(object, byte offset)`.
+    ///
+    /// On a hit — same epoch, address inside the cached window — this is a
+    /// pair of comparisons; allocation locality makes hits the common case.
+    /// On a miss the snapshot index is searched and the cache refilled with
+    /// the containing window.
+    pub fn resolve_cached(
+        &self,
+        addr: DevicePtr,
+        cache: &mut ResolveCache,
+    ) -> Option<(ObjectId, u64)> {
+        let a = addr.addr();
+        if cache.epoch == self.epoch && cache.lo <= a && a < cache.hi {
+            return Some((cache.id, a - cache.base));
+        }
+        let (e, lo, hi) = self.resolve_window(a)?;
+        *cache = ResolveCache {
+            epoch: self.epoch,
+            lo,
+            hi,
+            base: e.start,
+            id: e.id,
+        };
+        Some((e.id, a - e.start))
+    }
+
+    /// Finds the innermost interval containing `a` plus the widest window
+    /// `[lo, hi)` around `a` in which every address resolves to that same
+    /// interval (i.e. no other live boundary falls inside the window).
+    fn resolve_window(&self, a: u64) -> Option<(IndexEntry, u64, u64)> {
+        // First index whose start is strictly above `a`: bounds the window
+        // from above, and the backward scan starts just below it.
+        let j = self.index.partition_point(|e| e.start <= a);
+        let mut lo_bound = 0u64;
+        let mut i = j;
+        while i > 0 {
+            i -= 1;
+            let e = self.index[i];
+            if e.prefix_max_end <= a {
+                // No interval here or earlier reaches past `a`.
+                return None;
+            }
+            if a < e.end {
+                // `e.start <= a` by construction: innermost match. Intervals
+                // never partially overlap, so the window is clipped only by
+                // the nearest boundaries: ends of the (nested) intervals we
+                // skipped below `a`, and the next start above `a`.
+                let lo = lo_bound.max(e.start);
+                let mut hi = e.end;
+                if let Some(nxt) = self.index.get(j) {
+                    hi = hi.min(nxt.start);
+                }
+                return Some((e, lo, hi));
+            }
+            lo_bound = lo_bound.max(e.end);
+        }
+        None
+    }
+
+    /// Resolves the byte span `[start, start + len)` to the sequence of
+    /// innermost objects covering it, in address order. A span crossing an
+    /// object's end is split at the boundary; bytes covered by no live
+    /// object are omitted. A zero-length span resolves like a point.
+    pub fn resolve_span(&self, start: DevicePtr, len: u64) -> Vec<SpanSegment> {
+        let mut out = Vec::new();
+        let mut a = start.addr();
+        if len == 0 {
+            if let Some((e, _, _)) = self.resolve_window(a) {
+                out.push(SpanSegment {
+                    object: e.id,
+                    offset: a - e.start,
+                    len: 0,
+                });
+            }
+            return out;
+        }
+        let span_end = a.saturating_add(len);
+        while a < span_end {
+            match self.resolve_window(a) {
+                Some((e, _, hi)) => {
+                    let seg_end = hi.min(span_end);
+                    out.push(SpanSegment {
+                        object: e.id,
+                        offset: a - e.start,
+                        len: seg_end - a,
+                    });
+                    a = seg_end;
+                }
+                None => {
+                    // Gap: skip to the next live base, if it is in the span.
+                    let j = self.index.partition_point(|e| e.start <= a);
+                    match self.index.get(j) {
+                        Some(e) if e.start < span_end => a = e.start,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The object record for `id`.
@@ -316,6 +525,80 @@ mod tests {
         reg.on_free(DevicePtr::new(0x1000), 2);
         assert!(!reg.get(a).unwrap().leaked());
         assert!(reg.get(b).unwrap().leaked());
+    }
+
+    #[test]
+    fn resolve_cache_invalidated_across_free_and_address_reuse() {
+        let mut reg = ObjectRegistry::new();
+        let a = alloc(&mut reg, "a", 0x1000, 64, 0);
+        let mut cache = ResolveCache::new();
+        assert_eq!(
+            reg.resolve_cached(DevicePtr::new(0x1020), &mut cache),
+            Some((a, 0x20))
+        );
+        // A second probe hits the cached window and must agree.
+        assert_eq!(
+            reg.resolve_cached(DevicePtr::new(0x1010), &mut cache),
+            Some((a, 0x10))
+        );
+        // Free bumps the epoch: the stale window must miss, not serve `a`.
+        reg.on_free(DevicePtr::new(0x1000), 1);
+        assert_eq!(reg.resolve_cached(DevicePtr::new(0x1020), &mut cache), None);
+        // Address reuse: a new object at the same base must resolve to the
+        // new id even though the dead cache window still covers the address.
+        let b = alloc(&mut reg, "b", 0x1000, 64, 2);
+        assert_ne!(a, b);
+        assert_eq!(
+            reg.resolve_cached(DevicePtr::new(0x1020), &mut cache),
+            Some((b, 0x20))
+        );
+    }
+
+    #[test]
+    fn resolve_span_splits_at_object_boundaries() {
+        let mut reg = ObjectRegistry::new();
+        let a = alloc(&mut reg, "a", 0x1000, 0x100, 0);
+        let b = alloc(&mut reg, "b", 0x1100, 0x100, 1);
+        // Span covering the tail of `a` and the head of `b`.
+        let segs = reg.resolve_span(DevicePtr::new(0x10C0), 0x80);
+        assert_eq!(
+            segs,
+            vec![
+                SpanSegment {
+                    object: a,
+                    offset: 0xC0,
+                    len: 0x40
+                },
+                SpanSegment {
+                    object: b,
+                    offset: 0,
+                    len: 0x40
+                },
+            ]
+        );
+        // Span running past the last live byte: the overhang is dropped.
+        let segs = reg.resolve_span(DevicePtr::new(0x11F0), 0x40);
+        assert_eq!(
+            segs,
+            vec![SpanSegment {
+                object: b,
+                offset: 0xF0,
+                len: 0x10
+            }]
+        );
+        // Span across a gap between objects skips the dead bytes.
+        let c = alloc(&mut reg, "c", 0x1300, 0x100, 2);
+        let segs = reg.resolve_span(DevicePtr::new(0x11F0), 0x200);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].object, b);
+        assert_eq!(
+            segs[1],
+            SpanSegment {
+                object: c,
+                offset: 0,
+                len: 0xF0
+            }
+        );
     }
 
     #[test]

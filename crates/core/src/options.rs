@@ -158,6 +158,14 @@ pub struct ProfilerOptions {
     /// ever trips, the governor is inert and reports are byte-identical to
     /// a run without it.
     pub budget: ResourceBudget,
+    /// Test/bench hook: route per-access resolution and aggregation through
+    /// the pre-epoch-index slow path (descending `BTreeMap` walks, no resolve
+    /// caches, per-record governor remetering). Byte-identical to the fast
+    /// path by contract — determinism tests pin the fast path against a
+    /// baseline collected with this flag, and the overhead bench uses it to
+    /// measure the speedup it enforces. Not a user-facing option.
+    #[doc(hidden)]
+    pub slow_path: bool,
 }
 
 impl ProfilerOptions {
@@ -172,6 +180,7 @@ impl ProfilerOptions {
             collector_shards: 1,
             coalesce_accesses: false,
             budget: ResourceBudget::default(),
+            slow_path: false,
         }
     }
 
@@ -186,6 +195,7 @@ impl ProfilerOptions {
             collector_shards: 1,
             coalesce_accesses: false,
             budget: ResourceBudget::default(),
+            slow_path: false,
         }
     }
 
@@ -224,6 +234,14 @@ impl ProfilerOptions {
     /// Replaces the resource budget (builder style).
     pub fn with_budget(mut self, budget: ResourceBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Routes collection through the pre-epoch-index slow path (builder
+    /// style). See [`ProfilerOptions::slow_path`].
+    #[doc(hidden)]
+    pub fn with_slow_path(mut self) -> Self {
+        self.slow_path = true;
         self
     }
 }

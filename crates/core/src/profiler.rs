@@ -54,6 +54,9 @@ impl Profiler {
         // without coalescing.
         ctx.sanitizer_mut()
             .set_coalesce_alignment(options.elem_size.max(1));
+        // The slow-path hook measures the unmemoized baseline end to end,
+        // so it also disables the simulator-side per-pc allocation memo.
+        ctx.sanitizer_mut().set_pc_memo(!options.slow_path);
         let collector = Arc::new(Mutex::new(Collector::new(
             options,
             ctx.config().device_memory_bytes,

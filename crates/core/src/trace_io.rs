@@ -1249,7 +1249,16 @@ pub(crate) fn delta_section(collector: &Collector, cur: &mut StreamCursor) -> Op
     updated.sort_unstable();
     updated.dedup();
 
-    let row = |a: &GpuApi| api_value(&api_row(a, collector.resolve_call_path(&a.call_path)));
+    // Call paths come back memoized as shared `Arc<str>` frames; rows only
+    // materialize `String`s at the serialization boundary.
+    let path_vec = |p: &gpu_sim::CallPath| -> Vec<String> {
+        collector
+            .resolve_call_path(p)
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+    let row = |a: &GpuApi| api_value(&api_row(a, path_vec(&a.call_path)));
     let new_apis: Vec<Value> = apis[cur.apis.min(apis.len())..].iter().map(row).collect();
     let api_updates: Vec<Value> = updated
         .iter()
@@ -1265,10 +1274,7 @@ pub(crate) fn delta_section(collector: &Collector, cur: &mut StreamCursor) -> Op
     for (i, o) in objects.iter().enumerate().take(cur.objects) {
         let fp = fingerprint(o);
         if cur.fingerprints.get(i) != Some(&fp) {
-            object_updates.push(object_value(&object_row(
-                o,
-                collector.resolve_call_path(&o.alloc_path),
-            )));
+            object_updates.push(object_value(&object_row(o, path_vec(&o.alloc_path))));
             if let Some(slot) = cur.fingerprints.get_mut(i) {
                 *slot = fp;
             }
@@ -1277,10 +1283,7 @@ pub(crate) fn delta_section(collector: &Collector, cur: &mut StreamCursor) -> Op
     let mut new_objects = Vec::new();
     for o in objects.iter().skip(cur.objects) {
         cur.fingerprints.push(fingerprint(o));
-        new_objects.push(object_value(&object_row(
-            o,
-            collector.resolve_call_path(&o.alloc_path),
-        )));
+        new_objects.push(object_value(&object_row(o, path_vec(&o.alloc_path))));
     }
     let new_usage: Vec<Value> = usage[cur.usage.min(usage.len())..]
         .iter()

@@ -11,7 +11,7 @@ use crate::error::{Result, SimError};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, RetryPolicy};
 use crate::kernel::{Dim3, KernelCounters, KernelMem, LaunchConfig, ThreadCtx};
 use crate::mem::{DeviceAllocator, DevicePtr, PagedStore};
-use crate::sanitizer::{AccessSink, KernelInfo, PatchMode, Sanitizer};
+use crate::sanitizer::{AccessSink, KernelInfo, PatchMode, Sanitizer, SinkArena};
 use crate::stream::{EventId, SimTime, StreamId, StreamSet};
 use crate::unified::{Side, UnifiedManager};
 use std::collections::HashMap;
@@ -230,6 +230,9 @@ pub struct DeviceContext {
     labels: HashMap<DevicePtr, String>,
     stats: ContextStats,
     fault: Option<FaultInjector>,
+    /// Recycled collection storage (record buffers, staging arenas, the
+    /// per-pc allocation memo) lent to each launch's sinks.
+    sink_arena: SinkArena,
     /// Worker threads for parallel block execution (1 = serial loop).
     kernel_workers: usize,
     /// Wall-clock deadline applied to each kernel's block loop
@@ -317,6 +320,7 @@ impl DeviceContext {
             labels: HashMap::new(),
             stats: ContextStats::default(),
             fault: None,
+            sink_arena: SinkArena::default(),
             kernel_workers: kernel_workers.max(1),
             kernel_deadline: kernel_deadline_ms.map(Duration::from_millis),
         }
@@ -1103,6 +1107,7 @@ impl DeviceContext {
             end,
         );
         let touched = sink.take_touched();
+        self.sink_arena.reclaim(sink);
         self.sanitizer
             .dispatch_kernel_end(&info, &touched, &counters);
         // Faults are reported only after the API event and all hook
@@ -1218,18 +1223,20 @@ impl DeviceContext {
     /// [`crate::CollectionHint`] backpressure the registered tools request.
     /// With the default hint this is exactly the sanitizer-wide
     /// configuration, so undegraded runs are byte-identical.
-    fn serial_sink(&self, mode: PatchMode) -> AccessSink {
+    fn serial_sink(&mut self, mode: PatchMode) -> AccessSink {
         let hint = self.sanitizer.dispatch_collection_hint();
         let capacity = hint
             .buffer_capacity
             .map_or(self.sanitizer.buffer_capacity(), |cap| {
                 cap.clamp(1, self.sanitizer.buffer_capacity())
             });
-        AccessSink::new(
+        self.sink_arena.serial_sink(
             mode,
             capacity,
             self.sanitizer.coalescing() || hint.coalesce,
             self.sanitizer.coalesce_alignment(),
+            self.alloc.epoch(),
+            self.sanitizer.pc_memo(),
         )
     }
 
@@ -1266,11 +1273,19 @@ impl DeviceContext {
         // More shards than workers keeps the probability of two workers
         // serializing on one fresh-page shard low.
         let view = self.mem.split_shared(workers * 8);
-        let alloc = &self.alloc;
         let shared_bytes = cfg.shared_mem_bytes as usize;
         let next_block = AtomicU64::new(0);
         let deadline = self.kernel_deadline.map(|d| Instant::now() + d);
         let expired = AtomicBool::new(false);
+
+        // Staging sinks reuse arenas returned by previous launches (unless
+        // the slow-path baseline is on); one is handed to each worker
+        // thread by value.
+        let recycle = self.sanitizer.pc_memo();
+        let mut staging: Vec<AccessSink> = (0..workers)
+            .map(|_| self.sink_arena.staging_sink(mode, recycle))
+            .collect();
+        let alloc = &self.alloc;
 
         let results: Vec<std::thread::Result<(AccessSink, KernelCounters, u64)>> =
             std::thread::scope(|s| {
@@ -1280,8 +1295,8 @@ impl DeviceContext {
                         let next_block = &next_block;
                         let expired = &expired;
                         let body = &body;
+                        let mut sink = staging.pop().expect("one staging sink per worker");
                         s.spawn(move || {
-                            let mut sink = AccessSink::new_staging(mode);
                             let mut counters = KernelCounters::default();
                             let mut shared = vec![0u8; shared_bytes];
                             let mut first_block = true;
@@ -1371,6 +1386,9 @@ impl DeviceContext {
         }
         let mut sink = self.serial_sink(mode);
         sink.merge_staged(&self.sanitizer, info, &worker_sinks);
+        for worker in worker_sinks {
+            self.sink_arena.reclaim(worker);
+        }
         let deadline_hit = expired.load(Ordering::Relaxed);
         (sink, counters, executed, deadline_hit)
     }

@@ -62,6 +62,13 @@ impl CallPath {
         &self.frames
     }
 
+    /// The shared frame list, outermost first. A cheap refcount bump —
+    /// callers that key memo tables by the path use this to avoid copying
+    /// the frame ids.
+    pub fn frames_shared(&self) -> std::sync::Arc<[FrameId]> {
+        self.frames.clone()
+    }
+
     /// Number of frames.
     pub fn depth(&self) -> usize {
         self.frames.len()

@@ -76,6 +76,11 @@ pub struct DeviceAllocator {
     live: BTreeMap<u64, AllocationInfo>,
     stats: AllocatorStats,
     next_index: u64,
+    /// Mutation epoch: bumped by every successful `malloc`/`free`. Callers
+    /// that cache lookup results (the sanitizer's per-pc allocation memo)
+    /// compare epochs to decide whether their cache still describes the
+    /// live map.
+    epoch: u64,
 }
 
 impl DeviceAllocator {
@@ -91,7 +96,14 @@ impl DeviceAllocator {
             live: BTreeMap::new(),
             stats: AllocatorStats::default(),
             next_index: 0,
+            epoch: 0,
         }
+    }
+
+    /// The mutation epoch: changes exactly when the live-allocation map
+    /// does, so two equal epochs guarantee identical lookup results.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Total managed capacity in bytes.
@@ -152,6 +164,7 @@ impl DeviceAllocator {
             alloc_index: self.next_index,
         };
         self.next_index += 1;
+        self.epoch = self.epoch.wrapping_add(1);
         self.live.insert(start, info.clone());
         self.stats.in_use_bytes += size;
         self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.in_use_bytes);
@@ -172,6 +185,7 @@ impl DeviceAllocator {
             .remove(&ptr.addr())
             .ok_or(SimError::InvalidFree(ptr))?;
         let rounded = info.size.div_ceil(ALLOC_ALIGN) * ALLOC_ALIGN;
+        self.epoch = self.epoch.wrapping_add(1);
         self.insert_free(ptr.addr(), rounded);
         self.stats.in_use_bytes -= info.size;
         self.stats.live_allocations = self.live.len();

@@ -24,7 +24,6 @@ use crate::mem::{DeviceAllocator, DevicePtr};
 use crate::stream::StreamId;
 use crate::unified::PageMigration;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Whether a memory instruction read or wrote global memory.
@@ -96,8 +95,57 @@ pub struct TouchedObject {
     pub written: bool,
 }
 
-/// Cheap deterministic hasher for the small `(warp, pc)` merge-candidate
-/// keys. SipHash would dominate the coalescing fast path, and hash-flooding
+/// Slot sentinel for an empty [`CandidateMap`] entry. Warp ids are flat
+/// thread ids divided by 32, so `u64::MAX` is unreachable.
+const NO_WARP: u64 = u64::MAX;
+
+/// Upper bound on directly-indexed merge-candidate slots. Kernels whose
+/// per-thread memory-instruction count exceeds this skip the slot lookup
+/// for the excess pcs and rely on the window scan — a merge-quality
+/// matter, never a correctness one.
+const CANDIDATE_CAP: usize = 1 << 16;
+
+/// Direct-indexed merge-candidate table: the open record index per program
+/// counter, tagged with the warp that left it. Replaces a hashed
+/// `(warp, pc) → idx` map: simulated threads execute sequentially, so at
+/// any moment at most one warp has an open record at a given pc, and a
+/// plain slot load beats even a cheap hash on the per-access fast path.
+#[derive(Debug, Default)]
+struct CandidateMap {
+    /// `(warp, record idx)` per pc; `warp == NO_WARP` means empty.
+    slots: Vec<(u64, usize)>,
+}
+
+impl CandidateMap {
+    /// The open record this warp left at `pc`, if any.
+    #[inline]
+    fn get(&self, warp: u64, pc: u32) -> Option<usize> {
+        match self.slots.get(pc as usize) {
+            Some(&(w, idx)) if w == warp => Some(idx),
+            _ => None,
+        }
+    }
+
+    /// Marks `idx` as the open record at `pc` for `warp`.
+    #[inline]
+    fn insert(&mut self, warp: u64, pc: u32, idx: usize) {
+        let i = pc as usize;
+        if i >= CANDIDATE_CAP {
+            return;
+        }
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, (NO_WARP, 0));
+        }
+        self.slots[i] = (warp, idx);
+    }
+
+    fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+/// Cheap deterministic hasher for the pre-overhaul `(warp, pc)` candidate
+/// keys, kept verbatim for the slow-path baseline. Hash-flooding
 /// resistance is pointless for keys derived from simulated thread ids.
 #[derive(Default)]
 struct MixHasher(u64);
@@ -123,7 +171,57 @@ impl std::hash::Hasher for MixHasher {
     }
 }
 
-type CandidateMap = HashMap<(u64, u32), usize, std::hash::BuildHasherDefault<MixHasher>>;
+type HashedCandidates =
+    std::collections::HashMap<(u64, u32), usize, std::hash::BuildHasherDefault<MixHasher>>;
+
+/// Merge-candidate storage: the overhauled direct-indexed table, or the
+/// pre-overhaul hashed map the slow-path baseline measures against. Both
+/// sides answer "which open record would this `(warp, pc)` extend" — the
+/// direct table may evict a slot the hashed map would keep, but any merge
+/// either one performs respects the same contiguity/alignment/allocation
+/// rules, so downstream analyses see identical byte coverage either way.
+#[derive(Debug)]
+enum CandidateTable {
+    Direct(CandidateMap),
+    Hashed(HashedCandidates),
+}
+
+impl Default for CandidateTable {
+    fn default() -> Self {
+        CandidateTable::Direct(CandidateMap::default())
+    }
+}
+
+impl CandidateTable {
+    fn hashed() -> Self {
+        CandidateTable::Hashed(HashedCandidates::default())
+    }
+
+    #[inline]
+    fn get(&self, warp: u64, pc: u32) -> Option<usize> {
+        match self {
+            CandidateTable::Direct(t) => t.get(warp, pc),
+            CandidateTable::Hashed(m) => m.get(&(warp, pc)).copied(),
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, warp: u64, pc: u32, idx: usize) {
+        match self {
+            CandidateTable::Direct(t) => t.insert(warp, pc, idx),
+            CandidateTable::Hashed(m) => {
+                m.insert((warp, pc), idx);
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            CandidateTable::Direct(t) => t.clear(),
+            CandidateTable::Hashed(m) => m.clear(),
+        }
+    }
+}
 
 /// Cached result of the last containing-allocation lookup, with a copy of
 /// that object's `touched` flags (kept in sync by [`AccessSink::note_access`]
@@ -264,6 +362,13 @@ pub struct Sanitizer {
     /// of this, so per-element frequency counts (element width = this
     /// alignment) are preserved exactly. 1 = unrestricted.
     coalesce_alignment: u32,
+    /// When set (the default), serial sinks keep a per-pc memo of the
+    /// containing allocation, warmed by one thread and hit by every later
+    /// thread executing the same instruction. Hits are validated by
+    /// containment and the memo is wiped whenever the allocator epoch
+    /// changes, so lookups are exactly [`DeviceAllocator::find_containing`].
+    /// Tools turn this off to measure the unmemoized baseline.
+    pc_memo: bool,
     overhead: OverheadModel,
 }
 
@@ -286,6 +391,7 @@ impl Default for Sanitizer {
             buffer_capacity: 16 * 1024,
             coalescing: false,
             coalesce_alignment: 1,
+            pc_memo: true,
             overhead: OverheadModel::default(),
         }
     }
@@ -345,6 +451,18 @@ impl Sanitizer {
     /// The current merge-junction alignment in bytes.
     pub fn coalesce_alignment(&self) -> u32 {
         self.coalesce_alignment
+    }
+
+    /// Enables or disables the per-pc containing-allocation memo (on by
+    /// default; see [`Sanitizer`]'s field docs). Turning it off never
+    /// changes results — only how often the Fig. 5 binary search runs.
+    pub fn set_pc_memo(&mut self, on: bool) {
+        self.pc_memo = on;
+    }
+
+    /// Whether the per-pc containing-allocation memo is enabled.
+    pub fn pc_memo(&self) -> bool {
+        self.pc_memo
     }
 
     /// The instrumentation cost model.
@@ -424,22 +542,6 @@ impl Sanitizer {
     }
 }
 
-/// One raw access captured by a worker sink during parallel block
-/// execution, replayed through the serial record path at merge time.
-///
-/// The containing allocation's base is resolved by the worker (against the
-/// launch-frozen allocation map, so the answer is position-independent) and
-/// carried along, letting the replay skip the binary search.
-#[derive(Debug, Clone, Copy)]
-struct StagedAccess {
-    addr: DevicePtr,
-    size: u32,
-    kind: AccessKind,
-    flat_thread: u64,
-    pc: u32,
-    alloc_start: Option<u64>,
-}
-
 /// The staged-record range produced by one thread block, plus the first
 /// device fault that block hit (if any).
 #[derive(Debug)]
@@ -450,6 +552,197 @@ struct BlockSpan {
     fault: Option<SimError>,
 }
 
+/// Sentinel for "no containing allocation" in [`StagedArena::alloc_starts`]
+/// and for an empty slot in the per-pc allocation memo. No valid device
+/// address satisfies `addr >= u64::MAX`, so the containment checks reject
+/// it without a separate flag.
+const NO_ALLOC: u64 = u64::MAX;
+
+/// Raw accesses staged by one parallel worker, in structure-of-arrays
+/// layout, grouped into block spans.
+///
+/// One field per record component instead of a `Vec<struct>`: the replay in
+/// [`AccessSink::merge_staged`] touches every component of every record
+/// anyway, and the split arrays drop the `Option<u64>` padding (49 → 33
+/// bytes per record). The arena is owned by the device context's
+/// [`SinkArena`] and lent to a worker per launch, so its capacity — sized
+/// by the first large kernel — is reused for the rest of the run.
+#[derive(Debug, Default)]
+pub(crate) struct StagedArena {
+    addrs: Vec<u64>,
+    sizes: Vec<u32>,
+    kinds: Vec<AccessKind>,
+    threads: Vec<u64>,
+    pcs: Vec<u32>,
+    /// Containing allocation base per record; [`NO_ALLOC`] when the access
+    /// hit no live allocation.
+    alloc_starts: Vec<u64>,
+    /// One span per executed block, in the worker's execution order.
+    spans: Vec<BlockSpan>,
+}
+
+impl StagedArena {
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        addr: DevicePtr,
+        size: u32,
+        kind: AccessKind,
+        flat_thread: u64,
+        pc: u32,
+        alloc_start: Option<u64>,
+    ) {
+        self.addrs.push(addr.addr());
+        self.sizes.push(size);
+        self.kinds.push(kind);
+        self.threads.push(flat_thread);
+        self.pcs.push(pc);
+        self.alloc_starts.push(alloc_start.unwrap_or(NO_ALLOC));
+    }
+
+    fn clear(&mut self) {
+        self.addrs.clear();
+        self.sizes.clear();
+        self.kinds.clear();
+        self.threads.clear();
+        self.pcs.clear();
+        self.alloc_starts.clear();
+        self.spans.clear();
+    }
+}
+
+/// Largest pc the per-pc allocation memo tracks. pcs are per-thread access
+/// ordinals, so a single long-running thread can push them far past the
+/// range where cross-thread reuse (the point of the memo) happens; the cap
+/// bounds the memo at 1 MiB while covering every instruction of any
+/// realistic kernel body.
+const PC_MEMO_CAP: usize = 1 << 16;
+
+/// An empty per-pc memo slot: a range no address is contained in.
+const EMPTY_HINT: (u64, u64) = (NO_ALLOC, 0);
+
+/// Reusable collection storage, owned by the device context and lent to
+/// each launch's [`AccessSink`]s.
+///
+/// Two things make this worth threading through every launch: the record
+/// buffer, merge-candidate table, and staging arenas keep their high-water
+/// capacity instead of reallocating per kernel, and the per-pc allocation
+/// memo stays warm *across* launches — consecutive kernels usually run with
+/// an unchanged allocation map, so the second launch onward skips the
+/// Fig. 5 binary search almost entirely. The memo is wiped whenever the
+/// allocator epoch changes, which is exactly when its entries could go
+/// stale.
+#[derive(Debug)]
+pub(crate) struct SinkArena {
+    buffer: Vec<MemAccessRecord>,
+    merge_candidates: CandidateTable,
+    /// Per-pc `(start, end)` of the containing allocation, or
+    /// [`EMPTY_HINT`].
+    pc_hints: Vec<(u64, u64)>,
+    /// Allocator epoch `pc_hints` was built under; `u64::MAX` = never.
+    hint_epoch: u64,
+    /// Returned staging arenas, ready for the next parallel launch.
+    staged: Vec<StagedArena>,
+}
+
+impl Default for SinkArena {
+    fn default() -> Self {
+        SinkArena {
+            buffer: Vec::new(),
+            merge_candidates: CandidateTable::default(),
+            pc_hints: Vec::new(),
+            hint_epoch: u64::MAX,
+            staged: Vec::new(),
+        }
+    }
+}
+
+impl SinkArena {
+    /// Builds the serial-shaped sink for one launch from recycled storage.
+    /// `alloc_epoch` is the allocator's current epoch; a mismatch with the
+    /// stored one invalidates the per-pc memo.
+    pub(crate) fn serial_sink(
+        &mut self,
+        mode: PatchMode,
+        capacity: usize,
+        coalesce: bool,
+        align: u32,
+        alloc_epoch: u64,
+        pc_memo: bool,
+    ) -> AccessSink {
+        if !pc_memo {
+            // Slow-path baseline: allocate per-launch storage and use the
+            // pre-overhaul hashed candidate map, exactly as the old sinks
+            // did. The arena stays untouched (its warm memo survives for
+            // a later fast-path attach; the epoch check below covers any
+            // staleness).
+            let mut sink = AccessSink::new(mode, capacity, coalesce, align);
+            sink.merge_candidates = CandidateTable::hashed();
+            return sink;
+        }
+        let mut buffer = std::mem::take(&mut self.buffer);
+        buffer.clear();
+        if mode == PatchMode::Full {
+            buffer.reserve(capacity);
+        }
+        let mut merge_candidates = std::mem::take(&mut self.merge_candidates);
+        merge_candidates.clear();
+        let mut pc_hints = std::mem::take(&mut self.pc_hints);
+        if self.hint_epoch != alloc_epoch {
+            pc_hints.iter_mut().for_each(|h| *h = EMPTY_HINT);
+            self.hint_epoch = alloc_epoch;
+        }
+        let mut sink = AccessSink::new(mode, capacity, coalesce, align);
+        sink.buffer = buffer;
+        sink.merge_candidates = merge_candidates;
+        sink.pc_memo = true;
+        sink.pc_hints = pc_hints;
+        sink.recycled = true;
+        sink
+    }
+
+    /// Builds a worker-local staging sink for parallel block execution,
+    /// reusing a previously returned arena when one is available (unless
+    /// `recycle` is off — the slow-path baseline allocates per launch).
+    /// Staging sinks never dispatch to tools; their records drain through
+    /// [`AccessSink::merge_staged`].
+    pub(crate) fn staging_sink(&mut self, mode: PatchMode, recycle: bool) -> AccessSink {
+        let mut sink = AccessSink::new(mode, 0, false, 1);
+        // A staging sink never flushes mid-kernel.
+        sink.capacity = usize::MAX;
+        sink.staging = true;
+        if recycle {
+            sink.staged = self.staged.pop().unwrap_or_default();
+            sink.recycled = true;
+        }
+        sink
+    }
+
+    /// Takes a finished sink's storage back for the next launch (a no-op
+    /// for per-launch slow-path sinks). The per-pc memo is kept as-is —
+    /// entries can only go stale through an allocator mutation, which
+    /// bumps the epoch checked at the next [`SinkArena::serial_sink`].
+    pub(crate) fn reclaim(&mut self, mut sink: AccessSink) {
+        if !sink.recycled {
+            return;
+        }
+        if sink.staging {
+            sink.staged.clear();
+            self.staged.push(sink.staged);
+        } else {
+            sink.buffer.clear();
+            self.buffer = sink.buffer;
+            sink.merge_candidates.clear();
+            self.merge_candidates = sink.merge_candidates;
+            self.pc_hints = sink.pc_hints;
+        }
+    }
+}
+
 /// Collects memory-access observations during one kernel execution and
 /// streams them to the registered tools.
 ///
@@ -457,9 +750,9 @@ struct BlockSpan {
 /// with it only indirectly through [`crate::ThreadCtx`].
 ///
 /// A sink runs in one of two shapes: the *serial* shape (created by
-/// [`AccessSink::new`]) buffers, coalesces, and streams records to the
-/// tools as the kernel executes, while the *staging* shape (created by
-/// [`AccessSink::new_staging`], one per parallel worker) only appends raw
+/// [`SinkArena::serial_sink`]) buffers, coalesces, and streams records to
+/// the tools as the kernel executes, while the *staging* shape (created by
+/// [`SinkArena::staging_sink`], one per parallel worker) only appends raw
 /// records and never talks to the tools; staged records are replayed
 /// through a serial sink in flat block order by
 /// [`AccessSink::merge_staged`], reproducing the serial byte stream
@@ -477,13 +770,24 @@ pub struct AccessSink {
     /// Open merge candidates: `(warp, pc)` → buffer index of the record a
     /// neighbouring lane's access at the same instruction would extend.
     /// Rebuilt per flush (indices are invalidated when the buffer drains).
-    merge_candidates: CandidateMap,
+    merge_candidates: CandidateTable,
     /// One-entry cache of the allocation containing the previous access,
     /// mirroring its `touched` flags so repeat hits skip both the binary
     /// search and the map update.
     last_hit: Option<LastHit>,
-    /// Touched-object hit flags keyed by allocation base.
-    touched: BTreeMap<DevicePtr, TouchedObject>,
+    /// Per-pc `(start, end)` of the containing allocation (see
+    /// [`SinkArena`]). Consulted when `last_hit` misses; hits are validated
+    /// by containment, so a stale entry can only cause one extra binary
+    /// search, never a wrong attribution.
+    pc_hints: Vec<(u64, u64)>,
+    /// Whether new lookups populate `pc_hints`.
+    pc_memo: bool,
+    /// Touched-object hit flags, in first-touch order. A kernel touches few
+    /// distinct objects and lookups only happen on `last_hit`/`pc_hints`
+    /// misses, so a linear scan beats the `BTreeMap` it replaced;
+    /// [`AccessSink::take_touched`] sorts by base, reproducing the map's
+    /// iteration order byte-for-byte.
+    touched: Vec<TouchedObject>,
     /// Number of buffer flushes performed (for the cost model).
     pub(crate) flushes: u64,
     /// Number of records observed (for the cost model). Counts *raw*
@@ -502,9 +806,11 @@ pub struct AccessSink {
     /// serial coalesce/flush path (see the type-level docs).
     staging: bool,
     /// Raw records staged by this worker, grouped into block spans.
-    staged: Vec<StagedAccess>,
-    /// One span per executed block, in this worker's execution order.
-    spans: Vec<BlockSpan>,
+    staged: StagedArena,
+    /// Storage was lent by a [`SinkArena`] and must be returned via
+    /// [`SinkArena::reclaim`]; per-launch (slow-path) sinks leave it unset
+    /// and are simply dropped.
+    recycled: bool,
 }
 
 impl std::fmt::Debug for AccessSink {
@@ -526,29 +832,19 @@ impl AccessSink {
             capacity,
             coalesce,
             coalesce_align: u64::from(align.max(1)),
-            merge_candidates: CandidateMap::default(),
+            merge_candidates: CandidateTable::default(),
             last_hit: None,
-            touched: BTreeMap::new(),
+            pc_hints: Vec::new(),
+            pc_memo: false,
+            touched: Vec::new(),
             flushes: 0,
             records_seen: 0,
             coalesced_away: 0,
             fault: None,
             staging: false,
-            staged: Vec::new(),
-            spans: Vec::new(),
+            staged: StagedArena::default(),
+            recycled: false,
         }
-    }
-
-    /// Creates a worker-local staging sink for parallel block execution.
-    /// It never dispatches to tools, so it needs no capacity or coalescing
-    /// parameters — those are applied once, at replay time.
-    pub(crate) fn new_staging(mode: PatchMode) -> Self {
-        let mut sink = AccessSink::new(mode, 0, false, 1);
-        // A staging sink never flushes mid-kernel; records drain only
-        // through `merge_staged`.
-        sink.capacity = usize::MAX;
-        sink.staging = true;
-        sink
     }
 
     /// The patch mode this sink operates in.
@@ -560,7 +856,7 @@ impl AccessSink {
     pub(crate) fn begin_block(&mut self, flat_block: u64) {
         debug_assert!(self.staging);
         let at = self.staged.len();
-        self.spans.push(BlockSpan {
+        self.staged.spans.push(BlockSpan {
             flat_block,
             start: at,
             end: at,
@@ -573,6 +869,7 @@ impl AccessSink {
         let end = self.staged.len();
         let fault = self.fault.take();
         let span = self
+            .staged
             .spans
             .last_mut()
             .expect("end_block without a matching begin_block");
@@ -603,7 +900,8 @@ impl AccessSink {
             .iter()
             .enumerate()
             .flat_map(|(w, sink)| {
-                sink.spans
+                sink.staged
+                    .spans
                     .iter()
                     .enumerate()
                     .map(move |(s, span)| (span.flat_block, w, s))
@@ -611,40 +909,55 @@ impl AccessSink {
             .collect();
         order.sort_unstable_by_key(|&(flat_block, _, _)| flat_block);
         for (_, w, s) in order {
-            let worker = &workers[w];
-            let span = &worker.spans[s];
+            let st = &workers[w].staged;
+            let span = &st.spans[s];
             if self.fault.is_none() {
                 self.fault.clone_from(&span.fault);
             }
-            for rec in &worker.staged[span.start..span.end] {
+            for i in span.start..span.end {
+                let alloc_start = st.alloc_starts[i];
                 self.push_full_record(
                     sanitizer,
                     info,
-                    rec.addr,
-                    rec.size,
-                    rec.kind,
-                    rec.flat_thread,
-                    rec.pc,
-                    rec.alloc_start,
+                    DevicePtr::new(st.addrs[i]),
+                    st.sizes[i],
+                    st.kinds[i],
+                    st.threads[i],
+                    st.pcs[i],
+                    (alloc_start != NO_ALLOC).then_some(alloc_start),
                 );
             }
         }
         for worker in workers {
             self.records_seen += worker.records_seen;
-            for (base, t) in &worker.touched {
-                let entry = self.touched.entry(*base).or_insert(TouchedObject {
-                    base: *base,
-                    read: false,
-                    written: false,
-                });
+            for t in &worker.touched {
+                let entry = Self::touch_entry(&mut self.touched, t.base);
                 entry.read |= t.read;
                 entry.written |= t.written;
             }
         }
     }
 
-    pub(crate) fn take_touched(self) -> Vec<TouchedObject> {
-        self.touched.into_values().collect()
+    pub(crate) fn take_touched(&mut self) -> Vec<TouchedObject> {
+        let mut touched = std::mem::take(&mut self.touched);
+        touched.sort_unstable_by_key(|t| t.base.addr());
+        touched
+    }
+
+    /// The hit-flag entry for the allocation based at `base`, created on
+    /// first touch.
+    fn touch_entry(touched: &mut Vec<TouchedObject>, base: DevicePtr) -> &mut TouchedObject {
+        match touched.iter().position(|t| t.base == base) {
+            Some(i) => &mut touched[i],
+            None => {
+                touched.push(TouchedObject {
+                    base,
+                    read: false,
+                    written: false,
+                });
+                touched.last_mut().expect("entry just pushed")
+            }
+        }
     }
 
     /// Resolves and stores one access. The containing object is looked up in
@@ -669,17 +982,11 @@ impl AccessSink {
             return;
         }
         self.records_seen += 1;
-        let alloc_start = self.update_touched(alloc, addr, kind);
+        let alloc_start = self.update_touched(alloc, addr, kind, pc);
         if self.mode == PatchMode::Full {
             if self.staging {
-                self.staged.push(StagedAccess {
-                    addr,
-                    size,
-                    kind,
-                    flat_thread,
-                    pc,
-                    alloc_start,
-                });
+                self.staged
+                    .push(addr, size, kind, flat_thread, pc, alloc_start);
             } else {
                 let sanitizer = sanitizer.expect("serial sink requires a sanitizer");
                 self.push_full_record(
@@ -703,6 +1010,7 @@ impl AccessSink {
         alloc: &DeviceAllocator,
         addr: DevicePtr,
         kind: AccessKind,
+        pc: u32,
     ) -> Option<u64> {
         // One-entry cache of the containing allocation. Access streams are
         // bursty per object, so the Fig. 5 binary search and the touched-map
@@ -718,11 +1026,7 @@ impl AccessSink {
                 };
                 if !*flag {
                     *flag = true;
-                    let entry = self.touched.entry(h.base).or_insert(TouchedObject {
-                        base: h.base,
-                        read: false,
-                        written: false,
-                    });
+                    let entry = Self::touch_entry(&mut self.touched, h.base);
                     match kind {
                         AccessKind::Read => entry.read = true,
                         AccessKind::Write => entry.written = true,
@@ -731,28 +1035,42 @@ impl AccessSink {
                 Some(h.start)
             }
             _ => {
-                if let Some(obj) = alloc.find_containing(addr) {
-                    let entry = self.touched.entry(obj.ptr).or_insert(TouchedObject {
-                        base: obj.ptr,
-                        read: false,
-                        written: false,
-                    });
-                    match kind {
-                        AccessKind::Read => entry.read = true,
-                        AccessKind::Write => entry.written = true,
+                // Second level: the per-pc memo. Kernels that alternate
+                // between objects (pc 0 reads A, pc 1 writes B) thrash
+                // `last_hit`, but every thread repeats the same instruction
+                // sequence, so the object seen at this pc by an earlier
+                // thread is almost always the right one. Containment makes
+                // a hit exact; a stale entry just falls through.
+                let (start, end) = match self.pc_hints.get(pc as usize) {
+                    Some(&(s, e)) if raw >= s && raw < e => (s, e),
+                    _ => {
+                        let obj = alloc.find_containing(addr)?;
+                        let start = obj.ptr.addr();
+                        let end = start + obj.size;
+                        if self.pc_memo && (pc as usize) < PC_MEMO_CAP {
+                            let i = pc as usize;
+                            if i >= self.pc_hints.len() {
+                                self.pc_hints.resize(i + 1, EMPTY_HINT);
+                            }
+                            self.pc_hints[i] = (start, end);
+                        }
+                        (start, end)
                     }
-                    let start = obj.ptr.addr();
-                    self.last_hit = Some(LastHit {
-                        base: obj.ptr,
-                        start,
-                        end: start + obj.size,
-                        read: entry.read,
-                        written: entry.written,
-                    });
-                    Some(start)
-                } else {
-                    None
+                };
+                let base = DevicePtr::new(start);
+                let entry = Self::touch_entry(&mut self.touched, base);
+                match kind {
+                    AccessKind::Read => entry.read = true,
+                    AccessKind::Write => entry.written = true,
                 }
+                self.last_hit = Some(LastHit {
+                    base,
+                    start,
+                    end,
+                    read: entry.read,
+                    written: entry.written,
+                });
+                Some(start)
             }
         }
     }
@@ -797,7 +1115,7 @@ impl AccessSink {
             let can_grow = |rec: &MemAccessRecord| {
                 alloc_start.is_some_and(|s| rec.addr.addr() >= s && (raw - s).is_multiple_of(align))
             };
-            if let Some(&idx) = self.merge_candidates.get(&(warp, pc)) {
+            if let Some(idx) = self.merge_candidates.get(warp, pc) {
                 let rec = &mut self.buffer[idx];
                 if rec.kind == kind
                     && rec.addr + u64::from(rec.size) == addr
@@ -822,11 +1140,11 @@ impl AccessSink {
                     && can_grow(rec)
             }) {
                 self.buffer[idx].size += size;
-                self.merge_candidates.insert((warp, pc), idx);
+                self.merge_candidates.insert(warp, pc, idx);
                 self.coalesced_away += 1;
                 return;
             }
-            self.merge_candidates.insert((warp, pc), self.buffer.len());
+            self.merge_candidates.insert(warp, pc, self.buffer.len());
         }
         self.buffer.push(MemAccessRecord {
             addr,

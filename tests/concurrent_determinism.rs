@@ -4,6 +4,12 @@
 //! execution must produce a report and a serialized trace (format v2 text)
 //! byte-identical to the serial baseline's. Anything less would make the
 //! overhead knobs unusable — turning them on could change findings.
+//!
+//! The same contract pins the overhauled hot path (flat epoch-snapshot
+//! index, resolve caches, pc-hint memo, staged sink arenas) against the
+//! pre-overhaul pipeline, which stays reachable via
+//! [`ProfilerOptions::with_slow_path`] precisely so this suite can hold
+//! the fast paths to byte-identical output.
 
 use drgpum::prelude::*;
 use drgpum::profiler::trace_io;
@@ -81,6 +87,54 @@ fn parallel_and_coalesced_collection_match_serial_on_every_workload() {
             }
         }
     }
+}
+
+/// The overhauled hot path against its own pre-overhaul implementation.
+///
+/// `ProfilerOptions::with_slow_path` re-enables the original pipeline —
+/// per-access `BTreeMap` resolution, per-launch sink allocation, hashed
+/// merge-candidate map, no resolve caches or pc-hint memo. Every fast-path
+/// configuration must reproduce the slow path's report text and trace v2
+/// bytes exactly, on every registered workload, under both a serial and a
+/// block-parallel kernel loop. This is the contract that makes the
+/// overhaul a pure optimization: byte-for-byte, not "statistically equal".
+#[test]
+fn fast_paths_match_slow_path_baseline_on_every_workload() {
+    let modes = [
+        ("serial-collect", ProfilerOptions::intra_object()),
+        (
+            "sharded",
+            ProfilerOptions::intra_object().with_collector_shards(3),
+        ),
+        (
+            "coalesced",
+            ProfilerOptions::intra_object().with_coalescing(),
+        ),
+    ];
+    for spec in drgpum::workloads::all() {
+        let baseline = profile(&spec, ProfilerOptions::intra_object().with_slow_path(), 1);
+        for workers in [1usize, 4] {
+            for (mode, options) in &modes {
+                let got = profile(&spec, options.clone(), workers);
+                assert_eq!(
+                    got.0, baseline.0,
+                    "{}: report text diverged from the slow-path baseline in `{mode}` mode with {workers} workers",
+                    spec.name
+                );
+                assert_eq!(
+                    got.1, baseline.1,
+                    "{}: trace v2 bytes diverged from the slow-path baseline in `{mode}` mode with {workers} workers",
+                    spec.name
+                );
+            }
+        }
+    }
+    // The slow path is itself worker-count independent: the baseline hook
+    // must stay a valid oracle under a parallel kernel loop, too.
+    let spec = drgpum::workloads::by_name("3MM").expect("registered");
+    let slow1 = profile(&spec, ProfilerOptions::intra_object().with_slow_path(), 1);
+    let slow4 = profile(&spec, ProfilerOptions::intra_object().with_slow_path(), 4);
+    assert_eq!(slow1, slow4, "slow path diverged across worker counts");
 }
 
 /// An active fault plan must force the serial loop: mid-kill thread

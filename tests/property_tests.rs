@@ -436,3 +436,162 @@ fn peaks_are_true_local_maxima() {
         }
     }
 }
+
+// ------------------------------------------------------------ memory map
+
+/// The overhauled hot-path resolvers — flat epoch-tagged snapshot index,
+/// last-hit [`ResolveCache`], span splitting — against the pre-overhaul
+/// `BTreeMap` walk (`resolve_slow`), which is kept in-tree as the reference
+/// semantics. Randomized alloc/free/realloc sequences run through the real
+/// [`DeviceAllocator`], so freed address ranges are genuinely reused
+/// (first-fit + coalescing), and the persistent cache carried across
+/// mutations exercises stale-window invalidation: a hit on an epoch bumped
+/// by a free or a same-base realloc would surface here as a wrong id.
+#[test]
+fn registry_fast_resolvers_match_btreemap_oracle() {
+    use drgpum::profiler::object::{ObjectRegistry, ObjectSource, ResolveCache};
+    use gpu_sim::{AddrRange, CallPath, DevicePtr};
+
+    const CAPACITY: u64 = 1 << 20;
+
+    for seed in 0..CASES {
+        let mut rng = SplitMix64::new(0x5EED_0000 ^ seed);
+        let mut reg = ObjectRegistry::new();
+        let mut dev = DeviceAllocator::new(CAPACITY);
+        // (base, size) of live CUDA objects; tensors tracked per parent.
+        let mut slabs: Vec<(u64, u64)> = Vec::new();
+        let mut tensors: Vec<(u64, u64, u64)> = Vec::new(); // (parent base, base, size)
+                                                            // One persistent cache across every mutation: epoch invalidation is
+                                                            // the property under test, so the cache is never reset by hand.
+        let mut cache = ResolveCache::new();
+        for api in 0..120usize {
+            let roll = range(&mut rng, 0, 100);
+            if roll < 40 || slabs.is_empty() {
+                // Allocation; small sizes keep the map dense so reuse and
+                // adjacency are common.
+                let size = range(&mut rng, 1, 8192);
+                if let Ok(info) = dev.malloc(size) {
+                    reg.on_alloc(
+                        "obj",
+                        AddrRange::new(info.ptr, size),
+                        ObjectSource::Cuda,
+                        api,
+                        true,
+                        CallPath::empty(),
+                    );
+                    slabs.push((info.ptr.addr(), size));
+                }
+            } else if roll < 55 {
+                // Carve a pool tensor inside a live slab (innermost-wins is
+                // part of the resolve contract). Tensors never overlap: at
+                // most one per slab, dropped when the slab goes.
+                let n = range(&mut rng, 0, slabs.len() as u64) as usize;
+                let (base, size) = slabs[n];
+                let has = tensors.iter().any(|&(p, _, _)| p == base);
+                if !has && size >= 64 {
+                    let t_len = range(&mut rng, 1, size / 2);
+                    let t_off = range(&mut rng, 0, size - t_len);
+                    reg.on_alloc(
+                        "tensor",
+                        AddrRange::new(DevicePtr::new(base + t_off), t_len),
+                        ObjectSource::PoolTensor,
+                        api,
+                        false,
+                        CallPath::empty(),
+                    );
+                    tensors.push((base, base + t_off, t_len));
+                }
+            } else if roll < 85 {
+                // Free a random live object; its tensor (if any) goes first,
+                // as a pool would return tensors before releasing the slab.
+                let n = range(&mut rng, 0, slabs.len() as u64) as usize;
+                let (base, _) = slabs.swap_remove(n);
+                if let Some(t) = tensors.iter().position(|&(p, _, _)| p == base) {
+                    let (_, t_base, _) = tensors.swap_remove(t);
+                    reg.on_pool_free(DevicePtr::new(t_base), api);
+                }
+                dev.free(DevicePtr::new(base)).unwrap();
+                reg.on_free(DevicePtr::new(base), api);
+            } else {
+                // Realloc: free + immediately malloc the same size. With a
+                // first-fit allocator the same base usually comes back, so
+                // the old id's window now covers a different object.
+                let n = range(&mut rng, 0, slabs.len() as u64) as usize;
+                let (base, size) = slabs.swap_remove(n);
+                if let Some(t) = tensors.iter().position(|&(p, _, _)| p == base) {
+                    let (_, t_base, _) = tensors.swap_remove(t);
+                    reg.on_pool_free(DevicePtr::new(t_base), api);
+                }
+                dev.free(DevicePtr::new(base)).unwrap();
+                reg.on_free(DevicePtr::new(base), api);
+                if let Ok(info) = dev.malloc(size) {
+                    reg.on_alloc(
+                        "realloc",
+                        AddrRange::new(info.ptr, size),
+                        ObjectSource::Cuda,
+                        api,
+                        true,
+                        CallPath::empty(),
+                    );
+                    slabs.push((info.ptr.addr(), size));
+                }
+            }
+
+            // Point probes: biased toward live ranges and their edges, with
+            // a tail of uniform addresses (mostly misses).
+            for _ in 0..24 {
+                let addr = if !slabs.is_empty() && rng.chance(0.8) {
+                    let (base, size) = slabs[range(&mut rng, 0, slabs.len() as u64) as usize];
+                    // +8 past the end probes the boundary-miss case.
+                    base.wrapping_add(range(&mut rng, 0, size + 8))
+                } else {
+                    range(&mut rng, 0, CAPACITY)
+                };
+                let p = DevicePtr::new(addr);
+                let oracle = reg.resolve_slow(p);
+                assert_eq!(reg.resolve(p), oracle, "seed {seed}: resolve @ {addr:#x}");
+                let fast = reg.resolve_cached(p, &mut cache);
+                assert_eq!(
+                    fast.map(|(id, _)| id),
+                    oracle,
+                    "seed {seed}: resolve_cached @ {addr:#x}"
+                );
+                if let Some((id, off)) = fast {
+                    let base = reg.get(id).unwrap().range.start.addr();
+                    assert_eq!(off, addr - base, "seed {seed}: offset @ {addr:#x}");
+                    // Re-probe: the freshly filled window must agree with
+                    // itself (the pure-hit path).
+                    assert_eq!(reg.resolve_cached(p, &mut cache), Some((id, off)));
+                }
+            }
+
+            // Span probe: segment-by-segment against per-byte oracle calls.
+            let (start, len) = if !slabs.is_empty() && rng.chance(0.8) {
+                let (base, size) = slabs[range(&mut rng, 0, slabs.len() as u64) as usize];
+                (
+                    base.wrapping_add(range(&mut rng, 0, size)),
+                    range(&mut rng, 0, 300),
+                )
+            } else {
+                (range(&mut rng, 0, CAPACITY), range(&mut rng, 0, 300))
+            };
+            let segs = reg.resolve_span(DevicePtr::new(start), len);
+            let mut covered = vec![None; len as usize];
+            for s in &segs {
+                let obj_base = reg.get(s.object).unwrap().range.start.addr();
+                for b in 0..s.len {
+                    let addr = obj_base + s.offset + b;
+                    assert!(addr >= start && addr < start + len.max(1), "seed {seed}");
+                    covered[(addr - start) as usize] = Some(s.object);
+                }
+            }
+            for (i, got) in covered.iter().enumerate() {
+                let want = reg.resolve_slow(DevicePtr::new(start + i as u64));
+                assert_eq!(
+                    *got, want,
+                    "seed {seed}: span byte {i} of [{start:#x}; {len})"
+                );
+            }
+        }
+    }
+}
